@@ -1,0 +1,535 @@
+// Package canely is a faithful, simulation-backed implementation of the
+// CANELy (CAN Enhanced Layer) node failure detection and site membership
+// services described in:
+//
+//	J. Rufino, P. Veríssimo, G. Arroz. "Node Failure Detection and
+//	Membership in CANELy". DSN 2003.
+//
+// The package assembles, per node, the full protocol stack of the paper's
+// Figure 5 — CAN standard layer (with the can-data.nty extension), the FDA
+// and RHA micro-protocols, the node failure detection protocol and the site
+// membership protocol — on top of a bit-time-accurate discrete-event CAN
+// bus simulator with fault injection (consistent corruptions, inconsistent
+// omissions in the last two bits, node crashes, fault confinement).
+//
+// # Quick start
+//
+//	net := canely.NewNetwork(canely.DefaultConfig(), 4)
+//	net.BootstrapAll()                    // pre-agreed initial view
+//	net.Run(100 * time.Millisecond)       // steady state
+//	net.Node(2).Crash()                   // kill a node
+//	net.Run(100 * time.Millisecond)
+//	view := net.Node(0).View()            // {n00,n01,n03}
+//
+// All time is virtual: a Network is single-threaded and deterministic for a
+// given seed and fault script, which makes every experiment in this
+// repository exactly reproducible.
+package canely
+
+import (
+	"fmt"
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/clocksync"
+	"canely/internal/core/fd"
+	"canely/internal/core/groups"
+	"canely/internal/core/membership"
+	"canely/internal/edcan"
+	"canely/internal/fault"
+	"canely/internal/redundancy"
+	"canely/internal/sim"
+	"canely/internal/trace"
+)
+
+// Re-exported identity and set types: the public API vocabulary.
+type (
+	// NodeID identifies a node (site); valid values are 0..63.
+	NodeID = can.NodeID
+	// NodeSet is a set of nodes: membership views, failed sets, RHVs.
+	NodeSet = can.NodeSet
+	// Change is a membership change notification (msh-can.nty).
+	Change = membership.Change
+	// BitRate is the bus signalling rate in bits per second.
+	BitRate = can.BitRate
+	// Injector decides per-transmission fault injection.
+	Injector = fault.Injector
+	// BusStats aggregates wire occupancy and outcome counters.
+	BusStats = bus.Stats
+	// GroupID names a process group.
+	GroupID = groups.GroupID
+	// GroupChange is a process-group view change notification.
+	GroupChange = groups.Change
+)
+
+// MakeSet builds a NodeSet from ids.
+func MakeSet(ids ...NodeID) NodeSet { return can.MakeSet(ids...) }
+
+// Config parameterizes a CANELy network.
+type Config struct {
+	// Rate is the bus bit rate (default 1 Mbit/s).
+	Rate BitRate
+	// Seed drives all stochastic behaviour (fault injection, traffic
+	// jitter); runs with equal seeds are identical.
+	Seed int64
+
+	// Tb is the heartbeat period: the maximum interval between consecutive
+	// life-sign transmit requests at a node.
+	Tb time.Duration
+	// Ttd is the bound assumed for the network message transmission delay.
+	Ttd time.Duration
+	// Tm is the membership cycle period.
+	Tm time.Duration
+	// TjoinWait is the maximum join wait delay (>> Tm).
+	TjoinWait time.Duration
+	// Trha is the RHA maximum termination time (< Tm).
+	Trha time.Duration
+	// J is the inconsistent omission degree bound (LCAN4).
+	J int
+	// K is the omission degree bound (MCAN3) enforced on stochastic
+	// injection per reference interval.
+	K int
+
+	// PCorrupt and PInconsistent enable background stochastic fault
+	// injection at the given per-transmission probabilities (bounded by K
+	// and J per OmissionInterval).
+	PCorrupt      float64
+	PInconsistent float64
+	// OmissionInterval is the reference interval for the K and J bounds.
+	OmissionInterval time.Duration
+
+	// Script optionally overlays deterministic scripted faults; scripted
+	// decisions take precedence over stochastic ones.
+	Script Injector
+
+	// RHAEveryCycle disables the Figure 9 line s22 bandwidth optimization
+	// (skipping RHA when no join/leave is pending). Ablation knob only.
+	RHAEveryCycle bool
+
+	// DualMedia enables the CANELy media redundancy scheme ([17]): every
+	// node drives two replicated buses through a selection unit, so a
+	// single-medium partition or jam never partitions the network. Script
+	// and the stochastic injector apply to medium A; MediumBScript (if
+	// set) applies to medium B.
+	DualMedia     bool
+	MediumBScript Injector
+}
+
+// DefaultConfig returns the parameterization used throughout the paper's
+// operating envelope: 1 Mbit/s, Tb = 10 ms, Tm = 50 ms, j = 2.
+func DefaultConfig() Config {
+	return Config{
+		Rate:             can.Rate1Mbps,
+		Seed:             1,
+		Tb:               10 * time.Millisecond,
+		Ttd:              2 * time.Millisecond,
+		Tm:               50 * time.Millisecond,
+		TjoinWait:        120 * time.Millisecond,
+		Trha:             5 * time.Millisecond,
+		J:                2,
+		K:                4,
+		OmissionInterval: 100 * time.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("canely: bit rate must be positive")
+	}
+	fdCfg := fd.Config{Tb: c.Tb, Ttd: c.Ttd}
+	if err := fdCfg.Validate(); err != nil {
+		return err
+	}
+	mshCfg := membership.Config{
+		Tm:        c.Tm,
+		TjoinWait: c.TjoinWait,
+		RHA:       membership.RHAConfig{Trha: c.Trha, J: c.J},
+	}
+	return mshCfg.Validate()
+}
+
+// DetectionLatencyBound returns the worst-case crash-to-notification
+// latency under this configuration.
+func (c Config) DetectionLatencyBound() time.Duration {
+	return fd.Config{Tb: c.Tb, Ttd: c.Ttd}.DetectionLatency()
+}
+
+// Network is a simulated CANELy system: one bus (or two replicated media)
+// plus a set of nodes, each running the full protocol stack.
+type Network struct {
+	cfg   Config
+	sched *sim.Scheduler
+	bus   *bus.Bus
+	busB  *bus.Bus // second medium when cfg.DualMedia
+	tr    *trace.Trace
+	rng   *sim.RNG
+	nodes map[NodeID]*Node
+	order []NodeID
+}
+
+// NewNetwork builds a network with nodes 0..n-1 attached. Additional nodes
+// can be added with AddNode before the simulation starts.
+func NewNetwork(cfg Config, n int) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("canely: invalid config: %v", err))
+	}
+	sched := sim.NewScheduler()
+	tr := trace.New(func() sim.Time { return sched.Now() })
+	rng := sim.NewRNG(cfg.Seed)
+
+	var inj fault.Injector = fault.None{}
+	if cfg.PCorrupt > 0 || cfg.PInconsistent > 0 {
+		inj = fault.NewStochastic(rng.Split("fault"), cfg.PCorrupt, cfg.PInconsistent,
+			cfg.K, cfg.J, cfg.OmissionInterval)
+	}
+	if cfg.Script != nil {
+		inj = fault.Chain{cfg.Script, inj}
+	}
+
+	b := bus.New(sched, bus.Config{Rate: cfg.Rate, Injector: inj, Trace: tr})
+	net := &Network{
+		cfg:   cfg,
+		sched: sched,
+		bus:   b,
+		tr:    tr,
+		rng:   rng,
+		nodes: make(map[NodeID]*Node),
+	}
+	if cfg.DualMedia {
+		injB := fault.Injector(fault.None{})
+		if cfg.MediumBScript != nil {
+			injB = cfg.MediumBScript
+		}
+		net.busB = bus.New(sched, bus.Config{Rate: cfg.Rate, Injector: injB})
+	}
+	for i := 0; i < n; i++ {
+		net.AddNode(NodeID(i))
+	}
+	return net
+}
+
+// AddNode attaches a node with the full CANELy stack.
+func (n *Network) AddNode(id NodeID) *Node {
+	port := n.bus.Attach(id)
+	var ctrl canlayer.Controller = port
+	var dual *redundancy.DualPort
+	if n.busB != nil {
+		dual = redundancy.NewDualPort(n.sched, port, n.busB.Attach(id), 0)
+		ctrl = dual
+	}
+	layer := canlayer.New(ctrl)
+	fda := fd.NewFDA(layer)
+	det, err := fd.NewDetector(n.sched, layer, fda, fd.Config{Tb: n.cfg.Tb, Ttd: n.cfg.Ttd}, n.tr)
+	if err != nil {
+		panic(err)
+	}
+	msh, err := membership.New(n.sched, layer, det, membership.Config{
+		Tm:            n.cfg.Tm,
+		TjoinWait:     n.cfg.TjoinWait,
+		RHA:           membership.RHAConfig{Trha: n.cfg.Trha, J: n.cfg.J},
+		RHAEveryCycle: n.cfg.RHAEveryCycle,
+	}, n.tr)
+	if err != nil {
+		panic(err)
+	}
+	node := &Node{
+		id: id, net: n, port: port, dual: dual, layer: layer,
+		fda: fda, det: det, msh: msh,
+	}
+	n.nodes[id] = node
+	n.order = append(n.order, id)
+	return node
+}
+
+// Node returns the node with the given id, or nil.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Nodes returns all nodes in attach order.
+func (n *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(n.order))
+	for _, id := range n.order {
+		out = append(out, n.nodes[id])
+	}
+	return out
+}
+
+// BootstrapAll installs the pre-agreed view containing every attached node
+// and starts all protocol machinery.
+func (n *Network) BootstrapAll() {
+	var view NodeSet
+	for _, id := range n.order {
+		view = view.Add(id)
+	}
+	for _, id := range n.order {
+		n.nodes[id].msh.Bootstrap(view)
+	}
+}
+
+// Run advances the simulation by d of virtual time.
+func (n *Network) Run(d time.Duration) { n.sched.RunFor(d) }
+
+// Now returns the current virtual time as an offset from the start.
+func (n *Network) Now() time.Duration { return time.Duration(n.sched.Now()) }
+
+// Stats returns a snapshot of bus statistics.
+func (n *Network) Stats() BusStats { return n.bus.Stats() }
+
+// Trace returns the network-wide event trace.
+func (n *Network) Trace() *trace.Trace { return n.tr }
+
+// Scheduler exposes the simulation scheduler for advanced scripting
+// (scheduling application events at virtual instants).
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Rate returns the configured bus bit rate.
+func (n *Network) Rate() BitRate { return n.cfg.Rate }
+
+// Node is one CANELy site: the full protocol stack of Figure 5.
+type Node struct {
+	id    NodeID
+	net   *Network
+	port  *bus.Port
+	layer *canlayer.Layer
+	fda   *fd.FDA
+	det   *fd.Detector
+	msh   *membership.Protocol
+
+	dual    *redundancy.DualPort
+	tickers []*sim.Ticker
+	seq     uint8
+	sync    *clocksync.Synchronizer
+	grp     *groups.Service
+	ordered *edcan.Ordered
+}
+
+// ID returns the node identity.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// View returns the node's current site membership view (Rf).
+func (nd *Node) View() NodeSet { return nd.msh.View() }
+
+// Member reports whether the node is currently a full member.
+func (nd *Node) Member() bool { return nd.msh.Member() }
+
+// Bootstrap installs a pre-agreed initial view at this node and starts its
+// protocol machinery. All initial members must be bootstrapped with the
+// same view.
+func (nd *Node) Bootstrap(view NodeSet) { nd.msh.Bootstrap(view) }
+
+// Join requests integration into the set of active sites.
+func (nd *Node) Join() { nd.msh.Join() }
+
+// Leave requests withdrawal from the site membership view.
+func (nd *Node) Leave() { nd.msh.Leave() }
+
+// OnChange registers a membership change consumer (msh-can.nty).
+func (nd *Node) OnChange(fn func(Change)) { nd.msh.OnChange(fn) }
+
+// Crash fail-silences the node immediately (on both media under
+// DualMedia).
+func (nd *Node) Crash() {
+	for _, t := range nd.tickers {
+		t.Stop()
+	}
+	if nd.dual != nil {
+		nd.dual.Crash()
+		return
+	}
+	nd.port.Crash()
+}
+
+// Alive reports whether the node is operational: not crashed and not shut
+// down by fault confinement (bus-off). A bus-off node is weak-fail-silent:
+// its process may run on, but it can neither send nor receive, so from the
+// system's perspective it has failed and its local view is stale. Under
+// DualMedia the node is alive while at least one medium serves it.
+func (nd *Node) Alive() bool {
+	if nd.dual != nil {
+		return nd.dual.Operational()
+	}
+	return nd.port.Operational()
+}
+
+// ActiveMedium returns the index of the medium the node currently receives
+// from (always 0 without DualMedia).
+func (nd *Node) ActiveMedium() int {
+	if nd.dual == nil {
+		return 0
+	}
+	return nd.dual.Active()
+}
+
+// Send broadcasts one application data message on a stream. Application
+// traffic doubles as an implicit heartbeat (can-data.nty).
+func (nd *Node) Send(stream uint8, payload []byte) error {
+	nd.seq++
+	return nd.layer.DataReq(can.DataSign(stream, nd.id, nd.seq), payload)
+}
+
+// StartCyclicTraffic emits one application message on the stream every
+// period — the cyclic traffic pattern typical of CAN control applications,
+// which the failure detector exploits to avoid explicit life-signs.
+func (nd *Node) StartCyclicTraffic(stream uint8, period time.Duration, payload []byte) {
+	t := sim.NewTicker(nd.net.sched, func() {
+		if nd.Alive() {
+			_ = nd.Send(stream, payload)
+		}
+	})
+	// Stagger the first emission to avoid lock-step collisions.
+	first := nd.net.rng.Split(fmt.Sprintf("traffic/%d/%d", nd.id, stream)).Duration(period)
+	t.StartAt(first, period)
+	nd.tickers = append(nd.tickers, t)
+}
+
+// StopTraffic stops all cyclic traffic generators on the node.
+func (nd *Node) StopTraffic() {
+	for _, t := range nd.tickers {
+		t.Stop()
+	}
+	nd.tickers = nil
+}
+
+// LifeSigns returns how many explicit life-sign frames this node has
+// requested — the quantity the Figure 10 analysis calls b.
+func (nd *Node) LifeSigns() int { return nd.det.LifeSigns() }
+
+// ControllerState reports the node's fault-confinement state
+// ("error-active", "error-passive" or "bus-off").
+func (nd *Node) ControllerState() string { return nd.port.State().String() }
+
+// ErrorCounters returns the controller's transmit and receive error
+// counters (TEC, REC).
+func (nd *Node) ErrorCounters() (tec, rec int) { return nd.port.Counters() }
+
+// Monitoring reports whether the node currently surveils node r.
+func (nd *Node) Monitoring(r NodeID) bool { return nd.det.Monitoring(r) }
+
+// Cycles returns the number of completed membership cycles.
+func (nd *Node) Cycles() int { return nd.msh.Cycles }
+
+// EnableClockSync starts the CANELy clock synchronization service on this
+// node ([15]; the Figure 11 "tens of µs" row). drift is the node crystal's
+// fractional rate error (e.g. 100e-6 for +100 ppm); period is the round
+// period. The synchronization master is the lowest node in the agreed
+// membership view, so a master crash is healed by the membership service
+// with no extra election.
+func (nd *Node) EnableClockSync(drift float64, period time.Duration) error {
+	if nd.sync != nil {
+		return fmt.Errorf("canely: clock sync already enabled on %v", nd.id)
+	}
+	clock := clocksync.NewClock(nd.net.sched, drift, time.Microsecond)
+	master := func() NodeID {
+		ids := nd.msh.View().IDs()
+		if len(ids) == 0 {
+			return nd.id // not yet integrated: act alone
+		}
+		return ids[0]
+	}
+	s, err := clocksync.New(nd.net.sched, nd.layer, clock, master, clocksync.Config{Period: period})
+	if err != nil {
+		return err
+	}
+	nd.sync = s
+	s.Start()
+	return nil
+}
+
+// ClockNow returns the node's synchronized local clock reading.
+// EnableClockSync must have been called.
+func (nd *Node) ClockNow() time.Duration {
+	if nd.sync == nil {
+		panic("canely: clock sync not enabled")
+	}
+	return nd.sync.Clock().Now()
+}
+
+// EnableGroups starts the process-group membership service on this node:
+// group registrations travel over a RELCAN reliable broadcast and group
+// views are pruned by the site membership service (§6's motivating use).
+func (nd *Node) EnableGroups() error {
+	if nd.grp != nil {
+		return fmt.Errorf("canely: groups already enabled on %v", nd.id)
+	}
+	rel, err := edcan.NewRELCAN(nd.net.sched, nd.layer, edcan.RELCANConfig{
+		Timeout: 2 * nd.net.cfg.Ttd,
+		J:       nd.net.cfg.J,
+	})
+	if err != nil {
+		return err
+	}
+	nd.grp = groups.New(rel, nd.msh, nd.id)
+	return nil
+}
+
+// JoinGroup announces a local process joining a group. EnableGroups must
+// have been called.
+func (nd *Node) JoinGroup(g GroupID) error {
+	if nd.grp == nil {
+		return fmt.Errorf("canely: groups not enabled on %v", nd.id)
+	}
+	return nd.grp.Join(g)
+}
+
+// LeaveGroup announces the local process leaving a group.
+func (nd *Node) LeaveGroup(g GroupID) error {
+	if nd.grp == nil {
+		return fmt.Errorf("canely: groups not enabled on %v", nd.id)
+	}
+	return nd.grp.Leave(g)
+}
+
+// GroupView returns the agreed set of sites hosting members of a group.
+func (nd *Node) GroupView(g GroupID) NodeSet {
+	if nd.grp == nil {
+		return can.EmptySet
+	}
+	return nd.grp.View(g)
+}
+
+// OnGroupChange registers a group view change consumer.
+func (nd *Node) OnGroupChange(fn func(GroupChange)) {
+	if nd.grp == nil {
+		panic("canely: groups not enabled")
+	}
+	nd.grp.OnChange(fn)
+}
+
+// EnableOrderedBroadcast starts the TOTCAN-style totally ordered broadcast
+// service ([18]) with the given accept-deadline offset. Every node that
+// participates must enable it with the same delta.
+func (nd *Node) EnableOrderedBroadcast(delta time.Duration) error {
+	if nd.ordered != nil {
+		return fmt.Errorf("canely: ordered broadcast already enabled on %v", nd.id)
+	}
+	ord, err := edcan.NewOrdered(nd.net.sched, nd.layer, edcan.OrderedConfig{
+		Delta: delta,
+		J:     nd.net.cfg.J,
+	})
+	if err != nil {
+		return err
+	}
+	nd.ordered = ord
+	return nil
+}
+
+// OrderedBroadcast sends a payload (≤ 4 bytes) in network-wide total order.
+func (nd *Node) OrderedBroadcast(data []byte) error {
+	if nd.ordered == nil {
+		return fmt.Errorf("canely: ordered broadcast not enabled on %v", nd.id)
+	}
+	_, err := nd.ordered.Broadcast(data)
+	return err
+}
+
+// OnOrderedDeliver registers a total-order delivery consumer.
+func (nd *Node) OnOrderedDeliver(fn func(from NodeID, data []byte)) {
+	if nd.ordered == nil {
+		panic("canely: ordered broadcast not enabled")
+	}
+	nd.ordered.Deliver(func(origin can.NodeID, _ uint8, data []byte) {
+		fn(origin, data)
+	})
+}

@@ -1,0 +1,86 @@
+package canely
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosLongRunLiveness drives a network through two virtual seconds of
+// continuous churn under background fault injection and asserts liveness
+// and safety throughout: every join eventually lands, every leave
+// completes, views never diverge among members, and the system never
+// deadlocks into an empty view.
+func TestChaosLongRunLiveness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 2026
+	cfg.PCorrupt = 0.02
+	cfg.PInconsistent = 0.01
+	const core = 5    // permanent members
+	const churner = 5 // the node that cycles in and out
+	net := NewNetwork(cfg, core)
+	cyc := net.AddNode(churner)
+
+	var view NodeSet
+	for i := 0; i < core; i++ {
+		view = view.Add(NodeID(i))
+	}
+	for i := 0; i < core; i++ {
+		net.Node(NodeID(i)).Bootstrap(view)
+	}
+	for i := 0; i < core; i++ {
+		net.Node(NodeID(i)).StartCyclicTraffic(1, 4*time.Millisecond, []byte{1})
+	}
+
+	joins, leaves := 0, 0
+	for round := 0; round < 8; round++ {
+		cyc.Join()
+		net.Run(3 * cfg.Tm)
+		if !cyc.Member() {
+			// Background noise can delay a join by a retry cycle.
+			net.Run(2 * cfg.TjoinWait)
+		}
+		if !cyc.Member() {
+			t.Fatalf("round %d: churner never joined (view=%v)", round, cyc.View())
+		}
+		joins++
+		checkAgreement(t, net, round, "post-join")
+
+		cyc.Leave()
+		net.Run(3 * cfg.Tm)
+		if cyc.Member() {
+			t.Fatalf("round %d: churner never left", round)
+		}
+		leaves++
+		checkAgreement(t, net, round, "post-leave")
+		// The paper's reintegration precondition: wait >> Tm.
+		net.Run(4 * cfg.Tm)
+	}
+	if joins != 8 || leaves != 8 {
+		t.Fatalf("rounds incomplete: %d joins, %d leaves", joins, leaves)
+	}
+	// Core members survived the whole ordeal.
+	for i := 0; i < core; i++ {
+		if !net.Node(NodeID(i)).Member() {
+			t.Fatalf("core member %d lost membership", i)
+		}
+	}
+}
+
+func checkAgreement(t *testing.T, net *Network, round int, phase string) {
+	t.Helper()
+	var ref NodeSet
+	first := true
+	for _, nd := range net.Nodes() {
+		if !nd.Alive() || !nd.Member() {
+			continue
+		}
+		if first {
+			ref, first = nd.View(), false
+		} else if nd.View() != ref {
+			t.Fatalf("round %d %s: views diverge: %v vs %v", round, phase, nd.View(), ref)
+		}
+	}
+	if first {
+		t.Fatalf("round %d %s: no members", round, phase)
+	}
+}

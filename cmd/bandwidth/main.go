@@ -1,0 +1,62 @@
+// Command bandwidth regenerates Figure 10 of the paper: CAN bandwidth
+// utilization of the site membership protocol suite as a function of the
+// membership cycle period Tm, for the four operating regimes (no changes /
+// f crash failures / single join-leave / multiple join-leave).
+//
+// By default it prints the analytical worst-case model in both frame
+// formats (the paper analyzed standard 11-bit frames; this repository's
+// stack runs on extended 29-bit frames). With -measured it also runs the
+// full-stack simulation at every point (n=32, b=8, f=4, c=20).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"canely/internal/analysis"
+	"canely/internal/can"
+	"canely/internal/experiments"
+)
+
+func main() {
+	var (
+		measured = flag.Bool("measured", false, "also measure from full-stack simulation")
+		seed     = flag.Int64("seed", 1, "simulation seed for -measured")
+		tmLo     = flag.Duration("tm-min", 30*time.Millisecond, "smallest Tm")
+		tmHi     = flag.Duration("tm-max", 90*time.Millisecond, "largest Tm")
+		tmStep   = flag.Duration("tm-step", 10*time.Millisecond, "Tm increment")
+	)
+	flag.Parse()
+
+	var tms []time.Duration
+	for tm := *tmLo; tm <= *tmHi; tm += *tmStep {
+		tms = append(tms, tm)
+	}
+
+	fmt.Println("Figure 10 — CAN bandwidth utilization by the site membership protocols")
+	fmt.Println("Operating conditions: n=32, b=8, f=4, c in {0,1,20}, 1 Mbit/s")
+	fmt.Println()
+	fmt.Println("Analytical worst case, standard (11-bit) frames — the paper's plot:")
+	std := analysis.DefaultModel()
+	fmt.Print(analysis.FormatFigure10(analysis.Figure10(std, tms)))
+	fmt.Println()
+	fmt.Println("Analytical worst case, extended (29-bit) frames — this stack's wire format:")
+	ext := std
+	ext.Format = can.FormatExtended
+	fmt.Print(analysis.FormatFigure10(analysis.Figure10(ext, tms)))
+	fmt.Println()
+	fmt.Printf("Footnote 11 check: each join/leave request adds %.2f%% at Tm=30ms (paper: ~0.16%%)\n",
+		100*std.PerRequestDelta(30*time.Millisecond))
+
+	if *measured {
+		fmt.Println()
+		fmt.Println("Measured from full-stack simulation (vs extended-format analysis):")
+		cfg := experiments.DefaultFigure10Config()
+		cfg.Seed = *seed
+		fmt.Print(experiments.FormatFigure10(experiments.MeasureFigure10(cfg, tms)))
+		fmt.Println()
+		fmt.Println("Churn sweep at Tm=50ms (footnote 11's marginal request cost, measured):")
+		fmt.Print(experiments.FormatChurn(experiments.MeasureChurnSweep(nil, 50*time.Millisecond, *seed)))
+	}
+}

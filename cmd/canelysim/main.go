@@ -1,0 +1,154 @@
+// Command canelysim runs a CANELy scenario on the simulated bus and prints
+// the event trace, the final membership views and the bus statistics.
+//
+// Scenario events are given as comma-separated "id@offset" items, e.g.
+//
+//	canelysim -nodes 5 -duration 500ms -crash 2@100ms -join 5@200ms
+//
+// crashes node 2 at t=100ms and has a sixth node join at t=200ms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"canely"
+)
+
+type event struct {
+	node canely.NodeID
+	at   time.Duration
+}
+
+// parseEvents parses "id@offset[,id@offset...]".
+func parseEvents(spec string) ([]event, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []event
+	for _, item := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(item), "@", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("malformed event %q (want id@offset)", item)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad node id in %q: %v", item, err)
+		}
+		at, err := time.ParseDuration(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad offset in %q: %v", item, err)
+		}
+		out = append(out, event{canely.NodeID(id), at})
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 4, "number of initially bootstrapped nodes")
+		duration = flag.Duration("duration", 500*time.Millisecond, "virtual time to simulate")
+		tm       = flag.Duration("tm", 50*time.Millisecond, "membership cycle period Tm")
+		tb       = flag.Duration("tb", 10*time.Millisecond, "heartbeat period Tb")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		pCorrupt = flag.Float64("pcorrupt", 0, "per-transmission consistent corruption probability")
+		pIncons  = flag.Float64("pincons", 0, "per-transmission inconsistent omission probability")
+		crashes  = flag.String("crash", "", "crash events, id@offset[,...]")
+		joins    = flag.String("join", "", "join events, id@offset[,...] (ids beyond -nodes are created)")
+		leaves   = flag.String("leave", "", "leave events, id@offset[,...]")
+		traffic  = flag.Duration("traffic", 0, "cyclic application traffic period (0 = none)")
+		dual     = flag.Bool("dualmedia", false, "replicated media with reception by selection")
+		showAll  = flag.Bool("trace", false, "dump the full event trace")
+	)
+	flag.Parse()
+
+	cfg := canely.DefaultConfig()
+	cfg.Tm = *tm
+	cfg.Tb = *tb
+	cfg.Seed = *seed
+	cfg.PCorrupt = *pCorrupt
+	cfg.PInconsistent = *pIncons
+	cfg.DualMedia = *dual
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "invalid configuration:", err)
+		os.Exit(2)
+	}
+
+	crashEvents, err := parseEvents(*crashes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	joinEvents, err := parseEvents(*joins)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	leaveEvents, err := parseEvents(*leaves)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	net := canely.NewNetwork(cfg, *nodes)
+	for _, e := range joinEvents {
+		if net.Node(e.node) == nil {
+			net.AddNode(e.node)
+		}
+	}
+	// Bootstrap only the base nodes; join-event nodes integrate later.
+	var view canely.NodeSet
+	for i := 0; i < *nodes; i++ {
+		view = view.Add(canely.NodeID(i))
+	}
+	for i := 0; i < *nodes; i++ {
+		net.Node(canely.NodeID(i)).Bootstrap(view)
+	}
+	if *traffic > 0 {
+		for _, nd := range net.Nodes() {
+			nd.StartCyclicTraffic(1, *traffic, []byte{0xCA, 0xFE})
+		}
+	}
+
+	sched := net.Scheduler()
+	for _, e := range crashEvents {
+		e := e
+		sched.After(e.at, func() { net.Node(e.node).Crash() })
+	}
+	for _, e := range joinEvents {
+		e := e
+		sched.After(e.at, func() { net.Node(e.node).Join() })
+	}
+	for _, e := range leaveEvents {
+		e := e
+		sched.After(e.at, func() { net.Node(e.node).Leave() })
+	}
+
+	net.Run(*duration)
+
+	if *showAll {
+		net.Trace().Dump(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Println("=== event summary ===")
+	fmt.Print(net.Trace().Summary())
+	fmt.Println("\n=== final views ===")
+	for _, nd := range net.Nodes() {
+		status := "member"
+		switch {
+		case !nd.Alive():
+			status = "crashed"
+		case !nd.Member():
+			status = "not a member"
+		}
+		fmt.Printf("  %v: %-14s view=%v life-signs=%d\n", nd.ID(), status, nd.View(), nd.LifeSigns())
+	}
+	fmt.Println("\n=== bus statistics ===")
+	fmt.Print(net.Stats())
+	u := net.Stats().Utilization(net.Rate(), net.Now())
+	fmt.Printf("overall bus utilization: %.2f%% over %v\n", 100*u, net.Now())
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseEvents(t *testing.T) {
+	evs, err := parseEvents("2@100ms, 5@1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].node != 2 || evs[0].at != 100*time.Millisecond {
+		t.Fatalf("first = %+v", evs[0])
+	}
+	if evs[1].node != 5 || evs[1].at != time.Second {
+		t.Fatalf("second = %+v", evs[1])
+	}
+}
+
+func TestParseEventsEmpty(t *testing.T) {
+	evs, err := parseEvents("")
+	if err != nil || evs != nil {
+		t.Fatalf("empty spec: %v %v", evs, err)
+	}
+}
+
+func TestParseEventsErrors(t *testing.T) {
+	for _, spec := range []string{"2", "x@1s", "2@notaduration", "2@"} {
+		if _, err := parseEvents(spec); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command compare regenerates the attribute comparison tables of the
+// paper: Figure 1 (TTP vs standard CAN) and Figure 11 (TTP vs CAN vs
+// CANELy), including the computed cells — the inaccessibility bounds from
+// the scenario enumeration of [22] and the membership latency measured on
+// the simulated CANELy stack.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"canely/internal/analysis"
+	"canely/internal/can"
+	"canely/internal/experiments"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 10, "membership latency measurement trials")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	fmt.Print(analysis.Figure1())
+	fmt.Println()
+
+	in := analysis.DefaultFigure11Inputs()
+	lat := experiments.MeasureMembershipLatency(*trials, *seed)
+	in.MembershipLatency = lat.Max()
+	fmt.Print(analysis.Figure11(in))
+	fmt.Println()
+
+	fmt.Println("Inaccessibility scenario enumeration (after [22]):")
+	fmt.Println()
+	fmt.Println("Native CAN:")
+	fmt.Print(analysis.CANInaccessibility().FormatScenarios())
+	fmt.Println()
+	fmt.Println("CANELy (inaccessibility control bounds the retransmission burst):")
+	fmt.Print(analysis.CANELyInaccessibility().FormatScenarios())
+	fmt.Println()
+	fmt.Printf("Measured membership latency over %d crash trials: %v\n", *trials, &lat)
+
+	fmt.Println()
+	fmt.Println("MCAN4 response-time analysis of the protocol traffic (after [20]),")
+	fmt.Println("8 nodes, Tb=10ms, Tm=50ms, 1 Mbit/s, CANELy inaccessibility charged:")
+	_, hi := analysis.CANELyInaccessibility().Bounds()
+	res, err := analysis.ResponseTimes(
+		analysis.CANELyMessageSet(8, 10*time.Millisecond, 50*time.Millisecond),
+		can.Rate1Mbps, can.FormatExtended, can.Rate1Mbps.DurationOf(hi))
+	if err != nil {
+		fmt.Println("analysis failed:", err)
+		return
+	}
+	fmt.Print(analysis.FormatResponseTimes(res))
+}

@@ -1,0 +1,58 @@
+// Quickstart: bring up a five-node CANELy network, watch the membership
+// service at work — steady state, a node crash detected and agreed within
+// tens of milliseconds, and a new node joining the view.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"canely"
+)
+
+func main() {
+	cfg := canely.DefaultConfig()
+	net := canely.NewNetwork(cfg, 5)
+
+	// Subscribe to membership change notifications on node 0.
+	net.Node(0).OnChange(func(c canely.Change) {
+		if !c.Failed.Empty() {
+			fmt.Printf("[%8v] node 0: membership change — failed=%v, active=%v\n",
+				net.Now(), c.Failed, c.Active)
+			return
+		}
+		fmt.Printf("[%8v] node 0: membership change — active=%v\n", net.Now(), c.Active)
+	})
+
+	// Install the pre-agreed initial view and run to steady state.
+	net.BootstrapAll()
+	net.Run(100 * time.Millisecond)
+	fmt.Printf("[%8v] steady state: view at node 0 = %v\n", net.Now(), net.Node(0).View())
+
+	// Kill node 3. Its silence is noticed within Tb+Ttd, the failure-sign
+	// is diffused by the FDA micro-protocol, and every correct node agrees.
+	fmt.Printf("[%8v] crashing node 3\n", net.Now())
+	net.Node(3).Crash()
+	net.Run(cfg.DetectionLatencyBound() + cfg.Tm)
+	fmt.Printf("[%8v] after detection: view at node 0 = %v\n", net.Now(), net.Node(0).View())
+
+	// A sixth node joins: the RHA micro-protocol agrees on the new view at
+	// the next membership cycle.
+	joiner := net.AddNode(5)
+	fmt.Printf("[%8v] node 5 requests to join\n", net.Now())
+	joiner.Join()
+	net.Run(2 * cfg.Tm)
+	fmt.Printf("[%8v] after join: view at node 0 = %v, node 5 member = %t\n",
+		net.Now(), net.Node(0).View(), joiner.Member())
+
+	// Every correct node holds the same view — that is the service.
+	fmt.Println("\nfinal views:")
+	for _, nd := range net.Nodes() {
+		if nd.Alive() {
+			fmt.Printf("  %v: %v\n", nd.ID(), nd.View())
+		}
+	}
+	st := net.Stats()
+	fmt.Printf("\nbus: %d frames, %.2f%% utilization over %v\n",
+		st.FramesOK, 100*st.Utilization(net.Rate(), net.Now()), net.Now())
+}

@@ -1,0 +1,70 @@
+// Timesync: the CANELy clock synchronization service ([15]; Figure 11's
+// "tens of µs" row) working hand in hand with the membership service.
+// Four nodes with realistically drifting crystals synchronize to within
+// tens of microseconds; when the synchronization master crashes, the
+// membership change hands the role to the next node with no election.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"canely"
+)
+
+func main() {
+	cfg := canely.DefaultConfig()
+	net := canely.NewNetwork(cfg, 4)
+	net.BootstrapAll()
+
+	// Crystals with rate errors up to ±120 ppm.
+	drifts := []float64{120e-6, -80e-6, 40e-6, -10e-6}
+	for i, nd := range net.Nodes() {
+		if err := nd.EnableClockSync(drifts[i], 100*time.Millisecond); err != nil {
+			panic(err)
+		}
+	}
+
+	spread := func() time.Duration {
+		var lo, hi time.Duration
+		first := true
+		for _, nd := range net.Nodes() {
+			if !nd.Alive() {
+				continue
+			}
+			v := nd.ClockNow()
+			if first {
+				lo, hi, first = v, v, false
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return hi - lo
+	}
+
+	fmt.Println("clock spread among alive nodes (virtual time):")
+	for i := 0; i < 5; i++ {
+		net.Run(200 * time.Millisecond)
+		fmt.Printf("  [%8v] spread = %v\n", net.Now(), spread())
+	}
+
+	fmt.Printf("\n[%8v] crashing the synchronization master (node 0)\n", net.Now())
+	net.Node(0).Crash()
+	net.Run(cfg.DetectionLatencyBound() + cfg.Tm)
+	fmt.Printf("[%8v] membership removed it: view = %v\n", net.Now(), net.Node(1).View())
+	fmt.Println("           node 1 is now master by the same deterministic rule")
+
+	for i := 0; i < 5; i++ {
+		net.Run(200 * time.Millisecond)
+		fmt.Printf("  [%8v] spread = %v\n", net.Now(), spread())
+	}
+	if s := spread(); s > 60*time.Microsecond {
+		panic(fmt.Sprintf("spread %v escaped the tens-of-µs envelope", s))
+	}
+	fmt.Println("\nprecision held through the master failover — no election protocol needed.")
+}

@@ -1,0 +1,3 @@
+module canely
+
+go 1.22

@@ -1,0 +1,107 @@
+package canely
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestGroupsIntegration(t *testing.T) {
+	cfg := DefaultConfig()
+	net := NewNetwork(cfg, 4)
+	for _, nd := range net.Nodes() {
+		if err := nd.EnableGroups(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.BootstrapAll()
+	net.Run(10 * time.Millisecond)
+
+	g := GroupID(9)
+	if err := net.Node(1).JoinGroup(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Node(2).JoinGroup(g); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(20 * time.Millisecond)
+	want := MakeSet(1, 2)
+	for _, nd := range net.Nodes() {
+		if nd.GroupView(g) != want {
+			t.Fatalf("node %v group view = %v, want %v", nd.ID(), nd.GroupView(g), want)
+		}
+	}
+
+	// Crash one member site: group views shrink consistently.
+	net.Node(2).Crash()
+	net.Run(cfg.DetectionLatencyBound() + cfg.Tm)
+	for _, nd := range net.Nodes() {
+		if !nd.Alive() {
+			continue
+		}
+		if nd.GroupView(g) != MakeSet(1) {
+			t.Fatalf("node %v group view = %v after crash", nd.ID(), nd.GroupView(g))
+		}
+	}
+}
+
+func TestGroupsRequireEnable(t *testing.T) {
+	net := NewNetwork(DefaultConfig(), 2)
+	net.BootstrapAll()
+	if err := net.Node(0).JoinGroup(1); err == nil {
+		t.Fatal("JoinGroup without EnableGroups accepted")
+	}
+	if !net.Node(0).GroupView(1).Empty() {
+		t.Fatal("GroupView without enable should be empty")
+	}
+	if err := net.Node(0).EnableGroups(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Node(0).EnableGroups(); err == nil {
+		t.Fatal("double EnableGroups accepted")
+	}
+}
+
+func TestOrderedBroadcastIntegration(t *testing.T) {
+	cfg := DefaultConfig()
+	net := NewNetwork(cfg, 3)
+	logs := make([][]string, 3)
+	for i, nd := range net.Nodes() {
+		if err := nd.EnableOrderedBroadcast(5 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		nd.OnOrderedDeliver(func(from NodeID, data []byte) {
+			logs[i] = append(logs[i], fmt.Sprintf("%v:%s", from, data))
+		})
+	}
+	net.BootstrapAll()
+	net.Run(5 * time.Millisecond)
+	net.Node(0).OrderedBroadcast([]byte("a"))
+	net.Node(1).OrderedBroadcast([]byte("b"))
+	net.Run(20 * time.Millisecond)
+	if len(logs[0]) != 2 {
+		t.Fatalf("deliveries = %v", logs[0])
+	}
+	for i := 1; i < 3; i++ {
+		for k := range logs[0] {
+			if logs[i][k] != logs[0][k] {
+				t.Fatalf("order differs: %v vs %v", logs[i], logs[0])
+			}
+		}
+	}
+}
+
+func TestOrderedBroadcastRequireEnable(t *testing.T) {
+	net := NewNetwork(DefaultConfig(), 2)
+	net.BootstrapAll()
+	if err := net.Node(0).OrderedBroadcast([]byte{1}); err == nil {
+		t.Fatal("OrderedBroadcast without enable accepted")
+	}
+	if err := net.Node(0).EnableOrderedBroadcast(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Node(0).EnableOrderedBroadcast(time.Millisecond); err == nil {
+		t.Fatal("double enable accepted")
+	}
+}

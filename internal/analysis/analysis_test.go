@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"canely/internal/can"
+)
+
+func TestFigure10ShapeAndMagnitudes(t *testing.T) {
+	m := DefaultModel()
+	rows := Figure10(m, nil)
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (Tm=30..90)", len(rows))
+	}
+	// Paper calibration points at Tm = 30 ms:
+	//   bottom curve (no changes) ~1.5%; top curve (c=20) ~13%.
+	at30 := rows[0]
+	if at30.Tm != 30*time.Millisecond {
+		t.Fatalf("first row Tm = %v", at30.Tm)
+	}
+	u0 := at30.Utilization[SeriesNoChanges]
+	if u0 < 0.010 || u0 > 0.020 {
+		t.Fatalf("no-changes @30ms = %.4f, want ~0.015", u0)
+	}
+	uTop := at30.Utilization[SeriesMultiJoinLeave]
+	if uTop < 0.10 || uTop > 0.16 {
+		t.Fatalf("multi join/leave @30ms = %.4f, want ~0.13", uTop)
+	}
+	// Curve ordering must match the figure at every x: no-changes <
+	// f crashes < single join/leave < multiple join/leave.
+	for _, r := range rows {
+		for s := SeriesNoChanges; s < SeriesMultiJoinLeave; s++ {
+			if r.Utilization[s] >= r.Utilization[s+1] {
+				t.Fatalf("ordering violated at Tm=%v: %v", r.Tm, r.Utilization)
+			}
+		}
+	}
+	// Each curve decays as 1/Tm: value at 90 ms is a third of 30 ms.
+	at90 := rows[len(rows)-1]
+	for s := SeriesNoChanges; s <= SeriesMultiJoinLeave; s++ {
+		ratio := at30.Utilization[s] / at90.Utilization[s]
+		if ratio < 2.9 || ratio > 3.1 {
+			t.Fatalf("series %v not 1/Tm: 30ms/90ms = %.3f", s, ratio)
+		}
+	}
+}
+
+func TestPerRequestDeltaMatchesFootnote(t *testing.T) {
+	// Footnote 11: each join/leave request adds ~0.16% at Tm = 30 ms.
+	m := DefaultModel()
+	d := m.PerRequestDelta(30 * time.Millisecond)
+	if d < 0.0014 || d > 0.0020 {
+		t.Fatalf("per-request delta = %.5f, want ~0.0016", d)
+	}
+}
+
+func TestBandwidthComponentsPositiveAndMonotone(t *testing.T) {
+	m := DefaultModel()
+	if m.LifeSignBits() <= 0 || m.FDABits() <= 0 {
+		t.Fatal("components must be positive")
+	}
+	if m.RHABits(0) != 0 {
+		t.Fatal("no requests -> RHA skipped (zero bits)")
+	}
+	if m.RHABits(1) > m.RHABits(5) {
+		t.Fatal("RHA cost must not decrease with request count")
+	}
+	if m.JoinLeaveBits(1) >= m.JoinLeaveBits(20) {
+		t.Fatal("join/leave cost must grow with c")
+	}
+}
+
+func TestExtendedFormatCostsMore(t *testing.T) {
+	std := DefaultModel()
+	ext := DefaultModel()
+	ext.Format = can.FormatExtended
+	for s := SeriesNoChanges; s <= SeriesMultiJoinLeave; s++ {
+		if ext.Utilization(30*time.Millisecond, s) <= std.Utilization(30*time.Millisecond, s) {
+			t.Fatalf("extended frames must cost more (series %v)", s)
+		}
+	}
+}
+
+func TestFormatFigure10(t *testing.T) {
+	out := FormatFigure10(Figure10(DefaultModel(), nil))
+	if !strings.Contains(out, "no msh. changes") || !strings.Contains(out, "30ms") {
+		t.Fatalf("table = %q", out)
+	}
+	if strings.Count(out, "\n") != 8 {
+		t.Fatalf("table lines = %d", strings.Count(out, "\n"))
+	}
+}
+
+func TestInaccessibilityBoundsMatchFigure11(t *testing.T) {
+	lo, hi := CANInaccessibility().Bounds()
+	if lo != 14 || hi != 2880 {
+		t.Fatalf("CAN bounds = %d-%d, paper reports 14-2880", lo, hi)
+	}
+	lo, hi = CANELyInaccessibility().Bounds()
+	if lo != 14 || hi != 2160 {
+		t.Fatalf("CANELy bounds = %d-%d, paper reports 14-2160", lo, hi)
+	}
+}
+
+func TestInaccessibilityScenarioOrdering(t *testing.T) {
+	sc := CANInaccessibility().Scenarios()
+	for i := 1; i < len(sc); i++ {
+		if sc[i].Bits < sc[i-1].Bits {
+			t.Fatalf("scenarios not ordered: %v", sc)
+		}
+	}
+	if !strings.Contains(CANInaccessibility().FormatScenarios(), "error burst") {
+		t.Fatal("scenario table incomplete")
+	}
+}
+
+func TestInaccessibilityBoundsAt(t *testing.T) {
+	lo, hi := CANInaccessibility().BoundsAt(can.Rate1Mbps)
+	if lo != 14*time.Microsecond {
+		t.Fatalf("lo = %v", lo)
+	}
+	if hi != 2880*time.Microsecond {
+		t.Fatalf("hi = %v", hi)
+	}
+}
+
+func TestFigure1Table(t *testing.T) {
+	tab := Figure1()
+	s := tab.String()
+	for _, want := range []string{"TTP", "Standard CAN", "Membership service", "bus guardian"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Figure 1 missing %q:\n%s", want, s)
+		}
+	}
+	for _, r := range tab.Rows {
+		if len(r.Cells) != len(tab.Columns) {
+			t.Fatalf("row %q has %d cells", r.Parameter, len(r.Cells))
+		}
+	}
+}
+
+func TestFigure11Table(t *testing.T) {
+	tab := Figure11(DefaultFigure11Inputs())
+	s := tab.String()
+	for _, want := range []string{"14 - 2880 bit-times", "14 - 2160 bit-times", "CANELy", "tens of us"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Figure 11 missing %q:\n%s", want, s)
+		}
+	}
+	for _, r := range tab.Rows {
+		if len(r.Cells) != 3 {
+			t.Fatalf("row %q has %d cells", r.Parameter, len(r.Cells))
+		}
+	}
+}
+
+func TestRelatedWorkLatencies(t *testing.T) {
+	m := DefaultRelatedWork()
+	// §6.6: OSEK detection "in the order of one second".
+	osek := m.OSEKLatency()
+	if osek < 500*time.Millisecond || osek > 2*time.Second {
+		t.Fatalf("OSEK latency = %v, want order of 1s", osek)
+	}
+	// CANELy: "tens of ms" (Figure 11).
+	ely := m.CANELyLatency()
+	if ely > 50*time.Millisecond {
+		t.Fatalf("CANELy latency = %v, want tens of ms", ely)
+	}
+	if ely >= m.CANopenLatency() || m.CANopenLatency() >= osek {
+		t.Fatalf("ordering: CANELy %v < CANopen %v < OSEK %v expected",
+			ely, m.CANopenLatency(), osek)
+	}
+	if !strings.Contains(m.FormatRelatedWork(), "OSEK") {
+		t.Fatal("related-work table incomplete")
+	}
+}
+
+func TestBitTimeAt(t *testing.T) {
+	if BitTimeAt(100, can.Rate1Mbps) != 100*time.Microsecond {
+		t.Fatal("BitTimeAt wrong")
+	}
+}

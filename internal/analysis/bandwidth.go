@@ -1,0 +1,225 @@
+// Package analysis reproduces the analytical evaluation of the paper: the
+// CAN bandwidth utilization of the site membership protocol suite
+// (Figure 10), the inaccessibility bounds and attribute comparisons of
+// Figures 1 and 11, and the related-work latency models of §6.6.
+//
+// The bandwidth model follows the paper's "very conservative approach":
+// multiple events occur in the same period of reference, every
+// micro-protocol consumes its maximum bandwidth (protocol and
+// network-related overheads included), and extremely harsh operating
+// conditions are assumed.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"canely/internal/can"
+)
+
+// BandwidthModel is the worst-case bandwidth analysis of §6.5 / [16].
+type BandwidthModel struct {
+	// N is the network size (paper: n = 32).
+	N int
+	// B is the number of nodes issuing explicit life-sign messages in the
+	// reference period (paper: b = 8; the rest signal implicitly).
+	B int
+	// F is the number of node crash failures per cycle (paper: f = 4).
+	F int
+	// J is the inconsistent omission degree bound (LCAN4).
+	J int
+	// K is the omission degree bound (MCAN3), charged as error-frame
+	// overhead against each failure's diffusion.
+	K int
+	// Rate is the bus bit rate (paper: 1 Mbit/s).
+	Rate can.BitRate
+	// Format selects frame sizing. The paper's analysis uses standard
+	// (11-bit) frames; this repository's simulator uses extended frames
+	// because the CANELy mid needs 29 bits. Both shapes are reproduced.
+	Format can.FrameFormat
+}
+
+// DefaultModel returns the operating conditions of Figure 10.
+func DefaultModel() BandwidthModel {
+	return BandwidthModel{
+		N:      32,
+		B:      8,
+		F:      4,
+		J:      2,
+		K:      4,
+		Rate:   can.Rate1Mbps,
+		Format: can.FormatStandard,
+	}
+}
+
+// signSlotBits is the wire cost of one remote-frame protocol sign
+// (life-sign, failure-sign, join/leave request), worst-case stuffed,
+// interframe space included.
+func (m BandwidthModel) signSlotBits() int {
+	return can.WorstSlotBits(m.Format, 0)
+}
+
+// rhvSlotBits is the wire cost of one RHV broadcast: a data frame carrying
+// the 8-byte reception history vector.
+func (m BandwidthModel) rhvSlotBits() int {
+	return can.WorstSlotBits(m.Format, 8)
+}
+
+// errorSlotBits is the recovery overhead of one omission: a worst-case
+// error frame plus the following intermission.
+func (m BandwidthModel) errorSlotBits() int {
+	return can.ErrorFrameMaxBits + can.InterframeBits
+}
+
+// LifeSignBits is the per-cycle cost of explicit node activity signalling:
+// at most B life-sign remote frames.
+func (m BandwidthModel) LifeSignBits() int {
+	return m.B * m.signSlotBits()
+}
+
+// FDABits is the worst-case cost of one failure-sign diffusion: the
+// original transmission, the clustered eager re-diffusion wave, one further
+// wave per tolerated inconsistent omission, and error-frame overhead for
+// each of those inconsistencies.
+func (m BandwidthModel) FDABits() int {
+	frames := 2 + m.J
+	return frames*m.signSlotBits() + m.J*m.errorSlotBits()
+}
+
+// RHABits is the worst-case cost of one RHA execution agreeing on c
+// join/leave requests. Inconsistent deliveries of the requests produce
+// divergent initial vectors; their number is bounded by the inconsistent
+// omission degree, so at most min(c,J)+1 distinct RHVs circulate, and each
+// value is transmitted at most J+1 times before the duplicate-suppression
+// bound aborts further copies.
+func (m BandwidthModel) RHABits(c int) int {
+	if c <= 0 {
+		return 0
+	}
+	distinct := c
+	if distinct > m.J {
+		distinct = m.J
+	}
+	distinct++ // the agreed base vector
+	return distinct * (m.J + 1) * m.rhvSlotBits()
+}
+
+// JoinLeaveBits is the per-cycle cost of c join/leave requests: the request
+// remote frames plus the RHA execution that agrees on them.
+func (m BandwidthModel) JoinLeaveBits(c int) int {
+	if c <= 0 {
+		return 0
+	}
+	return c*m.signSlotBits() + m.RHABits(c)
+}
+
+// Series identifies the four curves of Figure 10.
+type Series int
+
+// Figure 10 series.
+const (
+	// SeriesNoChanges: no crash failures and no join/leave events — only
+	// explicit life-signs consume bandwidth.
+	SeriesNoChanges Series = iota
+	// SeriesCrashFailures: F nodes fail within the cycle (FDA runs).
+	SeriesCrashFailures
+	// SeriesJoinLeave: one join/leave event on top of the failures (c=1).
+	SeriesJoinLeave
+	// SeriesMultiJoinLeave: a massive number of join/leaves (c=20).
+	SeriesMultiJoinLeave
+)
+
+// String names the series as in the figure's legend.
+func (s Series) String() string {
+	switch s {
+	case SeriesNoChanges:
+		return "no msh. changes"
+	case SeriesCrashFailures:
+		return "f crash failures"
+	case SeriesJoinLeave:
+		return "join/leave event"
+	default:
+		return "multiple join/leave"
+	}
+}
+
+// MultiJoinLeaveCount is the c=20 regime of Figure 10.
+const MultiJoinLeaveCount = 20
+
+// CycleBits returns the worst-case protocol bits consumed in one
+// membership cycle for a series.
+func (m BandwidthModel) CycleBits(s Series) int {
+	bits := m.LifeSignBits()
+	switch s {
+	case SeriesNoChanges:
+	case SeriesCrashFailures:
+		bits += m.F * m.FDABits()
+	case SeriesJoinLeave:
+		bits += m.F*m.FDABits() + m.JoinLeaveBits(1)
+	case SeriesMultiJoinLeave:
+		bits += m.F*m.FDABits() + m.JoinLeaveBits(MultiJoinLeaveCount)
+	}
+	return bits
+}
+
+// Utilization returns the fraction of bus bandwidth the membership suite
+// consumes over a cycle period tm.
+func (m BandwidthModel) Utilization(tm time.Duration, s Series) float64 {
+	window := m.Rate.Bits(tm)
+	if window <= 0 {
+		return 0
+	}
+	return float64(m.CycleBits(s)) / float64(window)
+}
+
+// PerRequestDelta returns the marginal utilization of one additional
+// join/leave request — the footnote 11 quantity (≈0.16% at Tm = 30 ms).
+func (m BandwidthModel) PerRequestDelta(tm time.Duration) float64 {
+	window := m.Rate.Bits(tm)
+	if window <= 0 {
+		return 0
+	}
+	return float64(m.signSlotBits()) / float64(window)
+}
+
+// Figure10Row is one x-axis point of the reproduced figure.
+type Figure10Row struct {
+	Tm          time.Duration
+	Utilization [4]float64 // indexed by Series
+}
+
+// Figure10 evaluates the model over the paper's x-axis (Tm = 30..90 ms).
+func Figure10(m BandwidthModel, tms []time.Duration) []Figure10Row {
+	if len(tms) == 0 {
+		for tm := 30; tm <= 90; tm += 10 {
+			tms = append(tms, time.Duration(tm)*time.Millisecond)
+		}
+	}
+	rows := make([]Figure10Row, 0, len(tms))
+	for _, tm := range tms {
+		var r Figure10Row
+		r.Tm = tm
+		for s := SeriesNoChanges; s <= SeriesMultiJoinLeave; s++ {
+			r.Utilization[s] = m.Utilization(tm, s)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FormatFigure10 renders the rows as the table behind the figure.
+func FormatFigure10(rows []Figure10Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %18s %18s %18s %20s\n", "Tm",
+		SeriesNoChanges, SeriesCrashFailures, SeriesJoinLeave, SeriesMultiJoinLeave)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10v %17.2f%% %17.2f%% %17.2f%% %19.2f%%\n",
+			r.Tm,
+			100*r.Utilization[SeriesNoChanges],
+			100*r.Utilization[SeriesCrashFailures],
+			100*r.Utilization[SeriesJoinLeave],
+			100*r.Utilization[SeriesMultiJoinLeave])
+	}
+	return sb.String()
+}

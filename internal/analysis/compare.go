@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/core/fd"
+)
+
+// ComparisonRow is one attribute of the TTP / CAN / CANELy comparison
+// tables (Figures 1 and 11).
+type ComparisonRow struct {
+	Parameter string
+	Cells     []string
+}
+
+// ComparisonTable is a rendered attribute table.
+type ComparisonTable struct {
+	Title   string
+	Columns []string
+	Rows    []ComparisonRow
+}
+
+// String renders the table with aligned columns.
+func (t ComparisonTable) String() string {
+	width := len(t.Title)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", t.Title, strings.Repeat("=", width))
+	fmt.Fprintf(&sb, "%-28s", "Parameter")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, " | %-24s", c)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 28+len(t.Columns)*27))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-28s", r.Parameter)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&sb, " | %-24s", c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure1 reproduces the TTP vs standard CAN comparison.
+func Figure1() ComparisonTable {
+	return ComparisonTable{
+		Title:   "Figure 1 - Comparison of TTP and CAN",
+		Columns: []string{"TTP", "Standard CAN"},
+		Rows: []ComparisonRow{
+			{"Error detection domains", []string{"value and time", "value domain"}},
+			{"Omission handling", []string{"masking", "detection/recovery"}},
+			{"", []string{"frame diffusion", "frame retransmission"}},
+			{"Media redundancy", []string{"no", "no"}},
+			{"Channel redundancy", []string{"yes", "no"}},
+			{"Babbling idiot avoidance", []string{"bus guardian", "not provided"}},
+			{"Communications", []string{"broadcast", "broadcast"}},
+			{"Membership service", []string{"provided", "not provided"}},
+			{"Clock synchronization", []string{"in us range", "not provided"}},
+		},
+	}
+}
+
+// Figure11Inputs carries the measured/derived quantities of Figure 11.
+type Figure11Inputs struct {
+	// CANInaccess and CANELyInaccess are the inaccessibility bounds in bit
+	// times, from the scenario enumeration.
+	CANInaccess    [2]int
+	CANELyInaccess [2]int
+	// MembershipLatency is the CANELy node failure detection plus
+	// membership notification latency (measured or bounded).
+	MembershipLatency time.Duration
+}
+
+// DefaultFigure11Inputs derives the inputs analytically from the default
+// configuration (Tb = 10 ms, Ttd = 2 ms, 1 Mbit/s).
+func DefaultFigure11Inputs() Figure11Inputs {
+	canLo, canHi := CANInaccessibility().Bounds()
+	elyLo, elyHi := CANELyInaccessibility().Bounds()
+	lat := fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}.DetectionLatency()
+	return Figure11Inputs{
+		CANInaccess:       [2]int{canLo, canHi},
+		CANELyInaccess:    [2]int{elyLo, elyHi},
+		MembershipLatency: lat,
+	}
+}
+
+// Figure11 reproduces the TTP / CAN / CANELy comparison with the computed
+// cells filled in.
+func Figure11(in Figure11Inputs) ComparisonTable {
+	return ComparisonTable{
+		Title:   "Figure 11 - Comparison of TTP, CAN and CANELy",
+		Columns: []string{"TTP", "CAN", "CANELy"},
+		Rows: []ComparisonRow{
+			{"Omission handling", []string{"masking", "detection/recovery", "both algorithms"}},
+			{"", []string{"diffusion", "retransmission", ""}},
+			{"Inaccessibility duration", []string{
+				"unknown",
+				fmt.Sprintf("%d - %d bit-times", in.CANInaccess[0], in.CANInaccess[1]),
+				fmt.Sprintf("%d - %d bit-times", in.CANELyInaccess[0], in.CANELyInaccess[1]),
+			}},
+			{"Inaccessibility control", []string{"not addressed", "no", "yes"}},
+			{"Media redundancy", []string{"no", "no", "yes"}},
+			{"Channel redundancy", []string{"yes", "no", "yes (optional)"}},
+			{"Babbling idiot avoidance", []string{"bus guardian", "not provided", "not provided"}},
+			{"Communications", []string{"broadcast", "broadcast", "broadcast/multicast"}},
+			{"Membership", []string{"provided", "not provided",
+				fmt.Sprintf("%v latency (tens of ms)", in.MembershipLatency)}},
+			{"Clock synch. precision", []string{"in us range", "not provided", "tens of us"}},
+		},
+	}
+}
+
+// RelatedWorkModel captures the §6.6 latency comparison between CANELy's
+// failure detection and the industry-standard alternatives.
+type RelatedWorkModel struct {
+	// N is the network size.
+	N int
+	// CANELy is the failure-detection parameterization.
+	CANELy fd.Config
+	// OSEKTTyp is the typical interval between consecutive ring messages
+	// in OSEK NM (each alive node forwards the logical-ring token TTyp
+	// after receiving it).
+	OSEKTTyp time.Duration
+	// OSEKTMax is the ring-message timeout after which a successor is
+	// skipped and the skipped node deemed absent.
+	OSEKTMax time.Duration
+	// CANopenGuardTime and CANopenLifeFactor parameterize CANopen node
+	// guarding: a slave is lost after LifeFactor missed guard requests.
+	CANopenGuardTime  time.Duration
+	CANopenLifeFactor int
+}
+
+// DefaultRelatedWork returns the §6.6 reference operating point.
+func DefaultRelatedWork() RelatedWorkModel {
+	return RelatedWorkModel{
+		N:                 8,
+		CANELy:            fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond},
+		OSEKTTyp:          100 * time.Millisecond,
+		OSEKTMax:          260 * time.Millisecond,
+		CANopenGuardTime:  100 * time.Millisecond,
+		CANopenLifeFactor: 2,
+	}
+}
+
+// CANELyLatency is the worst-case failure detection latency of the CANELy
+// suite: the remote surveillance window plus failure-sign diffusion.
+func (m RelatedWorkModel) CANELyLatency() time.Duration {
+	return m.CANELy.DetectionLatency()
+}
+
+// OSEKLatency is the worst-case detection latency of the OSEK NM logical
+// ring: the token must travel the whole ring before the silent node's slot
+// comes up, and only after TMax is the node skipped. For the reference
+// values this lands "in the order of one second", as §6.6 reports.
+func (m RelatedWorkModel) OSEKLatency() time.Duration {
+	return time.Duration(m.N-1)*m.OSEKTTyp + m.OSEKTMax
+}
+
+// CANopenLatency is the worst-case detection latency of CANopen
+// master-slave node guarding: the master declares a slave lost after
+// LifeFactor consecutive unanswered guard requests — and only the master
+// learns it directly.
+func (m RelatedWorkModel) CANopenLatency() time.Duration {
+	return time.Duration(m.CANopenLifeFactor+1) * m.CANopenGuardTime
+}
+
+// FormatRelatedWork renders the §6.6 comparison.
+func (m RelatedWorkModel) FormatRelatedWork() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-34s %14s  %s\n", "scheme", "worst-case", "notes")
+	fmt.Fprintf(&sb, "%-34s %14v  %s\n", "CANELy failure detection",
+		m.CANELyLatency(), "distributed, consistent (FDA)")
+	fmt.Fprintf(&sb, "%-34s %14v  %s\n", "OSEK NM logical ring",
+		m.OSEKLatency(), "distributed, ring rotation bound")
+	fmt.Fprintf(&sb, "%-34s %14v  %s\n", "CANopen node guarding",
+		m.CANopenLatency(), "centralized, master only")
+	return sb.String()
+}
+
+// BitTimeAt converts bit times to duration for presentation.
+func BitTimeAt(bits int, r can.BitRate) time.Duration { return r.DurationOf(bits) }

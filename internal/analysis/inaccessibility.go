@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"canely/internal/can"
+)
+
+// Inaccessibility analysis, after [22] ("How hard is hard real-time
+// communication on field-buses?"): periods where the network refrains from
+// providing service while remaining operational. Figure 11 of the paper
+// reports the resulting bounds: 14–2880 bit times for standard CAN and
+// 14–2160 bit times under CANELy's inaccessibility control.
+
+// InaccessibilityParams parameterizes the scenario enumeration.
+type InaccessibilityParams struct {
+	// Format and DataBytes size the longest frame involved in recovery.
+	Format    can.FrameFormat
+	DataBytes int
+	// Retries bounds the consecutive error-recovery retransmissions of a
+	// single frame. Native CAN allows the transmit error counter to climb
+	// from 0 to the error-passive limit (128) in steps of 8 while staying
+	// fully active: 16 back-to-back attempts. CANELy's inaccessibility
+	// control [22,16] bounds the burst to 12 attempts, trading residual
+	// omission coverage for a tighter worst case.
+	Retries int
+}
+
+// CANInaccessibility returns the native CAN worst-case parameters
+// (29-bit frames, 8 data bytes, 16 back-to-back attempts).
+func CANInaccessibility() InaccessibilityParams {
+	return InaccessibilityParams{Format: can.FormatExtended, DataBytes: 8, Retries: 16}
+}
+
+// CANELyInaccessibility returns the parameters under CANELy's
+// inaccessibility control (burst bounded to 12 attempts).
+func CANELyInaccessibility() InaccessibilityParams {
+	return InaccessibilityParams{Format: can.FormatExtended, DataBytes: 8, Retries: 12}
+}
+
+// InaccessibilityScenario is one enumerated inaccessibility event.
+type InaccessibilityScenario struct {
+	Name string
+	Bits int
+}
+
+// Scenarios enumerates the inaccessibility events from shortest to longest.
+func (p InaccessibilityParams) Scenarios() []InaccessibilityScenario {
+	frame := can.WorstFrameBits(p.Format, p.DataBytes)
+	errMin := can.ErrorFrameMinBits
+	errMax := can.ErrorFrameMaxBits
+	cycle := frame + errMax + can.InterframeBits
+	return []InaccessibilityScenario{
+		{
+			// A single bit error detected at the end of a frame: the bus
+			// carries only the error frame before service resumes.
+			Name: "bit error, active error frame",
+			Bits: errMin,
+		},
+		{
+			Name: "bit error, superposed error flags",
+			Bits: errMax,
+		},
+		{
+			// A reactive overload frame delays the next start of frame.
+			Name: "overload frame",
+			Bits: can.OverloadFrameMaxBits + can.InterframeBits,
+		},
+		{
+			// The longest frame destroyed by an error at its last bit:
+			// the whole frame is wasted plus the recovery signalling.
+			Name: "longest frame destroyed at last bit",
+			Bits: cycle,
+		},
+		{
+			// The worst case: an error burst destroys every back-to-back
+			// retransmission attempt of the longest frame until the
+			// fault-confinement bound stops the burst.
+			Name: fmt.Sprintf("error burst over %d retransmissions", p.Retries),
+			Bits: p.Retries * cycle,
+		},
+	}
+}
+
+// Bounds returns the (min, max) inaccessibility duration in bit times.
+func (p InaccessibilityParams) Bounds() (minBits, maxBits int) {
+	sc := p.Scenarios()
+	minBits, maxBits = sc[0].Bits, sc[0].Bits
+	for _, s := range sc[1:] {
+		if s.Bits < minBits {
+			minBits = s.Bits
+		}
+		if s.Bits > maxBits {
+			maxBits = s.Bits
+		}
+	}
+	return minBits, maxBits
+}
+
+// BoundsAt converts the bounds to durations at a bit rate.
+func (p InaccessibilityParams) BoundsAt(r can.BitRate) (time.Duration, time.Duration) {
+	lo, hi := p.Bounds()
+	return r.DurationOf(lo), r.DurationOf(hi)
+}
+
+// FormatScenarios renders the enumeration as a table.
+func (p InaccessibilityParams) FormatScenarios() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-45s %10s\n", "scenario", "bit times")
+	for _, s := range p.Scenarios() {
+		fmt.Fprintf(&sb, "%-45s %10d\n", s.Name, s.Bits)
+	}
+	return sb.String()
+}

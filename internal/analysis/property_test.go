@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"canely/internal/can"
+)
+
+// Property: frame sizing is strictly monotone in payload size, and
+// extended frames always cost more than standard ones.
+func TestFrameSizingMonotoneProperty(t *testing.T) {
+	for data := 1; data <= can.MaxData; data++ {
+		for _, f := range []can.FrameFormat{can.FormatStandard, can.FormatExtended} {
+			if can.WorstFrameBits(f, data) <= can.WorstFrameBits(f, data-1) {
+				t.Fatalf("%v frame bits not monotone at %d bytes", f, data)
+			}
+		}
+		if can.WorstFrameBits(can.FormatExtended, data) <= can.WorstFrameBits(can.FormatStandard, data) {
+			t.Fatalf("extended not larger than standard at %d bytes", data)
+		}
+	}
+}
+
+// Property: bandwidth utilization decreases monotonically in Tm and
+// increases monotonically in each load parameter.
+func TestBandwidthModelMonotoneProperty(t *testing.T) {
+	prop := func(bRaw, fRaw, jRaw uint8) bool {
+		m := DefaultModel()
+		m.B = int(bRaw%16) + 1
+		m.F = int(fRaw%8) + 1
+		m.J = int(jRaw % 4)
+		u30 := m.Utilization(30*time.Millisecond, SeriesMultiJoinLeave)
+		u60 := m.Utilization(60*time.Millisecond, SeriesMultiJoinLeave)
+		if u30 <= u60 {
+			return false
+		}
+		// More life-sign nodes cost more.
+		m2 := m
+		m2.B = m.B + 1
+		if m2.Utilization(30*time.Millisecond, SeriesNoChanges) <=
+			m.Utilization(30*time.Millisecond, SeriesNoChanges) {
+			return false
+		}
+		// More failures cost more.
+		m3 := m
+		m3.F = m.F + 1
+		return m3.Utilization(30*time.Millisecond, SeriesCrashFailures) >
+			m.Utilization(30*time.Millisecond, SeriesCrashFailures)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inaccessibility worst case scales linearly with the
+// retransmission bound, with the same minimum.
+func TestInaccessibilityScalingProperty(t *testing.T) {
+	prop := func(rRaw uint8) bool {
+		r := int(rRaw%30) + 1
+		p := InaccessibilityParams{Format: can.FormatExtended, DataBytes: 8, Retries: r}
+		lo, hi := p.Bounds()
+		if lo != can.ErrorFrameMinBits {
+			return false
+		}
+		cycle := can.WorstFrameBits(can.FormatExtended, 8) + can.ErrorFrameMaxBits + can.InterframeBits
+		return hi == r*cycle
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in a response-time analysis, a higher-priority message never
+// has a larger queuing delay than a lower-priority one of the same shape.
+func TestResponseTimePriorityOrderProperty(t *testing.T) {
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		msgs := make([]Message, 0, n)
+		for i := 0; i < n; i++ {
+			msgs = append(msgs, Message{
+				Name:      string(rune('a' + i)),
+				Priority:  i + 1,
+				Period:    10 * time.Millisecond,
+				DataBytes: 8,
+			})
+		}
+		res, err := ResponseTimes(msgs, can.Rate1Mbps, can.FormatStandard, 0)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res); i++ {
+			if res[i].W < res[i-1].W {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding inaccessibility never reduces any response time.
+func TestResponseTimeInaccessibilityMonotoneProperty(t *testing.T) {
+	msgs := CANELyMessageSet(8, 10*time.Millisecond, 50*time.Millisecond)
+	base, err := ResponseTimes(msgs, can.Rate1Mbps, can.FormatExtended, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tina := range []time.Duration{100 * time.Microsecond, 2160 * time.Microsecond} {
+		loaded, err := ResponseTimes(msgs, can.Rate1Mbps, can.FormatExtended, tina)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if loaded[i].R < base[i].R {
+				t.Fatalf("inaccessibility reduced R for %s", base[i].Message.Name)
+			}
+		}
+	}
+}

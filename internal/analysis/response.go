@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"canely/internal/can"
+)
+
+// Response-time analysis for CAN after Tindell & Burns [20] ("Guaranteeing
+// message latencies on Controller Area Network"), the analysis the paper's
+// MCAN4 property (bounded transmission delay Ttd = Tqueue + Ttx + Tina)
+// rests on. Given a static message set with unique priorities, the worst
+// case queuing delay of each message is the longest priority-level busy
+// period: blocking by one lower-priority frame already on the wire, plus
+// interference from every higher-priority stream, plus the worst-case
+// inaccessibility.
+
+// Message is one periodic message stream in the analyzed set.
+type Message struct {
+	// Name labels the stream in reports.
+	Name string
+	// Priority orders arbitration: lower value wins. Must be unique.
+	Priority int
+	// Period is the minimum inter-arrival time.
+	Period time.Duration
+	// DataBytes sizes the frame (0..8); Remote marks a data-less remote
+	// frame.
+	DataBytes int
+	Remote    bool
+}
+
+// wireTime returns the worst-case transmission time of the message's
+// frame, interframe space included.
+func (m Message) wireTime(rate can.BitRate, format can.FrameFormat) time.Duration {
+	data := m.DataBytes
+	if m.Remote {
+		data = 0
+	}
+	return rate.DurationOf(can.WorstSlotBits(format, data))
+}
+
+// ResponseResult is the analysis outcome for one message.
+type ResponseResult struct {
+	Message Message
+	// C is the frame transmission time, B the blocking term, W the worst
+	// queuing delay and R = W + C the worst-case response time.
+	C, B, W, R time.Duration
+	// Schedulable reports whether R fits within the message's period.
+	Schedulable bool
+}
+
+// ResponseTimes runs the analysis over a message set. tina is the
+// worst-case inaccessibility charged to every busy period (use the
+// Inaccessibility bounds for the chosen fault assumptions; zero for a
+// fault-free analysis).
+func ResponseTimes(msgs []Message, rate can.BitRate, format can.FrameFormat, tina time.Duration) ([]ResponseResult, error) {
+	if len(msgs) == 0 {
+		return nil, fmt.Errorf("analysis: empty message set")
+	}
+	seen := map[int]bool{}
+	for _, m := range msgs {
+		if m.Period <= 0 {
+			return nil, fmt.Errorf("analysis: message %q needs a positive period", m.Name)
+		}
+		if m.DataBytes < 0 || m.DataBytes > can.MaxData {
+			return nil, fmt.Errorf("analysis: message %q data size %d out of range", m.Name, m.DataBytes)
+		}
+		if seen[m.Priority] {
+			return nil, fmt.Errorf("analysis: duplicate priority %d", m.Priority)
+		}
+		seen[m.Priority] = true
+	}
+	ordered := append([]Message(nil), msgs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Priority < ordered[j].Priority })
+
+	bit := rate.BitTime()
+	out := make([]ResponseResult, 0, len(ordered))
+	for i, m := range ordered {
+		res := ResponseResult{Message: m, C: m.wireTime(rate, format)}
+		// Blocking: the longest lower-priority frame that may already be
+		// on the wire, plus the inaccessibility allowance.
+		for _, lp := range ordered[i+1:] {
+			if c := lp.wireTime(rate, format); c > res.B {
+				res.B = c
+			}
+		}
+		res.B += tina
+
+		// Busy-period iteration.
+		w := res.B
+		horizon := 10 * m.Period
+		for iter := 0; ; iter++ {
+			next := res.B
+			for _, hp := range ordered[:i] {
+				c := hp.wireTime(rate, format)
+				n := (w + bit + hp.Period - 1) / hp.Period
+				next += time.Duration(n) * c
+			}
+			if next == w {
+				break
+			}
+			w = next
+			if w > horizon || iter > 10000 {
+				// Unschedulable at this priority level.
+				w = horizon
+				break
+			}
+		}
+		res.W = w
+		res.R = w + res.C
+		res.Schedulable = res.R <= m.Period && res.W < 10*m.Period
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CANELyMessageSet returns the protocol message streams of the CANELy
+// suite for a network of n nodes with heartbeat period tb and membership
+// cycle tm, ready to be merged with the application's own streams. The
+// protocol streams hold the top priorities, as the mid encoding enforces.
+func CANELyMessageSet(n int, tb, tm time.Duration) []Message {
+	set := []Message{
+		{Name: "FDA failure-sign", Priority: 1, Period: tm, Remote: true},
+		{Name: "RHA vector", Priority: 2, Period: tm, DataBytes: 8},
+		{Name: "JOIN/LEAVE", Priority: 3, Period: tm, Remote: true},
+	}
+	// One life-sign stream per node, each with period Tb; their mutual
+	// priority order follows the node identifier in the mid encoding.
+	for i := 0; i < maxInt(1, n); i++ {
+		set = append(set, Message{
+			Name:     fmt.Sprintf("ELS n%02d", i),
+			Priority: 4 + i,
+			Period:   tb,
+			Remote:   true,
+		})
+	}
+	return set
+}
+
+// DeriveTtd computes the MCAN4 bound for the CANELy protocol traffic given
+// the application streams sharing the bus: the worst response time over
+// the protocol messages, inaccessibility included. This is the value to
+// configure as Config.Ttd.
+func DeriveTtd(appMsgs []Message, n int, tb, tm time.Duration, rate can.BitRate, inacc InaccessibilityParams) (time.Duration, error) {
+	set := CANELyMessageSet(n, tb, tm)
+	base := 100
+	for _, m := range appMsgs {
+		m.Priority += base
+		set = append(set, m)
+	}
+	_, hiBits := inacc.Bounds()
+	results, err := ResponseTimes(set, rate, can.FormatExtended, rate.DurationOf(hiBits))
+	if err != nil {
+		return 0, err
+	}
+	var worst time.Duration
+	for _, r := range results {
+		if r.Message.Priority < base {
+			if !r.Schedulable {
+				return 0, fmt.Errorf("analysis: protocol stream %q unschedulable (R=%v > T=%v)",
+					r.Message.Name, r.R, r.Message.Period)
+			}
+			if r.R > worst {
+				worst = r.R
+			}
+		}
+	}
+	return worst, nil
+}
+
+// FormatResponseTimes renders the analysis as a table.
+func FormatResponseTimes(results []ResponseResult) string {
+	out := fmt.Sprintf("%-22s %5s %10s %10s %10s %6s\n", "message", "prio", "C", "R", "period", "ok")
+	for _, r := range results {
+		ok := "yes"
+		if !r.Schedulable {
+			ok = "NO"
+		}
+		out += fmt.Sprintf("%-22s %5d %10v %10v %10v %6s\n",
+			r.Message.Name, r.Message.Priority, r.C, r.R, r.Message.Period, ok)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"canely/internal/can"
+)
+
+func TestResponseTimesHandExample(t *testing.T) {
+	// Two standard 8-byte streams at 1 Mbit/s: C = 135 µs each
+	// (108 nominal + 24 stuff + 3 IFS bits).
+	msgs := []Message{
+		{Name: "A", Priority: 1, Period: 10 * time.Millisecond, DataBytes: 8},
+		{Name: "B", Priority: 2, Period: 10 * time.Millisecond, DataBytes: 8},
+	}
+	res, err := ResponseTimes(msgs, can.Rate1Mbps, can.FormatStandard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := 135 * time.Microsecond
+	// A: blocked by one B frame, no higher interference: R = C_B + C_A.
+	if res[0].C != c || res[0].B != c || res[0].R != 2*c {
+		t.Fatalf("A: C=%v B=%v R=%v, want C=B=%v R=%v", res[0].C, res[0].B, res[0].R, c, 2*c)
+	}
+	// B: no blocking (lowest), one interference hit from A.
+	if res[1].B != 0 || res[1].R != 2*c {
+		t.Fatalf("B: B=%v R=%v, want B=0 R=%v", res[1].B, res[1].R, 2*c)
+	}
+	for _, r := range res {
+		if !r.Schedulable {
+			t.Fatalf("%s unschedulable", r.Message.Name)
+		}
+	}
+}
+
+func TestResponseTimesInterferenceGrowsWithLoad(t *testing.T) {
+	base := []Message{
+		{Name: "hi", Priority: 1, Period: time.Millisecond, DataBytes: 8},
+		{Name: "probe", Priority: 10, Period: 20 * time.Millisecond, DataBytes: 8},
+	}
+	loaded := append([]Message{
+		{Name: "hi2", Priority: 2, Period: time.Millisecond, DataBytes: 8},
+	}, base...)
+	r1, err := ResponseTimes(base, can.Rate1Mbps, can.FormatStandard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ResponseTimes(loaded, can.Rate1Mbps, can.FormatStandard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe1 := r1[len(r1)-1]
+	probe2 := r2[len(r2)-1]
+	if probe2.R <= probe1.R {
+		t.Fatalf("more load should worsen the probe: %v vs %v", probe1.R, probe2.R)
+	}
+}
+
+func TestResponseTimesInaccessibilityAddsToBlocking(t *testing.T) {
+	msgs := []Message{{Name: "only", Priority: 1, Period: 10 * time.Millisecond, Remote: true}}
+	without, _ := ResponseTimes(msgs, can.Rate1Mbps, can.FormatExtended, 0)
+	with, _ := ResponseTimes(msgs, can.Rate1Mbps, can.FormatExtended, 2880*time.Microsecond)
+	delta := with[0].R - without[0].R
+	if delta != 2880*time.Microsecond {
+		t.Fatalf("inaccessibility delta = %v, want 2.88ms", delta)
+	}
+}
+
+func TestResponseTimesDetectsOverload(t *testing.T) {
+	// A 1 Mbit/s bus cannot carry an 8-byte frame every 100 µs (C=135µs).
+	msgs := []Message{
+		{Name: "storm", Priority: 1, Period: 100 * time.Microsecond, DataBytes: 8},
+		{Name: "victim", Priority: 2, Period: 50 * time.Millisecond, DataBytes: 8},
+	}
+	res, err := ResponseTimes(msgs, can.Rate1Mbps, can.FormatStandard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Schedulable {
+		t.Fatal("victim under a storm should be unschedulable")
+	}
+}
+
+func TestResponseTimesValidation(t *testing.T) {
+	if _, err := ResponseTimes(nil, can.Rate1Mbps, can.FormatStandard, 0); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	dup := []Message{
+		{Name: "a", Priority: 1, Period: time.Millisecond},
+		{Name: "b", Priority: 1, Period: time.Millisecond},
+	}
+	if _, err := ResponseTimes(dup, can.Rate1Mbps, can.FormatStandard, 0); err == nil {
+		t.Fatal("duplicate priorities accepted")
+	}
+	bad := []Message{{Name: "a", Priority: 1}}
+	if _, err := ResponseTimes(bad, can.Rate1Mbps, can.FormatStandard, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	badData := []Message{{Name: "a", Priority: 1, Period: time.Millisecond, DataBytes: 9}}
+	if _, err := ResponseTimes(badData, can.Rate1Mbps, can.FormatStandard, 0); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestDeriveTtd(t *testing.T) {
+	app := []Message{
+		{Name: "sensor", Priority: 1, Period: 5 * time.Millisecond, DataBytes: 4},
+		{Name: "actuator", Priority: 2, Period: 10 * time.Millisecond, DataBytes: 2},
+	}
+	ttd, err := DeriveTtd(app, 32, 10*time.Millisecond, 50*time.Millisecond,
+		can.Rate1Mbps, CANELyInaccessibility())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ttd must cover at least the inaccessibility bound (2.16 ms) plus
+	// frame times, and stay well under the membership cycle.
+	if ttd < 2200*time.Microsecond {
+		t.Fatalf("Ttd = %v implausibly low", ttd)
+	}
+	if ttd > 10*time.Millisecond {
+		t.Fatalf("Ttd = %v implausibly high for this load", ttd)
+	}
+}
+
+func TestDeriveTtdRejectsOverload(t *testing.T) {
+	app := []Message{
+		{Name: "storm", Priority: 1, Period: 50 * time.Microsecond, DataBytes: 8},
+	}
+	// The storm outranks even the protocol traffic after the offset?
+	// No — protocol traffic keeps the top priorities, so it still wins
+	// arbitration. Overload must instead show up when the protocol
+	// periods cannot absorb the inaccessibility; use a tiny Tb to force
+	// an ELS stream faster than the bus can carry.
+	if _, err := DeriveTtd(app, 64, 200*time.Microsecond, 50*time.Millisecond,
+		can.Rate50Kbps, CANInaccessibility()); err == nil {
+		t.Fatal("unschedulable protocol stream not reported")
+	}
+}
+
+func TestFormatResponseTimes(t *testing.T) {
+	res, err := ResponseTimes(CANELyMessageSet(8, 10*time.Millisecond, 50*time.Millisecond),
+		can.Rate1Mbps, can.FormatExtended, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatResponseTimes(res)
+	if !strings.Contains(out, "FDA failure-sign") || !strings.Contains(out, "yes") {
+		t.Fatalf("format = %q", out)
+	}
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseMessageSet reads a message-set specification, one message per line:
+//
+//	name priority period bytes [rtr]
+//
+// e.g.
+//
+//	engine-speed   10  5ms   4
+//	guard-poll     20  100ms 0  rtr
+//
+// Blank lines and lines starting with '#' are ignored. Fields are
+// whitespace-separated; the period uses Go duration syntax.
+func ParseMessageSet(r io.Reader) ([]Message, error) {
+	var out []Message
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields) > 5 {
+			return nil, fmt.Errorf("analysis: line %d: want 'name prio period bytes [rtr]', got %q", lineNo, line)
+		}
+		prio, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("analysis: line %d: bad priority %q: %v", lineNo, fields[1], err)
+		}
+		period, err := time.ParseDuration(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("analysis: line %d: bad period %q: %v", lineNo, fields[2], err)
+		}
+		bytes, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("analysis: line %d: bad byte count %q: %v", lineNo, fields[3], err)
+		}
+		m := Message{Name: fields[0], Priority: prio, Period: period, DataBytes: bytes}
+		if len(fields) == 5 {
+			if fields[4] != "rtr" {
+				return nil, fmt.Errorf("analysis: line %d: unknown flag %q", lineNo, fields[4])
+			}
+			m.Remote = true
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("analysis: reading message set: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: empty message set")
+	}
+	return out, nil
+}

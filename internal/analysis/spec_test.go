@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"canely/internal/can"
+)
+
+func TestParseMessageSet(t *testing.T) {
+	spec := `
+# application streams
+engine-speed   10  5ms   4
+brake-status   11  10ms  2
+
+guard-poll     20  100ms 0  rtr
+`
+	msgs, err := ParseMessageSet(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	if msgs[0].Name != "engine-speed" || msgs[0].Priority != 10 ||
+		msgs[0].Period != 5*time.Millisecond || msgs[0].DataBytes != 4 || msgs[0].Remote {
+		t.Fatalf("first = %+v", msgs[0])
+	}
+	if !msgs[2].Remote {
+		t.Fatal("rtr flag lost")
+	}
+}
+
+func TestParseMessageSetErrors(t *testing.T) {
+	for name, spec := range map[string]string{
+		"too few fields": "a 1 5ms",
+		"bad priority":   "a x 5ms 4",
+		"bad period":     "a 1 fivems 4",
+		"bad bytes":      "a 1 5ms x",
+		"unknown flag":   "a 1 5ms 4 wat",
+		"empty":          "# nothing\n",
+	} {
+		if _, err := ParseMessageSet(strings.NewReader(spec)); err == nil {
+			t.Fatalf("%s: accepted %q", name, spec)
+		}
+	}
+}
+
+func TestParseMessageSetFeedsAnalysis(t *testing.T) {
+	spec := "a 1 5ms 8\nb 2 10ms 8\n"
+	msgs, err := ParseMessageSet(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ResponseTimes(msgs, can.Rate1Mbps, can.FormatStandard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || !res[0].Schedulable {
+		t.Fatalf("analysis on parsed set failed: %+v", res)
+	}
+}

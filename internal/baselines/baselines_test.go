@@ -1,0 +1,246 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/sim"
+)
+
+type rig struct {
+	sched  *sim.Scheduler
+	bus    *bus.Bus
+	ports  []*bus.Port
+	layers []*canlayer.Layer
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	s := sim.NewScheduler()
+	b := bus.New(s, bus.Config{})
+	r := &rig{sched: s, bus: b}
+	for i := 0; i < n; i++ {
+		p := b.Attach(can.NodeID(i))
+		r.ports = append(r.ports, p)
+		r.layers = append(r.layers, canlayer.New(p))
+	}
+	return r
+}
+
+func TestOSEKRingRotates(t *testing.T) {
+	r := newRig(t, 4)
+	ring := can.MakeSet(0, 1, 2, 3)
+	cfg := DefaultOSEKConfig()
+	var nodes []*OSEKNode
+	for _, l := range r.layers {
+		n, err := NewOSEKNode(r.sched, l, ring, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	// Two full rotations: 8 ring messages in ~800 ms.
+	r.sched.RunUntil(sim.Time(850 * time.Millisecond))
+	total := 0
+	for _, n := range nodes {
+		total += n.RingMessages
+	}
+	if total < 8 || total > 9 {
+		t.Fatalf("ring messages = %d, want ~8 over two rotations", total)
+	}
+	for i, n := range nodes {
+		if n.RingMessages < 2 {
+			t.Fatalf("node %d forwarded only %d times", i, n.RingMessages)
+		}
+	}
+}
+
+func TestOSEKDetectsCrashedSuccessor(t *testing.T) {
+	r := newRig(t, 4)
+	ring := can.MakeSet(0, 1, 2, 3)
+	cfg := DefaultOSEKConfig()
+	var nodes []*OSEKNode
+	var absences []struct {
+		detector int
+		gone     can.NodeID
+		at       sim.Time
+	}
+	for i, l := range r.layers {
+		n, err := NewOSEKNode(r.sched, l, ring, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		n.OnAbsent(func(gone can.NodeID) {
+			absences = append(absences, struct {
+				detector int
+				gone     can.NodeID
+				at       sim.Time
+			}{i, gone, r.sched.Now()})
+		})
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	r.sched.RunUntil(sim.Time(150 * time.Millisecond))
+	crashAt := r.sched.Now()
+	r.ports[2].Crash()
+	r.sched.RunUntil(sim.Time(2 * time.Second))
+
+	if len(absences) == 0 {
+		t.Fatal("crashed node never detected")
+	}
+	first := absences[0]
+	if first.gone != 2 || first.detector != 1 {
+		t.Fatalf("first absence = %+v, want node 1 detecting node 2", first)
+	}
+	latency := first.at.Sub(crashAt)
+	// §6.6: worst case ~ (n-1)*TTyp + TMax; must be far above CANELy's
+	// tens of ms and below the model bound.
+	bound := time.Duration(3)*cfg.TTyp + cfg.TMax + 10*time.Millisecond
+	if latency > bound {
+		t.Fatalf("OSEK latency %v exceeds bound %v", latency, bound)
+	}
+	if latency < 100*time.Millisecond {
+		t.Fatalf("OSEK latency %v implausibly low", latency)
+	}
+	// The ring keeps rotating over the survivors.
+	before := nodes[0].RingMessages
+	r.sched.RunUntil(sim.Time(3 * time.Second))
+	if nodes[0].RingMessages <= before {
+		t.Fatal("ring stalled after reconfiguration")
+	}
+	if nodes[1].Present().Contains(2) {
+		t.Fatal("detector still lists the crashed node")
+	}
+}
+
+func TestOSEKSingleSurvivorSelfToken(t *testing.T) {
+	r := newRig(t, 2)
+	ring := can.MakeSet(0, 1)
+	var nodes []*OSEKNode
+	for _, l := range r.layers {
+		n, err := NewOSEKNode(r.sched, l, ring, DefaultOSEKConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	r.sched.RunUntil(sim.Time(50 * time.Millisecond))
+	r.ports[1].Crash()
+	r.sched.RunUntil(sim.Time(2 * time.Second))
+	if nodes[0].Present() != can.MakeSet(0) {
+		t.Fatalf("survivor ring = %v", nodes[0].Present())
+	}
+}
+
+func TestOSEKConfigValidation(t *testing.T) {
+	if (OSEKConfig{}).Validate() == nil {
+		t.Fatal("zero config accepted")
+	}
+	r := newRig(t, 1)
+	if _, err := NewOSEKNode(r.sched, r.layers[0], can.MakeSet(5), DefaultOSEKConfig()); err == nil {
+		t.Fatal("ring without local node accepted")
+	}
+}
+
+func TestCANopenGuardingHappyPath(t *testing.T) {
+	r := newRig(t, 4)
+	master, err := NewCANopenMaster(r.sched, r.layers[0], []can.NodeID{1, 2, 3}, DefaultCANopenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		NewCANopenSlave(r.layers[i])
+	}
+	master.Start()
+	r.sched.RunUntil(sim.Time(time.Second))
+	if !master.Lost().Empty() {
+		t.Fatalf("false losses: %v", master.Lost())
+	}
+	if master.GuardRequests < 27 {
+		t.Fatalf("guard requests = %d, want ~30 (3 slaves x 10 rounds)", master.GuardRequests)
+	}
+}
+
+func TestCANopenDetectsCrashedSlave(t *testing.T) {
+	r := newRig(t, 3)
+	cfg := DefaultCANopenConfig()
+	master, err := NewCANopenMaster(r.sched, r.layers[0], []can.NodeID{1, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		NewCANopenSlave(r.layers[i])
+	}
+	var lostAt sim.Time
+	var lost []can.NodeID
+	master.OnLost(func(s can.NodeID) {
+		lost = append(lost, s)
+		lostAt = r.sched.Now()
+	})
+	master.Start()
+	r.sched.RunUntil(sim.Time(250 * time.Millisecond))
+	crashAt := r.sched.Now()
+	r.ports[2].Crash()
+	r.sched.RunUntil(sim.Time(2 * time.Second))
+
+	if len(lost) != 1 || lost[0] != 2 {
+		t.Fatalf("lost = %v", lost)
+	}
+	latency := lostAt.Sub(crashAt)
+	bound := time.Duration(cfg.LifeFactor+1)*cfg.GuardTime + 10*time.Millisecond
+	if latency > bound {
+		t.Fatalf("CANopen latency %v exceeds bound %v", latency, bound)
+	}
+	// Lost slaves are no longer polled.
+	before := master.GuardRequests
+	r.sched.RunUntil(sim.Time(2*time.Second + 3*cfg.GuardTime))
+	polls := master.GuardRequests - before
+	if polls > 4 {
+		t.Fatalf("polls after loss = %d, lost slave still guarded", polls)
+	}
+}
+
+func TestCANopenConfigValidation(t *testing.T) {
+	if (CANopenConfig{GuardTime: time.Second}).Validate() == nil {
+		t.Fatal("zero life factor accepted")
+	}
+	if (CANopenConfig{LifeFactor: 2}).Validate() == nil {
+		t.Fatal("zero guard time accepted")
+	}
+}
+
+func TestSchemesBandwidthComparison(t *testing.T) {
+	// The paper's motivation for implicit heartbeats: CANELy's steady
+	// state costs at most b life-signs per Tb, while node guarding costs
+	// 2 frames per slave per GuardTime regardless of traffic. Verify the
+	// simulated guard traffic is as predicted.
+	r := newRig(t, 3)
+	master, err := NewCANopenMaster(r.sched, r.layers[0], []can.NodeID{1, 2}, DefaultCANopenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewCANopenSlave(r.layers[1])
+	NewCANopenSlave(r.layers[2])
+	master.Start()
+	r.sched.RunUntil(sim.Time(time.Second))
+	st := r.bus.Stats()
+	// 10 rounds x 2 slaves x (request + reply) = 40 frames.
+	if st.FramesOK < 36 || st.FramesOK > 40 {
+		t.Fatalf("guarding frames = %d, want ~40", st.FramesOK)
+	}
+	if st.BitsByType[can.TypeGuard] == 0 {
+		t.Fatal("guard traffic not accounted")
+	}
+}

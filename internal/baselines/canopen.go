@@ -1,0 +1,144 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/sim"
+)
+
+// CANopenConfig parameterizes NMT node guarding.
+type CANopenConfig struct {
+	// GuardTime is the master's polling period per slave (default 100 ms).
+	GuardTime time.Duration
+	// LifeFactor is the number of consecutive unanswered guard requests
+	// after which a slave is declared lost (default 2).
+	LifeFactor int
+}
+
+// DefaultCANopenConfig returns the reference node-guarding timing.
+func DefaultCANopenConfig() CANopenConfig {
+	return CANopenConfig{GuardTime: 100 * time.Millisecond, LifeFactor: 2}
+}
+
+// Validate checks the configuration.
+func (c CANopenConfig) Validate() error {
+	if c.GuardTime <= 0 {
+		return fmt.Errorf("baselines: guard time must be positive, got %v", c.GuardTime)
+	}
+	if c.LifeFactor <= 0 {
+		return fmt.Errorf("baselines: life factor must be positive, got %d", c.LifeFactor)
+	}
+	return nil
+}
+
+// CANopenMaster cyclically inquires each slave through a remote frame and
+// expects a status reply. This is the centralized scheme the paper
+// contrasts with CANELy's distributed, fault-tolerant service: only the
+// master learns of a failure, and the master itself is unmonitored.
+type CANopenMaster struct {
+	cfg    CANopenConfig
+	sched  *sim.Scheduler
+	layer  *canlayer.Layer
+	slaves []can.NodeID
+
+	ticker  *sim.Ticker
+	missed  map[can.NodeID]int
+	replied map[can.NodeID]bool
+	lost    can.NodeSet
+
+	onLost []func(can.NodeID)
+
+	// GuardRequests counts polls sent (bandwidth accounting).
+	GuardRequests int
+}
+
+// NewCANopenMaster creates the master guarding the given slaves.
+func NewCANopenMaster(sched *sim.Scheduler, layer *canlayer.Layer, slaves []can.NodeID, cfg CANopenConfig) (*CANopenMaster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &CANopenMaster{
+		cfg:     cfg,
+		sched:   sched,
+		layer:   layer,
+		slaves:  append([]can.NodeID(nil), slaves...),
+		missed:  make(map[can.NodeID]int),
+		replied: make(map[can.NodeID]bool),
+	}
+	m.ticker = sim.NewTicker(sched, m.pollRound)
+	layer.HandleDataInd(m.onDataInd)
+	return m, nil
+}
+
+// OnLost registers a consumer for slave-lost events (master-local only).
+func (m *CANopenMaster) OnLost(fn func(can.NodeID)) { m.onLost = append(m.onLost, fn) }
+
+// Lost returns the set of slaves declared lost.
+func (m *CANopenMaster) Lost() can.NodeSet { return m.lost }
+
+// Start begins the guarding cycle.
+func (m *CANopenMaster) Start() { m.ticker.Start(m.cfg.GuardTime) }
+
+// Stop halts the guarding cycle.
+func (m *CANopenMaster) Stop() { m.ticker.Stop() }
+
+// pollRound closes the previous round's bookkeeping and polls every slave
+// not yet declared lost.
+func (m *CANopenMaster) pollRound() {
+	for _, s := range m.slaves {
+		if m.lost.Contains(s) {
+			continue
+		}
+		if m.GuardRequests > 0 && !m.replied[s] {
+			m.missed[s]++
+			if m.missed[s] >= m.cfg.LifeFactor {
+				m.lost = m.lost.Add(s)
+				for _, fn := range m.onLost {
+					fn(s)
+				}
+				continue
+			}
+		} else {
+			m.missed[s] = 0
+		}
+		m.replied[s] = false
+		m.GuardRequests++
+		_ = m.layer.RTRReq(can.GuardSign(s))
+	}
+}
+
+// onDataInd records slave status replies.
+func (m *CANopenMaster) onDataInd(mid can.MID, _ []byte) {
+	if mid.Type != can.TypeGuard {
+		return
+	}
+	m.replied[can.NodeID(mid.Param)] = true
+}
+
+// CANopenSlave answers the master's guard requests with its status.
+type CANopenSlave struct {
+	layer *canlayer.Layer
+	local can.NodeID
+	// toggle mimics the CANopen guard-bit alternation in the status byte.
+	toggle uint8
+}
+
+// NewCANopenSlave creates a slave entity.
+func NewCANopenSlave(layer *canlayer.Layer) *CANopenSlave {
+	s := &CANopenSlave{layer: layer, local: layer.NodeID()}
+	layer.HandleRTRInd(s.onRTRInd)
+	return s
+}
+
+// onRTRInd answers guard requests addressed to the local node.
+func (s *CANopenSlave) onRTRInd(mid can.MID) {
+	if mid.Type != can.TypeGuard || can.NodeID(mid.Param) != s.local {
+		return
+	}
+	s.toggle ^= 0x80
+	// Status: operational (0x05) with alternating toggle bit.
+	_ = s.layer.DataReq(can.GuardReplySign(s.local), []byte{0x05 | s.toggle})
+}

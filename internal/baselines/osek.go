@@ -1,0 +1,159 @@
+// Package baselines implements the two industry-standard CAN node failure
+// detection schemes the paper compares against in §6.6, runnable on the
+// same simulated bus as the CANELy suite:
+//
+//   - OSEK NM: distributed network management over a logical ring. Every
+//     alive node forwards a ring message to its successor; a successor that
+//     stays silent past the ring timeout is skipped and deemed absent. Its
+//     weakness is latency: the token must rotate the whole ring before a
+//     silent node's slot comes up, giving worst-case detection "in the
+//     order of one second" at the reference parameters.
+//
+//   - CANopen NMT node guarding: a master cyclically polls each slave with
+//     a remote frame and the slave answers with its state; after a
+//     configurable number of missed answers the slave is lost. Its
+//     weaknesses are its centralized nature (only the master learns of the
+//     failure, and the master is a single point of failure) and the
+//     bandwidth of the polling.
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/sim"
+)
+
+// OSEKConfig parameterizes the OSEK NM logical ring.
+type OSEKConfig struct {
+	// TTyp is the typical delay a node waits after receiving the token
+	// before forwarding its ring message (default 100 ms).
+	TTyp time.Duration
+	// TMax is the timeout after which a silent successor is skipped
+	// (default 260 ms).
+	TMax time.Duration
+}
+
+// DefaultOSEKConfig returns the reference OSEK NM timing.
+func DefaultOSEKConfig() OSEKConfig {
+	return OSEKConfig{TTyp: 100 * time.Millisecond, TMax: 260 * time.Millisecond}
+}
+
+// Validate checks the configuration.
+func (c OSEKConfig) Validate() error {
+	if c.TTyp <= 0 || c.TMax <= 0 {
+		return fmt.Errorf("baselines: OSEK timing must be positive, got TTyp=%v TMax=%v", c.TTyp, c.TMax)
+	}
+	return nil
+}
+
+// OSEKNode is one participant of the OSEK NM logical ring.
+type OSEKNode struct {
+	cfg   OSEKConfig
+	sched *sim.Scheduler
+	layer *canlayer.Layer
+	local can.NodeID
+
+	present  can.NodeSet // nodes currently in the logical ring
+	typTimer *sim.Timer  // delay before forwarding the token
+	maxTimer *sim.Timer  // successor surveillance
+	waitFor  can.NodeID  // successor we expect a ring message from
+
+	onAbsent []func(can.NodeID)
+
+	// RingMessages counts ring messages sent (bandwidth accounting).
+	RingMessages int
+}
+
+// NewOSEKNode creates a ring participant. ring is the stable configuration
+// of the logical ring (all configured nodes, the local one included).
+func NewOSEKNode(sched *sim.Scheduler, layer *canlayer.Layer, ring can.NodeSet, cfg OSEKConfig) (*OSEKNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !ring.Contains(layer.NodeID()) {
+		return nil, fmt.Errorf("baselines: ring %v omits local node %v", ring, layer.NodeID())
+	}
+	n := &OSEKNode{
+		cfg:     cfg,
+		sched:   sched,
+		layer:   layer,
+		local:   layer.NodeID(),
+		present: ring,
+	}
+	n.typTimer = sim.NewTimer(sched, n.forward)
+	n.maxTimer = sim.NewTimer(sched, n.successorSilent)
+	layer.HandleDataInd(n.onDataInd)
+	return n, nil
+}
+
+// OnAbsent registers a consumer for skipped-node notifications. Note the
+// contrast with CANELy: the notification fires only at the node that
+// happened to hold the token; consistency across the ring takes further
+// rotations.
+func (n *OSEKNode) OnAbsent(fn func(can.NodeID)) { n.onAbsent = append(n.onAbsent, fn) }
+
+// Present returns the node's current picture of the ring.
+func (n *OSEKNode) Present() can.NodeSet { return n.present }
+
+// Start boots the ring: the alive node with the lowest identifier
+// originates the first token after TTyp.
+func (n *OSEKNode) Start() {
+	ids := n.present.IDs()
+	if len(ids) > 0 && ids[0] == n.local {
+		n.typTimer.Start(n.cfg.TTyp)
+	}
+}
+
+// successor returns the next ring member after the local node.
+func (n *OSEKNode) successor() can.NodeID {
+	ids := n.present.IDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if id > n.local {
+			return id
+		}
+	}
+	return ids[0] // wrap around (possibly the local node itself)
+}
+
+// forward sends the ring message to the successor and starts surveillance.
+func (n *OSEKNode) forward() {
+	succ := n.successor()
+	n.RingMessages++
+	_ = n.layer.DataReq(can.RingSign(succ, n.local), []byte{byte(succ)})
+	if succ != n.local {
+		n.waitFor = succ
+		n.maxTimer.Start(n.cfg.TMax)
+	}
+}
+
+// onDataInd observes ring traffic. A ring message addressed to the local
+// node is the token: forward after TTyp. Any ring message from the awaited
+// successor clears its surveillance.
+func (n *OSEKNode) onDataInd(mid can.MID, _ []byte) {
+	if mid.Type != can.TypeRing {
+		return
+	}
+	if mid.Src == n.waitFor && n.maxTimer.Armed() {
+		n.maxTimer.Stop()
+	}
+	if can.NodeID(mid.Param) == n.local && mid.Src != n.local {
+		n.typTimer.Start(n.cfg.TTyp)
+	}
+}
+
+// successorSilent skips a silent successor: it is removed from the ring
+// picture, consumers are notified and the token is re-forwarded to the
+// next member.
+func (n *OSEKNode) successorSilent() {
+	gone := n.waitFor
+	n.present = n.present.Remove(gone)
+	for _, fn := range n.onAbsent {
+		fn(gone)
+	}
+	n.forward()
+}

@@ -1,0 +1,133 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/sim"
+)
+
+// TTP is a behavioural model of the Time-Triggered Protocol's membership
+// service (Kopetz & Grunsteidl [10]), the reference point of the paper's
+// Figures 1 and 11. A TTP system is a set of fail-silent nodes on a TDMA
+// bus: each node broadcasts exactly once per round in its statically
+// assigned slot, and every frame carries the sender's membership view.
+// A node that stays silent in its slot is removed from the view by every
+// receiver at the end of that slot, so failures are detected within one
+// TDMA round — the "membership: provided" property CAN lacks natively.
+//
+// The model abstracts the physical layer (TTP is not CAN; it runs on its
+// own replicated channels) and keeps the temporal structure: slot timing,
+// synchronized views, crash detection latency of at most one round.
+
+// TTPConfig parameterizes the TDMA schedule.
+type TTPConfig struct {
+	// Slot is the TDMA slot duration (default 1 ms — TTP class C wheels).
+	Slot time.Duration
+}
+
+// DefaultTTPConfig returns the reference slot timing.
+func DefaultTTPConfig() TTPConfig { return TTPConfig{Slot: time.Millisecond} }
+
+// Validate checks the configuration.
+func (c TTPConfig) Validate() error {
+	if c.Slot <= 0 {
+		return fmt.Errorf("baselines: TTP slot must be positive, got %v", c.Slot)
+	}
+	return nil
+}
+
+// Round returns the TDMA round duration for n nodes.
+func (c TTPConfig) Round(n int) time.Duration { return time.Duration(n) * c.Slot }
+
+// MembershipLatencyBound is TTP's worst-case crash-to-removal latency: the
+// crash happens right after the node's slot, so its silence shows one full
+// round later, at the end of its next slot.
+func (c TTPConfig) MembershipLatencyBound(n int) time.Duration {
+	return c.Round(n) + c.Slot
+}
+
+// TTPCluster simulates one TTP cluster on the discrete-event scheduler.
+type TTPCluster struct {
+	cfg   TTPConfig
+	sched *sim.Scheduler
+	nodes []*ttpNode
+	slot  int
+}
+
+type ttpNode struct {
+	id      can.NodeID
+	alive   bool
+	view    can.NodeSet
+	onChg   []func(view can.NodeSet, failed can.NodeID)
+	cluster *TTPCluster
+}
+
+// NewTTPCluster builds a cluster of n nodes with synchronized views.
+func NewTTPCluster(sched *sim.Scheduler, n int, cfg TTPConfig) (*TTPCluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("baselines: TTP cluster needs nodes, got %d", n)
+	}
+	c := &TTPCluster{cfg: cfg, sched: sched}
+	all := can.RangeSet(0, can.NodeID(n))
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, &ttpNode{
+			id:      can.NodeID(i),
+			alive:   true,
+			view:    all,
+			cluster: c,
+		})
+	}
+	return c, nil
+}
+
+// Start begins the TDMA wheel.
+func (c *TTPCluster) Start() {
+	c.sched.After(c.cfg.Slot, c.endOfSlot)
+}
+
+// Crash fail-silences a node.
+func (c *TTPCluster) Crash(id can.NodeID) { c.nodes[id].alive = false }
+
+// View returns a node's membership view.
+func (c *TTPCluster) View(id can.NodeID) can.NodeSet { return c.nodes[id].view }
+
+// Alive reports whether a node has not crashed.
+func (c *TTPCluster) Alive(id can.NodeID) bool { return c.nodes[id].alive }
+
+// OnChange registers a membership change consumer at a node.
+func (c *TTPCluster) OnChange(id can.NodeID, fn func(view can.NodeSet, failed can.NodeID)) {
+	c.nodes[id].onChg = append(c.nodes[id].onChg, fn)
+}
+
+// endOfSlot evaluates the slot owner's transmission: silence in an owned
+// slot removes the owner from every correct node's view, synchronously —
+// TTP's synchronized time base makes the removal consistent by
+// construction.
+func (c *TTPCluster) endOfSlot() {
+	owner := c.nodes[c.slot%len(c.nodes)]
+	stillMember := false
+	for _, n := range c.nodes {
+		if n.alive && n.view.Contains(owner.id) {
+			stillMember = true
+			break
+		}
+	}
+	if stillMember && !owner.alive {
+		for _, n := range c.nodes {
+			if !n.alive || !n.view.Contains(owner.id) {
+				continue
+			}
+			n.view = n.view.Remove(owner.id)
+			for _, fn := range n.onChg {
+				fn(n.view, owner.id)
+			}
+		}
+	}
+	c.slot++
+	c.sched.After(c.cfg.Slot, c.endOfSlot)
+}

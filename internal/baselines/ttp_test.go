@@ -1,0 +1,104 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/sim"
+)
+
+func TestTTPSteadyStateViewsStable(t *testing.T) {
+	sched := sim.NewScheduler()
+	c, err := NewTTPCluster(sched, 4, DefaultTTPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := 0
+	for i := 0; i < 4; i++ {
+		c.OnChange(can.NodeID(i), func(can.NodeSet, can.NodeID) { changes++ })
+	}
+	c.Start()
+	sched.RunUntil(sim.Time(100 * time.Millisecond))
+	if changes != 0 {
+		t.Fatalf("changes = %d in fault-free TTP operation", changes)
+	}
+	if c.View(0) != can.MakeSet(0, 1, 2, 3) {
+		t.Fatalf("view = %v", c.View(0))
+	}
+}
+
+func TestTTPDetectsCrashWithinOneRound(t *testing.T) {
+	sched := sim.NewScheduler()
+	cfg := DefaultTTPConfig()
+	c, err := NewTTPCluster(sched, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detectedAt sim.Time
+	c.OnChange(0, func(_ can.NodeSet, failed can.NodeID) {
+		if failed == 2 && detectedAt == 0 {
+			detectedAt = sched.Now()
+		}
+	})
+	c.Start()
+	sched.RunUntil(sim.Time(10 * time.Millisecond))
+	crashAt := sched.Now()
+	c.Crash(2)
+	sched.RunUntil(sim.Time(50 * time.Millisecond))
+	if detectedAt == 0 {
+		t.Fatal("crash never detected")
+	}
+	latency := detectedAt.Sub(crashAt)
+	if bound := cfg.MembershipLatencyBound(4); latency > bound {
+		t.Fatalf("TTP latency %v exceeds one-round bound %v", latency, bound)
+	}
+	// All survivors share the updated view (synchronized removal).
+	for _, id := range []can.NodeID{0, 1, 3} {
+		if c.View(id) != can.MakeSet(0, 1, 3) {
+			t.Fatalf("node %v view = %v", id, c.View(id))
+		}
+	}
+}
+
+func TestTTPMultipleCrashes(t *testing.T) {
+	sched := sim.NewScheduler()
+	c, err := NewTTPCluster(sched, 5, DefaultTTPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	sched.RunUntil(sim.Time(3 * time.Millisecond))
+	c.Crash(1)
+	c.Crash(4)
+	sched.RunUntil(sim.Time(50 * time.Millisecond))
+	want := can.MakeSet(0, 2, 3)
+	for _, id := range []can.NodeID{0, 2, 3} {
+		if c.View(id) != want {
+			t.Fatalf("node %v view = %v, want %v", id, c.View(id), want)
+		}
+	}
+}
+
+func TestTTPLatencyVersusCANELyScale(t *testing.T) {
+	// Figure 11 context: TTP's one-round detection at 1 ms slots is in the
+	// same "tens of ms" class as CANELy only for small clusters; the model
+	// bound is linear in n.
+	cfg := DefaultTTPConfig()
+	if cfg.MembershipLatencyBound(8) != 9*time.Millisecond {
+		t.Fatalf("bound(8) = %v", cfg.MembershipLatencyBound(8))
+	}
+	if cfg.Round(32) != 32*time.Millisecond {
+		t.Fatalf("round(32) = %v", cfg.Round(32))
+	}
+}
+
+func TestTTPConfigValidation(t *testing.T) {
+	if (TTPConfig{}).Validate() == nil {
+		t.Fatal("zero slot accepted")
+	}
+	sched := sim.NewScheduler()
+	if _, err := NewTTPCluster(sched, 0, DefaultTTPConfig()); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+}

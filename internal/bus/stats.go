@@ -1,0 +1,145 @@
+package bus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"canely/internal/can"
+)
+
+// Stats accumulates bus occupancy and outcome counters. Per-type bit
+// accounting is what the Figure 10 bandwidth measurement reduces.
+type Stats struct {
+	// FramesOK counts successfully completed physical frames.
+	FramesOK int
+	// FramesError counts consistently corrupted transmissions.
+	FramesError int
+	// FramesInconsistent counts transmissions hit in the last two bits.
+	FramesInconsistent int
+
+	// BitsBusy is the total wire occupancy in bit times: frames, error
+	// frames and interframe spaces.
+	BitsBusy int64
+	// BitsByType attributes frame bits (including their recovery overhead)
+	// to the CANELy message type that occupied the wire.
+	BitsByType map[can.MsgType]int64
+	// ErrorBits is the wire time spent on error signalling and wasted
+	// (corrupted) frames — the raw material of inaccessibility.
+	ErrorBits int64
+	// Inaccessibility is the accumulated time the bus was operational but
+	// not providing useful service (error recovery), cf. [22].
+	Inaccessibility time.Duration
+
+	lastType can.MsgType
+}
+
+func newStats() Stats {
+	return Stats{BitsByType: make(map[can.MsgType]int64)}
+}
+
+func (s *Stats) clone() Stats {
+	out := *s
+	out.BitsByType = make(map[can.MsgType]int64, len(s.BitsByType))
+	for k, v := range s.BitsByType {
+		out.BitsByType[k] = v
+	}
+	return out
+}
+
+func (s *Stats) typeOf(f can.Frame) can.MsgType {
+	mid, err := can.DecodeMID(f.ID)
+	if err != nil {
+		return 0
+	}
+	return mid.Type
+}
+
+func (s *Stats) recordSuccess(f can.Frame, bits int, r can.BitRate) {
+	s.FramesOK++
+	s.BitsBusy += int64(bits)
+	s.lastType = s.typeOf(f)
+	s.BitsByType[s.lastType] += int64(bits)
+}
+
+func (s *Stats) recordError(f can.Frame, bits int, r can.BitRate) {
+	s.FramesError++
+	s.BitsBusy += int64(bits)
+	s.ErrorBits += int64(bits)
+	s.lastType = s.typeOf(f)
+	s.BitsByType[s.lastType] += int64(bits)
+	s.Inaccessibility += r.DurationOf(bits)
+}
+
+func (s *Stats) recordInconsistent(f can.Frame, bits int, r can.BitRate) {
+	s.FramesInconsistent++
+	s.BitsBusy += int64(bits)
+	s.lastType = s.typeOf(f)
+	s.BitsByType[s.lastType] += int64(bits)
+}
+
+// recordOverhead accounts trailing wire occupancy (interframe space, error
+// frame bits) against the type of the frame that caused it.
+func (s *Stats) recordOverhead(bits int, r can.BitRate) {
+	s.BitsBusy += int64(bits)
+	s.BitsByType[s.lastType] += int64(bits)
+	if bits > can.InterframeBits {
+		err := bits - can.InterframeBits
+		s.ErrorBits += int64(err)
+		s.Inaccessibility += r.DurationOf(err)
+	}
+}
+
+// Sub returns the difference s - earlier, for windowed measurements.
+func (s Stats) Sub(earlier Stats) Stats {
+	out := s.clone()
+	out.FramesOK -= earlier.FramesOK
+	out.FramesError -= earlier.FramesError
+	out.FramesInconsistent -= earlier.FramesInconsistent
+	out.BitsBusy -= earlier.BitsBusy
+	out.ErrorBits -= earlier.ErrorBits
+	out.Inaccessibility -= earlier.Inaccessibility
+	for k, v := range earlier.BitsByType {
+		out.BitsByType[k] -= v
+	}
+	return out
+}
+
+// Utilization returns the fraction of the elapsed interval the bus was
+// busy, at the given bit rate.
+func (s Stats) Utilization(r can.BitRate, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.DurationOf(int(s.BitsBusy))) / float64(elapsed)
+}
+
+// TypeUtilization returns the fraction of the elapsed interval consumed by
+// frames of the given types (including their recovery overhead).
+func (s Stats) TypeUtilization(r can.BitRate, elapsed time.Duration, types ...can.MsgType) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var bits int64
+	for _, t := range types {
+		bits += s.BitsByType[t]
+	}
+	return float64(r.DurationOf(int(bits))) / float64(elapsed)
+}
+
+// String renders a compact multi-line summary.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "frames ok=%d err=%d incons=%d busy=%d bits (err=%d) inaccess=%v\n",
+		s.FramesOK, s.FramesError, s.FramesInconsistent, s.BitsBusy, s.ErrorBits, s.Inaccessibility)
+	types := make([]int, 0, len(s.BitsByType))
+	for t := range s.BitsByType {
+		types = append(types, int(t))
+	}
+	sort.Ints(types)
+	for _, t := range types {
+		fmt.Fprintf(&sb, "  %-6v %d bits\n", can.MsgType(t), s.BitsByType[can.MsgType(t)])
+	}
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+// Package can models the Controller Area Network data link layer as seen by
+// the CANELy protocol suite: frames (data and remote), the CANELy message
+// identifier (mid) encoding, node identity sets, and exact frame-length /
+// transmission-time arithmetic including worst-case bit stuffing.
+//
+// The model follows ISO 11898 framing. Nothing here is time-aware; the bus
+// simulator (internal/bus) combines these sizes with a bit rate to obtain
+// transmission and inaccessibility durations.
+package can
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a node (site) on the bus. CANELy's reception history
+// vector is a set of nodes that must fit a single CAN payload (8 bytes), so
+// node identifiers range over [0, MaxNodes).
+type NodeID uint8
+
+// MaxNodes is the highest supported network size: a 64-bit reception
+// history vector is exactly one CAN data field.
+const MaxNodes = 64
+
+// Valid reports whether the node identifier is in range.
+func (n NodeID) Valid() bool { return n < MaxNodes }
+
+// String renders the node id, e.g. "n07".
+func (n NodeID) String() string { return fmt.Sprintf("n%02d", uint8(n)) }
+
+// MaxData is the CAN payload limit in bytes.
+const MaxData = 8
+
+// Frame is a CAN frame as exchanged on the bus. Identifiers are 29-bit
+// extended identifiers: the CANELy mid encoding (type, param, source,
+// reference) needs more than the 11 bits of a standard frame.
+type Frame struct {
+	// ID is the 29-bit arbitration identifier. Lower values win arbitration.
+	ID uint32
+	// RTR marks a remote frame. Remote frames carry no data; identical
+	// remote frames transmitted simultaneously by several nodes merge into
+	// one physical frame (wired-AND), which CANELy exploits heavily.
+	RTR bool
+	// DLC is the data length code, 0..8. For remote frames it encodes the
+	// length of the requested data frame and the data field is empty.
+	DLC uint8
+	// Data holds the payload; only Data[:DLC] is meaningful, and only for
+	// data frames.
+	Data [MaxData]byte
+}
+
+// MaxID is the largest 29-bit identifier.
+const MaxID = 1<<29 - 1
+
+// Validate checks structural invariants.
+func (f Frame) Validate() error {
+	if f.ID > MaxID {
+		return fmt.Errorf("can: identifier %#x exceeds 29 bits", f.ID)
+	}
+	if f.DLC > MaxData {
+		return fmt.Errorf("can: DLC %d exceeds %d", f.DLC, MaxData)
+	}
+	return nil
+}
+
+// Payload returns the meaningful data bytes (nil for remote frames).
+func (f Frame) Payload() []byte {
+	if f.RTR {
+		return nil
+	}
+	return f.Data[:f.DLC]
+}
+
+// SetPayload copies p into the frame and sets the DLC. It panics if p
+// exceeds MaxData: payload sizing is a static protocol property, so an
+// oversized payload is a programming error, not a runtime condition.
+func (f *Frame) SetPayload(p []byte) {
+	if len(p) > MaxData {
+		panic(fmt.Sprintf("can: payload of %d bytes exceeds %d", len(p), MaxData))
+	}
+	f.DLC = uint8(len(p))
+	f.Data = [MaxData]byte{}
+	copy(f.Data[:], p)
+}
+
+// SameWire reports whether two frames are indistinguishable on the wire,
+// i.e. whether simultaneous transmissions merge into a single physical
+// frame. Data frames never merge (a single transmitter is assumed per
+// identifier); remote frames merge when identifier and DLC coincide.
+func (f Frame) SameWire(g Frame) bool {
+	if !f.RTR || !g.RTR {
+		return false
+	}
+	return f.ID == g.ID && f.DLC == g.DLC
+}
+
+// String renders the frame compactly for traces.
+func (f Frame) String() string {
+	kind := "data"
+	if f.RTR {
+		kind = "rtr"
+	}
+	mid, err := DecodeMID(f.ID)
+	if err == nil {
+		return fmt.Sprintf("%s %v dlc=%d", kind, mid, f.DLC)
+	}
+	return fmt.Sprintf("%s id=%#x dlc=%d", kind, f.ID, f.DLC)
+}

@@ -1,0 +1,149 @@
+package can
+
+import (
+	"fmt"
+	"time"
+)
+
+// BitRate is the bus signalling rate in bits per second. CAN trades length
+// for speed; the standard operating points are listed as constants.
+type BitRate int
+
+// Standard CAN operating points (ISO 11898 / CiA DS-102).
+const (
+	Rate1Mbps   BitRate = 1_000_000 // up to 40 m
+	Rate500Kbps BitRate = 500_000   // up to 100 m
+	Rate250Kbps BitRate = 250_000   // up to 250 m
+	Rate125Kbps BitRate = 125_000   // up to 500 m
+	Rate50Kbps  BitRate = 50_000    // up to 1000 m
+)
+
+// BitTime returns the duration of one bit on the wire.
+func (r BitRate) BitTime() time.Duration {
+	if r <= 0 {
+		panic(fmt.Sprintf("can: non-positive bit rate %d", r))
+	}
+	return time.Duration(int64(time.Second) / int64(r))
+}
+
+// DurationOf returns the time taken by the given number of bits.
+func (r BitRate) DurationOf(bitCount int) time.Duration {
+	return time.Duration(bitCount) * r.BitTime()
+}
+
+// Bits returns how many whole bit times fit in d.
+func (r BitRate) Bits(d time.Duration) int {
+	bt := r.BitTime()
+	return int(d / bt)
+}
+
+// Framing constants (ISO 11898). All CANELy traffic uses the extended
+// (29-bit identifier) format; the standard format is retained for the
+// analytical comparisons of internal/analysis.
+const (
+	// InterframeBits is the intermission between consecutive frames.
+	InterframeBits = 3
+	// ErrorFrameMinBits is an active error frame with no superposition:
+	// 6 flag bits + 8 delimiter bits. This matches the 14 bit-time lower
+	// inaccessibility bound reported in the paper (Figure 11).
+	ErrorFrameMinBits = 14
+	// ErrorFrameMaxBits is the worst case: 6 flag bits + 6 superposed flag
+	// bits from other nodes + 8 delimiter bits.
+	ErrorFrameMaxBits = 20
+	// OverloadFrameMaxBits mirrors the error frame worst case.
+	OverloadFrameMaxBits = 20
+)
+
+// nominal (unstuffed) frame sizes; s = payload bytes. Remote frames carry
+// no data field (s contributes zero bits) but keep their DLC value.
+const (
+	stdFixedBits      = 44 // SOF+ID11+RTR+IDE+r0+DLC4+CRC15+del+ACK2+EOF7
+	stdStuffableBits  = 34 // SOF through CRC sequence
+	extFixedBits      = 64 // adds SRR+IDE+ID18+r1 over the standard format
+	extStuffableBits  = 54
+	stuffWindowLength = 5 // a stuff bit after every run of 5 equal bits
+)
+
+// FrameFormat selects identifier width for sizing computations.
+type FrameFormat int
+
+// Frame formats.
+const (
+	FormatStandard FrameFormat = iota // 11-bit identifiers
+	FormatExtended                    // 29-bit identifiers
+)
+
+// String names the format.
+func (f FrameFormat) String() string {
+	if f == FormatStandard {
+		return "standard"
+	}
+	return "extended"
+}
+
+// NominalFrameBits returns the frame length in bits before stuffing.
+// dataBytes is the payload size for data frames and must be 0 for remote
+// frames (their data field is absent regardless of DLC).
+func NominalFrameBits(f FrameFormat, dataBytes int) int {
+	if dataBytes < 0 || dataBytes > MaxData {
+		panic(fmt.Sprintf("can: data size %d out of range", dataBytes))
+	}
+	base := stdFixedBits
+	if f == FormatExtended {
+		base = extFixedBits
+	}
+	return base + 8*dataBytes
+}
+
+// MaxStuffBits returns the worst-case number of inserted stuff bits for a
+// frame with the given payload. After the first stuff opportunity at bit 5,
+// a pathological pattern forces one stuff bit every 4 original bits:
+// floor((L-1)/4) for a stuffable region of L bits.
+func MaxStuffBits(f FrameFormat, dataBytes int) int {
+	if dataBytes < 0 || dataBytes > MaxData {
+		panic(fmt.Sprintf("can: data size %d out of range", dataBytes))
+	}
+	l := stdStuffableBits
+	if f == FormatExtended {
+		l = extStuffableBits
+	}
+	l += 8 * dataBytes
+	return (l - 1) / (stuffWindowLength - 1)
+}
+
+// WorstFrameBits returns the on-wire frame length in bits with worst-case
+// stuffing, excluding the interframe space.
+func WorstFrameBits(f FrameFormat, dataBytes int) int {
+	return NominalFrameBits(f, dataBytes) + MaxStuffBits(f, dataBytes)
+}
+
+// WorstSlotBits returns the worst-case bus occupancy of one frame: frame
+// bits plus the interframe space that must follow before another frame may
+// start. This is the unit the bandwidth analysis (Figure 10) accounts in.
+func WorstSlotBits(f FrameFormat, dataBytes int) int {
+	return WorstFrameBits(f, dataBytes) + InterframeBits
+}
+
+// FrameBits returns the on-wire size of a concrete frame with worst-case
+// stuffing. Remote frames have no data field.
+func FrameBits(fr Frame) int {
+	data := int(fr.DLC)
+	if fr.RTR {
+		data = 0
+	}
+	return WorstFrameBits(FormatExtended, data)
+}
+
+// SlotBits returns FrameBits plus the interframe space.
+func SlotBits(fr Frame) int { return FrameBits(fr) + InterframeBits }
+
+// TxTime returns the wire time of a concrete frame at the given rate,
+// excluding interframe space.
+func TxTime(fr Frame, r BitRate) time.Duration {
+	return r.DurationOf(FrameBits(fr))
+}
+
+// SlotTime returns the wire time of a frame plus interframe space.
+func SlotTime(fr Frame, r BitRate) time.Duration {
+	return r.DurationOf(SlotBits(fr))
+}

@@ -1,0 +1,199 @@
+package canlayer
+
+import (
+	"testing"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/fault"
+	"canely/internal/sim"
+)
+
+type rig struct {
+	sched  *sim.Scheduler
+	bus    *bus.Bus
+	layers []*Layer
+}
+
+func newRig(t *testing.T, n int, inj fault.Injector) *rig {
+	t.Helper()
+	s := sim.NewScheduler()
+	b := bus.New(s, bus.Config{Injector: inj})
+	r := &rig{sched: s, bus: b}
+	for i := 0; i < n; i++ {
+		r.layers = append(r.layers, New(b.Attach(can.NodeID(i))))
+	}
+	return r
+}
+
+func TestDataReqDeliversIndAndNty(t *testing.T) {
+	r := newRig(t, 3, nil)
+	var ntyMids, indMids []can.MID
+	var indData [][]byte
+	r.layers[1].HandleDataNty(func(m can.MID) { ntyMids = append(ntyMids, m) })
+	r.layers[1].HandleDataInd(func(m can.MID, d []byte) {
+		indMids = append(indMids, m)
+		indData = append(indData, append([]byte(nil), d...))
+	})
+	mid := can.DataSign(4, 0, 9)
+	if err := r.layers[0].DataReq(mid, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.Run()
+	if len(ntyMids) != 1 || ntyMids[0] != mid {
+		t.Fatalf("nty = %v", ntyMids)
+	}
+	if len(indMids) != 1 || string(indData[0]) != "\x01\x02\x03" {
+		t.Fatalf("ind = %v data = %v", indMids, indData)
+	}
+}
+
+func TestOwnTransmissionNotified(t *testing.T) {
+	// Figure 4: .ind and .nty include own transmissions — the failure
+	// detector restarts the local timer from its own data traffic.
+	r := newRig(t, 2, nil)
+	ownNty := 0
+	r.layers[0].HandleDataNty(func(can.MID) { ownNty++ })
+	cnf := 0
+	r.layers[0].HandleDataCnf(func(can.MID) { cnf++ })
+	r.layers[0].DataReq(can.DataSign(0, 0, 1), []byte{7})
+	r.sched.Run()
+	if ownNty != 1 {
+		t.Fatalf("own nty = %d, want 1", ownNty)
+	}
+	if cnf != 1 {
+		t.Fatalf("cnf = %d, want 1", cnf)
+	}
+}
+
+func TestRTRReqIndAndCnf(t *testing.T) {
+	r := newRig(t, 2, nil)
+	var got []can.MID
+	r.layers[1].HandleRTRInd(func(m can.MID) { got = append(got, m) })
+	ownInd := 0
+	r.layers[0].HandleRTRInd(func(can.MID) { ownInd++ })
+	rtrCnf := 0
+	r.layers[0].HandleRTRCnf(func(can.MID) { rtrCnf++ })
+	mid := can.ELSSign(0)
+	if err := r.layers[0].RTRReq(mid); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.Run()
+	if len(got) != 1 || got[0] != mid {
+		t.Fatalf("rtr ind = %v", got)
+	}
+	if ownInd != 1 {
+		t.Fatal("own rtr transmissions must also be indicated")
+	}
+	if rtrCnf != 1 {
+		t.Fatal("rtr cnf missing")
+	}
+}
+
+func TestDataNtyCarriesNoPayloadDependency(t *testing.T) {
+	// .nty consumers must never depend on data: the callback only gets the
+	// mid. (Compile-time property; here we just confirm dispatch order:
+	// nty fires before ind.)
+	r := newRig(t, 2, nil)
+	var order []string
+	r.layers[1].HandleDataNty(func(can.MID) { order = append(order, "nty") })
+	r.layers[1].HandleDataInd(func(can.MID, []byte) { order = append(order, "ind") })
+	r.layers[0].DataReq(can.DataSign(0, 0, 1), nil)
+	r.sched.Run()
+	if len(order) != 2 || order[0] != "nty" || order[1] != "ind" {
+		t.Fatalf("dispatch order = %v", order)
+	}
+}
+
+func TestDataReqRejectsForeignSource(t *testing.T) {
+	r := newRig(t, 2, nil)
+	if err := r.layers[0].DataReq(can.DataSign(0, 1, 0), nil); err == nil {
+		t.Fatal("data mid with foreign src must be rejected")
+	}
+}
+
+func TestDataReqAllowsRHAForeignSrc(t *testing.T) {
+	// RHA data frames carry the identity of the node that (re)proposed the
+	// vector; during joins a node forwards a vector under its own identity,
+	// but the check must not block RHA frames generally.
+	r := newRig(t, 2, nil)
+	if err := r.layers[0].DataReq(can.RHASign(2, 0), can.MakeSet(0, 1).Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortReq(t *testing.T) {
+	r := newRig(t, 2, nil)
+	// Block the wire with another node's frame so ours stays pending.
+	r.layers[1].RTRReq(can.FDASign(0))
+	r.sched.Step()
+	mid := can.DataSign(0, 0, 1)
+	r.layers[0].DataReq(mid, []byte{1})
+	if !r.layers[0].AbortReq(mid) {
+		t.Fatal("abort of pending request failed")
+	}
+	if r.layers[0].AbortReq(mid) {
+		t.Fatal("second abort should find nothing")
+	}
+}
+
+func TestPendingEquivalentRTR(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.layers[1].RTRReq(can.FDASign(0))
+	r.sched.Step() // wire busy
+	mid := can.FDASign(7)
+	r.layers[0].RTRReq(mid)
+	if !r.layers[0].PendingEquivalentRTR(mid) {
+		t.Fatal("pending equivalent not detected")
+	}
+	if r.layers[0].PendingEquivalentRTR(can.FDASign(8)) {
+		t.Fatal("false equivalent")
+	}
+}
+
+func TestMulticastDispatchOrder(t *testing.T) {
+	r := newRig(t, 2, nil)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		r.layers[1].HandleRTRInd(func(can.MID) { order = append(order, i) })
+	}
+	r.layers[0].RTRReq(can.ELSSign(0))
+	r.sched.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestInvalidMIDRejected(t *testing.T) {
+	r := newRig(t, 1, nil)
+	if err := r.layers[0].RTRReq(can.MID{}); err == nil {
+		t.Fatal("zero mid must be rejected")
+	}
+	if err := r.layers[0].DataReq(can.MID{Type: 99, Src: 0}, nil); err == nil {
+		t.Fatal("unknown type must be rejected")
+	}
+}
+
+func TestBusOffPropagates(t *testing.T) {
+	script := fault.NewScript(fault.Rule{
+		Match:    fault.NewMatch(can.TypeData),
+		Decision: fault.Decision{Corrupt: true},
+		Repeat:   true,
+	})
+	r := newRig(t, 2, script)
+	notified := false
+	r.layers[0].HandleBusOff(func() { notified = true })
+	r.layers[0].DataReq(can.DataSign(0, 0, 1), nil)
+	r.sched.Run()
+	if !notified {
+		t.Fatal("bus-off not propagated to the layer")
+	}
+}
+
+func TestNodeID(t *testing.T) {
+	r := newRig(t, 2, nil)
+	if r.layers[1].NodeID() != 1 {
+		t.Fatal("NodeID passthrough wrong")
+	}
+}

@@ -1,0 +1,175 @@
+package clocksync
+
+import (
+	"testing"
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/sim"
+)
+
+type node struct {
+	port  *bus.Port
+	layer *canlayer.Layer
+	clock *Clock
+	sync  *Synchronizer
+}
+
+type rig struct {
+	sched  *sim.Scheduler
+	bus    *bus.Bus
+	nodes  []*node
+	master can.NodeID
+}
+
+// drifts in fractional units: node i gets drifts[i].
+func newRig(t *testing.T, drifts []float64, cfg Config) *rig {
+	t.Helper()
+	s := sim.NewScheduler()
+	b := bus.New(s, bus.Config{})
+	r := &rig{sched: s, bus: b}
+	for i, d := range drifts {
+		nd := &node{}
+		nd.port = b.Attach(can.NodeID(i))
+		nd.layer = canlayer.New(nd.port)
+		nd.clock = NewClock(s, d, time.Microsecond)
+		sync, err := New(s, nd.layer, nd.clock, func() can.NodeID { return r.master }, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.sync = sync
+		r.nodes = append(r.nodes, nd)
+	}
+	return r
+}
+
+// spread returns the max pairwise clock difference among alive nodes.
+func (r *rig) spread() time.Duration {
+	var lo, hi time.Duration
+	first := true
+	for _, nd := range r.nodes {
+		if !nd.port.Alive() {
+			continue
+		}
+		v := nd.clock.Now()
+		if first {
+			lo, hi, first = v, v, false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+func TestUnsynchronizedClocksDrift(t *testing.T) {
+	r := newRig(t, []float64{100e-6, -100e-6, 0}, DefaultConfig())
+	r.sched.RunUntil(sim.Time(time.Second))
+	// 200 ppm over 1 s = 200 µs apart.
+	if got := r.spread(); got < 150*time.Microsecond {
+		t.Fatalf("unsynchronized spread = %v, want ~200µs", got)
+	}
+}
+
+func TestSynchronizedPrecisionTensOfMicroseconds(t *testing.T) {
+	// The Figure 11 claim: with ±100 ppm crystals and 100 ms rounds, the
+	// CANELy service holds clocks within tens of microseconds.
+	r := newRig(t, []float64{100e-6, -100e-6, 50e-6, 0}, DefaultConfig())
+	for _, nd := range r.nodes {
+		nd.sync.Start()
+	}
+	r.sched.RunUntil(sim.Time(2 * time.Second))
+	if got := r.spread(); got > 50*time.Microsecond {
+		t.Fatalf("synchronized spread = %v, want tens of µs", got)
+	}
+	for i, nd := range r.nodes {
+		if nd.sync.Rounds < 15 {
+			t.Fatalf("node %d completed only %d rounds", i, nd.sync.Rounds)
+		}
+	}
+}
+
+func TestPrecisionScalesWithRoundPeriod(t *testing.T) {
+	fast := newRig(t, []float64{100e-6, -100e-6}, Config{Period: 50 * time.Millisecond})
+	slow := newRig(t, []float64{100e-6, -100e-6}, Config{Period: 400 * time.Millisecond})
+	for _, r := range []*rig{fast, slow} {
+		for _, nd := range r.nodes {
+			nd.sync.Start()
+		}
+		r.sched.RunUntil(sim.Time(2 * time.Second))
+	}
+	if fast.spread() >= slow.spread() {
+		t.Fatalf("faster rounds should give tighter precision: %v vs %v",
+			fast.spread(), slow.spread())
+	}
+}
+
+func TestMasterFailover(t *testing.T) {
+	r := newRig(t, []float64{100e-6, -100e-6, 30e-6}, DefaultConfig())
+	for _, nd := range r.nodes {
+		nd.sync.Start()
+	}
+	r.sched.RunUntil(sim.Time(500 * time.Millisecond))
+	before := r.spread()
+	if before > 50*time.Microsecond {
+		t.Fatalf("pre-failover spread = %v", before)
+	}
+	// The master (node 0) dies; the surviving nodes' master function now
+	// selects node 1 — in CANELy, this is the membership change.
+	r.nodes[0].port.Crash()
+	r.master = 1
+	r.sched.RunUntil(sim.Time(2 * time.Second))
+	if got := r.spread(); got > 50*time.Microsecond {
+		t.Fatalf("post-failover spread = %v, sync did not survive master crash", got)
+	}
+	if r.nodes[1].sync.Rounds < 10 {
+		t.Fatal("new master did not run rounds")
+	}
+}
+
+func TestLateJoinerMissedSyncSkipsRound(t *testing.T) {
+	r := newRig(t, []float64{0, 50e-6}, DefaultConfig())
+	r.nodes[0].sync.Start()
+	r.nodes[1].sync.Start()
+	// Node 1's first follow-up arrives without a latch only if it missed
+	// the SYNC; simulate by clearing its latch store mid-round: no crash,
+	// no bogus adjustment.
+	r.sched.RunUntil(sim.Time(90 * time.Millisecond))
+	for k := range r.nodes[1].sync.latches {
+		delete(r.nodes[1].sync.latches, k)
+	}
+	r.sched.RunUntil(sim.Time(350 * time.Millisecond))
+	if r.nodes[1].sync.Rounds == 0 {
+		t.Fatal("later rounds should still adjust")
+	}
+}
+
+func TestClockPrimitives(t *testing.T) {
+	s := sim.NewScheduler()
+	c := NewClock(s, 100e-6, 10*time.Microsecond)
+	s.RunUntil(sim.Time(time.Second))
+	now := c.Now()
+	want := time.Second + 100*time.Microsecond
+	if now != want {
+		t.Fatalf("Now = %v, want %v", now, want)
+	}
+	if l := c.Latch(); l%(10*time.Microsecond) != 0 {
+		t.Fatalf("Latch %v not quantized", l)
+	}
+	c.Adjust(-time.Millisecond)
+	if c.Now() != want-time.Millisecond {
+		t.Fatal("Adjust not applied")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if (Config{}).Validate() == nil {
+		t.Fatal("zero period accepted")
+	}
+}

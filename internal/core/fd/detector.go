@@ -1,0 +1,183 @@
+package fd
+
+import (
+	"fmt"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/sim"
+	"canely/internal/trace"
+)
+
+// Config parameterizes the failure detection protocol of Figure 8.
+type Config struct {
+	// Tb is the heartbeat period: the maximum interval between consecutive
+	// life-sign transmit requests at a node. The local surveillance timer
+	// runs at Tb.
+	Tb time.Duration
+	// Ttd is the bound on the network message transmission delay
+	// (Ttd = Tqueue + Ttx + Tina, per MCAN4). Timers monitoring remote
+	// nodes run at Tb+Ttd.
+	Ttd time.Duration
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Tb <= 0 {
+		return fmt.Errorf("fd: heartbeat period Tb must be positive, got %v", c.Tb)
+	}
+	if c.Ttd <= 0 {
+		return fmt.Errorf("fd: transmission delay bound Ttd must be positive, got %v", c.Ttd)
+	}
+	return nil
+}
+
+// DetectionLatency returns the worst-case interval between a node's crash
+// and the delivery of the failure notification at correct nodes: the
+// remote surveillance window plus the failure-sign diffusion delay.
+func (c Config) DetectionLatency() time.Duration {
+	return c.Tb + 2*c.Ttd
+}
+
+// Detector is the node failure detection protocol entity at one node
+// (Figure 8). It monitors a configurable set of nodes through per-node
+// surveillance timers; node activity is observed implicitly from data
+// traffic (can-data.nty, own transmissions included) and explicitly from
+// life-sign (ELS) remote frames. Expiry of the local timer triggers an ELS
+// broadcast; expiry of a remote timer triggers the FDA micro-protocol.
+type Detector struct {
+	cfg   Config
+	sched *sim.Scheduler
+	layer *canlayer.Layer
+	fda   *FDA
+	tr    *trace.Trace
+
+	local  can.NodeID
+	timers map[can.NodeID]*sim.Timer
+	notify []func(failed can.NodeID)
+
+	// lifeSigns counts explicit life-sign broadcasts for the bandwidth
+	// experiments.
+	lifeSigns int
+}
+
+// NewDetector wires a detector to the layer and its FDA companion.
+func NewDetector(sched *sim.Scheduler, layer *canlayer.Layer, fda *FDA, cfg Config, tr *trace.Trace) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Detector{
+		cfg:    cfg,
+		sched:  sched,
+		layer:  layer,
+		fda:    fda,
+		tr:     tr,
+		local:  layer.NodeID(),
+		timers: make(map[can.NodeID]*sim.Timer),
+	}
+	layer.HandleDataNty(d.onDataNty)
+	layer.HandleRTRInd(d.onRTRInd)
+	fda.Notify(d.onFDANty)
+	return d, nil
+}
+
+// Notify registers an fd-can.nty consumer — in the CANELy stack, the
+// companion site membership protocol.
+func (d *Detector) Notify(fn func(failed can.NodeID)) {
+	d.notify = append(d.notify, fn)
+}
+
+// Start begins surveillance of a node (fd-can.req(START,r), lines f00–f02).
+// Starting an already-monitored node restarts its timer.
+func (d *Detector) Start(r can.NodeID) {
+	d.alarmStart(r)
+}
+
+// Stop ends surveillance of a node (fd-can.req(STOP,r), lines f17–f19).
+func (d *Detector) Stop(r can.NodeID) {
+	if t, ok := d.timers[r]; ok {
+		t.Stop()
+		delete(d.timers, r)
+	}
+}
+
+// Monitoring reports whether node r is under surveillance.
+func (d *Detector) Monitoring(r can.NodeID) bool {
+	t, ok := d.timers[r]
+	return ok && t.Armed()
+}
+
+// LifeSigns returns the number of explicit life-sign broadcasts requested.
+func (d *Detector) LifeSigns() int { return d.lifeSigns }
+
+// alarmStart implements fd-alarm-start (lines a00–a06): the local timer
+// runs at Tb, remote surveillance at Tb+Ttd.
+func (d *Detector) alarmStart(r can.NodeID) {
+	t, ok := d.timers[r]
+	if !ok {
+		r := r
+		t = sim.NewTimer(d.sched, func() { d.expire(r) })
+		d.timers[r] = t
+	}
+	if r == d.local {
+		t.Start(d.cfg.Tb)
+	} else {
+		t.Start(d.cfg.Tb + d.cfg.Ttd)
+	}
+}
+
+// onDataNty observes implicit node activity: every data frame (own
+// transmissions included) restarts the transmitter's surveillance timer
+// (lines f03–f05).
+func (d *Detector) onDataNty(mid can.MID) {
+	d.activity(mid.Src)
+}
+
+// onRTRInd observes explicit life-signs (lines f03–f05). Only ELS remote
+// frames carry a node identity usable as an activity signal; other remote
+// frames are clustered and do not identify their transmitter.
+func (d *Detector) onRTRInd(mid can.MID) {
+	if mid.Type == can.TypeELS {
+		d.activity(can.NodeID(mid.Param))
+	}
+}
+
+func (d *Detector) activity(r can.NodeID) {
+	if t, ok := d.timers[r]; ok && t.Armed() {
+		d.alarmStart(r)
+	}
+}
+
+// expire handles surveillance timer expiry (lines f06–f12): the local node
+// broadcasts an explicit life-sign; a silent remote node is reported to
+// the FDA micro-protocol.
+func (d *Detector) expire(r can.NodeID) {
+	if r == d.local {
+		d.lifeSigns++
+		d.tr.Emit(trace.KindELS, int(d.local), "explicit life-sign")
+		_ = d.layer.RTRReq(can.ELSSign(d.local))
+		// The timer restarts on the self-reception of the ELS (f03); if the
+		// bus is congested the re-arm happens only when the frame makes it
+		// out, exactly like the hardware behaves. Re-arm here as a backstop
+		// so a lost ELS does not silence the node forever.
+		d.alarmStart(r)
+		return
+	}
+	d.tr.Emit(trace.KindFDNotify, int(d.local), "timer expired for %v", r)
+	d.fda.Request(r)
+}
+
+// onFDANty completes the protocol (lines f13–f16): a consistent
+// failure-sign cancels the surveillance timer and delivers fd-can.nty to
+// the layer above.
+func (d *Detector) onFDANty(r can.NodeID) {
+	if t, ok := d.timers[r]; ok {
+		t.Stop()
+		delete(d.timers, r)
+	}
+	d.tr.Emit(trace.KindFDANotify, int(d.local), "node %v failed", r)
+	for _, fn := range d.notify {
+		fn(r)
+	}
+}

@@ -1,0 +1,281 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/fault"
+	"canely/internal/sim"
+)
+
+type node struct {
+	port  *bus.Port
+	layer *canlayer.Layer
+	fda   *FDA
+	det   *Detector
+
+	fdaNotices []can.NodeID
+	fdNotices  []can.NodeID
+}
+
+type rig struct {
+	sched *sim.Scheduler
+	bus   *bus.Bus
+	nodes []*node
+}
+
+var testCfg = Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}
+
+func newRig(t *testing.T, n int, inj fault.Injector) *rig {
+	t.Helper()
+	s := sim.NewScheduler()
+	b := bus.New(s, bus.Config{Injector: inj})
+	r := &rig{sched: s, bus: b}
+	for i := 0; i < n; i++ {
+		nd := &node{}
+		nd.port = b.Attach(can.NodeID(i))
+		nd.layer = canlayer.New(nd.port)
+		nd.fda = NewFDA(nd.layer)
+		det, err := NewDetector(s, nd.layer, nd.fda, testCfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.det = det
+		nd.fda.Notify(func(f can.NodeID) { nd.fdaNotices = append(nd.fdaNotices, f) })
+		nd.det.Notify(func(f can.NodeID) { nd.fdNotices = append(nd.fdNotices, f) })
+		r.nodes = append(r.nodes, nd)
+	}
+	return r
+}
+
+func TestFDASingleRequestDiffusesEverywhere(t *testing.T) {
+	r := newRig(t, 4, nil)
+	r.nodes[0].fda.Request(9)
+	r.sched.Run()
+	for i, nd := range r.nodes {
+		if len(nd.fdaNotices) != 1 || nd.fdaNotices[0] != 9 {
+			t.Fatalf("node %d fda notices = %v", i, nd.fdaNotices)
+		}
+	}
+}
+
+func TestFDADeliversExactlyOnceDespiteDuplicates(t *testing.T) {
+	r := newRig(t, 4, nil)
+	// Several detectors request concurrently (clustered) and recipients
+	// re-diffuse: upper layers must still see one notification.
+	r.nodes[0].fda.Request(9)
+	r.nodes[1].fda.Request(9)
+	r.sched.Run()
+	for i, nd := range r.nodes {
+		if len(nd.fdaNotices) != 1 {
+			t.Fatalf("node %d fda notices = %v", i, nd.fdaNotices)
+		}
+	}
+}
+
+func TestFDAClusteringKeepsFrameCountLow(t *testing.T) {
+	r := newRig(t, 8, nil)
+	for i := 0; i < 4; i++ {
+		r.nodes[i].fda.Request(30)
+	}
+	r.sched.Run()
+	// Original (4 clustered) + one clustered re-diffusion wave = 2 frames.
+	if got := r.bus.Stats().FramesOK; got != 2 {
+		t.Fatalf("physical frames = %d, want 2 (clustering)", got)
+	}
+}
+
+func TestFDAInconsistentOmissionWithSenderCrash(t *testing.T) {
+	// The failure-sign's first transmission reaches only node 2; the
+	// transmitter dies. Node 2's re-diffusion must cover everyone:
+	// consistency of failure notifications despite the worst-case scenario.
+	script := fault.NewScript(fault.Rule{
+		Match: fault.NewMatch(can.TypeFDA),
+		Decision: fault.Decision{
+			InconsistentVictims: can.MakeSet(1, 3),
+			CrashSenders:        true,
+		},
+	})
+	r := newRig(t, 4, script)
+	r.nodes[0].fda.Request(9)
+	r.sched.Run()
+	if !script.Exhausted() {
+		t.Fatalf("scenario did not trigger: %s", script.PendingRules())
+	}
+	for i := 1; i < 4; i++ {
+		if len(r.nodes[i].fdaNotices) != 1 {
+			t.Fatalf("node %d fda notices = %v (agreement broken)", i, r.nodes[i].fdaNotices)
+		}
+	}
+}
+
+func TestFDAIndependentInstances(t *testing.T) {
+	r := newRig(t, 3, nil)
+	r.nodes[0].fda.Request(7)
+	r.nodes[1].fda.Request(8)
+	r.sched.Run()
+	for i, nd := range r.nodes {
+		if len(nd.fdaNotices) != 2 {
+			t.Fatalf("node %d notices = %v, want both signs", i, nd.fdaNotices)
+		}
+	}
+}
+
+func TestFDAForgetAllowsReuse(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.nodes[0].fda.Request(5)
+	r.sched.Run()
+	for _, nd := range r.nodes {
+		nd.fda.Forget(5)
+	}
+	r.nodes[1].fda.Request(5)
+	r.sched.Run()
+	if len(r.nodes[0].fdaNotices) != 2 {
+		t.Fatalf("after Forget, second failure not notified: %v", r.nodes[0].fdaNotices)
+	}
+}
+
+func TestDetectorLocalTimerEmitsELS(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.nodes[0].det.Start(0)
+	r.sched.RunUntil(sim.Time(35 * time.Millisecond))
+	if got := r.nodes[0].det.LifeSigns(); got != 3 {
+		t.Fatalf("life-signs = %d, want 3 over 35ms at Tb=10ms", got)
+	}
+}
+
+func TestDetectorRemoteSilenceTriggersFDA(t *testing.T) {
+	r := newRig(t, 3, nil)
+	// Nodes 1,2 monitor node 0; node 0 never signs.
+	r.nodes[1].det.Start(0)
+	r.nodes[2].det.Start(0)
+	r.sched.RunUntil(sim.Time(testCfg.DetectionLatency() + 5*time.Millisecond))
+	for i := 1; i <= 2; i++ {
+		if len(r.nodes[i].fdNotices) != 1 || r.nodes[i].fdNotices[0] != 0 {
+			t.Fatalf("node %d fd notices = %v", i, r.nodes[i].fdNotices)
+		}
+		if r.nodes[i].det.Monitoring(0) {
+			t.Fatalf("node %d still monitoring the failed node", i)
+		}
+	}
+}
+
+func TestDetectorELSKeepsNodeAlive(t *testing.T) {
+	r := newRig(t, 3, nil)
+	// Full surveillance mesh: everyone monitors everyone incl. self.
+	for _, nd := range r.nodes {
+		for j := 0; j < 3; j++ {
+			nd.det.Start(can.NodeID(j))
+		}
+	}
+	r.sched.RunUntil(sim.Time(500 * time.Millisecond))
+	for i, nd := range r.nodes {
+		if len(nd.fdNotices) != 0 {
+			t.Fatalf("node %d false detections: %v", i, nd.fdNotices)
+		}
+	}
+}
+
+func TestDetectorImplicitHeartbeatFromData(t *testing.T) {
+	r := newRig(t, 3, nil)
+	for _, nd := range r.nodes {
+		nd.det.Start(0)
+	}
+	r.nodes[0].det.Start(0)
+	// Node 0 sends application data every 4 ms: no ELS should ever fire.
+	tick := sim.NewTicker(r.sched, func() {
+		_ = r.nodes[0].layer.DataReq(can.DataSign(0, 0, 0), []byte{1})
+	})
+	tick.Start(4 * time.Millisecond)
+	r.sched.RunUntil(sim.Time(300 * time.Millisecond))
+	if got := r.nodes[0].det.LifeSigns(); got != 0 {
+		t.Fatalf("life-signs = %d with fast implicit traffic", got)
+	}
+	for i := 1; i < 3; i++ {
+		if len(r.nodes[i].fdNotices) != 0 {
+			t.Fatalf("node %d false detection from implicit heartbeats", i)
+		}
+	}
+}
+
+func TestDetectorStopCancelsSurveillance(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.nodes[1].det.Start(0)
+	r.nodes[1].det.Stop(0)
+	r.sched.RunUntil(sim.Time(100 * time.Millisecond))
+	if len(r.nodes[1].fdNotices) != 0 {
+		t.Fatal("stopped surveillance still detected a failure")
+	}
+}
+
+func TestDetectorCrashDetectionLatencyBound(t *testing.T) {
+	r := newRig(t, 3, nil)
+	for _, nd := range r.nodes {
+		for j := 0; j < 3; j++ {
+			nd.det.Start(can.NodeID(j))
+		}
+	}
+	r.sched.RunUntil(sim.Time(40 * time.Millisecond))
+	crashAt := r.sched.Now()
+	r.nodes[0].port.Crash()
+	var detectedAt sim.Time
+	done := false
+	r.nodes[1].det.Notify(func(f can.NodeID) {
+		if f == 0 && !done {
+			detectedAt = r.sched.Now()
+			done = true
+		}
+	})
+	r.sched.RunUntil(crashAt.Add(testCfg.DetectionLatency() + 10*time.Millisecond))
+	if !done {
+		t.Fatal("crash never detected")
+	}
+	latency := detectedAt.Sub(crashAt)
+	if latency > testCfg.DetectionLatency() {
+		t.Fatalf("latency %v exceeds bound %v", latency, testCfg.DetectionLatency())
+	}
+	// "Tens of ms" (Figure 11): with Tb=10ms, Ttd=2ms the latency is well
+	// under 20 ms.
+	if latency > 20*time.Millisecond {
+		t.Fatalf("latency %v out of the paper's envelope", latency)
+	}
+}
+
+func TestDetectorRestartOnStartWhileRunning(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.nodes[1].det.Start(0)
+	r.sched.RunUntil(sim.Time(8 * time.Millisecond))
+	r.nodes[1].det.Start(0) // restart pushes the deadline
+	r.sched.RunUntil(sim.Time(14 * time.Millisecond))
+	if len(r.nodes[1].fdNotices) != 0 {
+		t.Fatal("restarted timer fired at the original deadline")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if (Config{Tb: 0, Ttd: time.Millisecond}).Validate() == nil {
+		t.Fatal("zero Tb accepted")
+	}
+	if (Config{Tb: time.Millisecond, Ttd: 0}).Validate() == nil {
+		t.Fatal("zero Ttd accepted")
+	}
+	c := Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}
+	if c.DetectionLatency() != 14*time.Millisecond {
+		t.Fatalf("DetectionLatency = %v", c.DetectionLatency())
+	}
+}
+
+func TestFDADuplicatesCounter(t *testing.T) {
+	r := newRig(t, 3, nil)
+	r.nodes[0].fda.Request(4)
+	r.sched.Run()
+	// Original frame + clustered re-diffusion: every node saw 2 copies.
+	for i, nd := range r.nodes {
+		if got := nd.fda.Duplicates(4); got != 2 {
+			t.Fatalf("node %d duplicates = %d, want 2", i, got)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package fd implements the node failure detection half of the CANELy
+// protocol suite: the Failure Detection Agreement (FDA) micro-protocol of
+// Figure 6 and the node failure detection protocol of Figure 8.
+//
+// FDA secures the reliable broadcast of a failure-sign message — a
+// simplified and optimized "Eager Diffusion" (EDCAN) specialized to CAN
+// remote frames: when a node's surveillance timer expires, the detecting
+// node broadcasts a failure-sign remote frame; every recipient of the first
+// copy delivers the notification upward and, in the absence of an
+// equivalent pending transmit request, requests a retransmission of the
+// same remote frame. Because identical remote frames cluster on the wire,
+// the diffusion typically costs a single extra physical frame, yet it
+// guarantees that even if the original transmission was inconsistently
+// omitted at some nodes and the detector crashed, every correct node still
+// delivers the failure notification.
+package fd
+
+import (
+	"canely/internal/can"
+	"canely/internal/canlayer"
+)
+
+// FDA is the failure detection agreement micro-protocol entity at one node.
+type FDA struct {
+	layer  *canlayer.Layer
+	notify []func(failed can.NodeID)
+
+	// fsNdup counts failure-sign duplicates per failed node; fsNreq counts
+	// local transmit requests. Names follow Figure 6.
+	fsNdup map[can.NodeID]int
+	fsNreq map[can.NodeID]int
+}
+
+// NewFDA creates the protocol entity and hooks it to the layer's remote
+// frame indications.
+func NewFDA(layer *canlayer.Layer) *FDA {
+	f := &FDA{
+		layer:  layer,
+		fsNdup: make(map[can.NodeID]int),
+		fsNreq: make(map[can.NodeID]int),
+	}
+	layer.HandleRTRInd(f.onRTRInd)
+	return f
+}
+
+// Notify registers an fda-can.nty consumer: the consistent notification
+// that a node failed.
+func (f *FDA) Notify(fn func(failed can.NodeID)) {
+	f.notify = append(f.notify, fn)
+}
+
+// Request invokes the protocol for a failed node (fda-can.req, Figure 6
+// lines s00–s05): a single transmit request for the failure-sign message.
+func (f *FDA) Request(failed can.NodeID) {
+	f.fsNreq[failed]++
+	if f.fsNreq[failed] == 1 {
+		// Request errors mean the local controller is dead (crashed or
+		// bus-off); a dead node has no obligations.
+		_ = f.layer.RTRReq(can.FDASign(failed))
+	}
+}
+
+// onRTRInd handles failure-sign arrivals (Figure 6 lines r00–r09). The
+// first copy is delivered upward and eagerly re-diffused unless an
+// equivalent transmit request is already pending (own included — the
+// can-rtr.ind covers own transmissions, so the original sender counts its
+// own frame as the first duplicate and does not re-request).
+func (f *FDA) onRTRInd(mid can.MID) {
+	if mid.Type != can.TypeFDA {
+		return
+	}
+	failed := can.NodeID(mid.Param)
+	f.fsNdup[failed]++
+	if f.fsNdup[failed] != 1 {
+		return
+	}
+	for _, fn := range f.notify {
+		fn(failed)
+	}
+	f.fsNreq[failed]++
+	if f.fsNreq[failed] == 1 && !f.layer.PendingEquivalentRTR(mid) {
+		_ = f.layer.RTRReq(can.FDASign(failed))
+	}
+}
+
+// Duplicates returns how many failure-sign copies were observed for a node
+// (diagnostics and the protocol-efficiency experiments).
+func (f *FDA) Duplicates(failed can.NodeID) int { return f.fsNdup[failed] }
+
+// Forget clears protocol state for a node, allowing a much-later
+// reintegration to fail again. The paper assumes a removed node "does not
+// initiate a reintegration attempt before a period much higher than Tm has
+// elapsed"; the membership layer calls Forget when that period is safely
+// over (at reintegration).
+func (f *FDA) Forget(failed can.NodeID) {
+	delete(f.fsNdup, failed)
+	delete(f.fsNreq, failed)
+}

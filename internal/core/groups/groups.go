@@ -1,0 +1,147 @@
+// Package groups implements process group membership on top of the CANELy
+// site membership service — the use the paper names first when motivating
+// the service ("it is a crucial assistant for process group membership
+// management", §6).
+//
+// A process group is a named set of application processes spread over the
+// sites. The layer maintains, at every site, the group view: the set of
+// sites currently hosting a registered member of the group. Two sources
+// feed it:
+//
+//   - registrations: join/leave announcements carried over the RELCAN
+//     reliable broadcast, so all correct sites agree on who registered;
+//   - the site membership view: when the site membership service expels a
+//     site (crash or withdrawal), its registrations vanish from every
+//     group atomically with the site view change — no per-group failure
+//     detection is needed, which is precisely the paper's point.
+package groups
+
+import (
+	"fmt"
+
+	"canely/internal/can"
+	"canely/internal/core/membership"
+	"canely/internal/edcan"
+)
+
+// GroupID names a process group.
+type GroupID uint8
+
+// action codes on the wire.
+const (
+	actJoin  = 1
+	actLeave = 2
+)
+
+// Change is a group view change notification.
+type Change struct {
+	Group GroupID
+	// Sites is the new group view: sites hosting at least one member.
+	Sites can.NodeSet
+}
+
+// Service is the process-group layer at one site.
+type Service struct {
+	local can.NodeID
+	rel   *edcan.RELCAN
+	site  *membership.Protocol
+
+	// registered[g] is the agreed set of sites registered in group g.
+	registered map[GroupID]can.NodeSet
+	onChange   []func(Change)
+}
+
+// New builds the service on an existing RELCAN broadcaster and site
+// membership protocol. The RELCAN instance may be shared with the
+// application; group announcements use a reserved payload prefix.
+func New(rel *edcan.RELCAN, site *membership.Protocol, local can.NodeID) *Service {
+	s := &Service{
+		local:      local,
+		rel:        rel,
+		site:       site,
+		registered: make(map[GroupID]can.NodeSet),
+	}
+	rel.Deliver(s.onAnnouncement)
+	site.OnChange(func(membership.Change) { s.reconcile() })
+	return s
+}
+
+// OnChange registers a group view change consumer.
+func (s *Service) OnChange(fn func(Change)) { s.onChange = append(s.onChange, fn) }
+
+// Join announces a local process joining a group.
+func (s *Service) Join(g GroupID) error {
+	_, err := s.rel.Broadcast([]byte{actJoin, byte(g), byte(s.local)})
+	if err != nil {
+		return fmt.Errorf("groups: join announcement: %w", err)
+	}
+	return nil
+}
+
+// Leave announces the local process leaving a group.
+func (s *Service) Leave(g GroupID) error {
+	_, err := s.rel.Broadcast([]byte{actLeave, byte(g), byte(s.local)})
+	if err != nil {
+		return fmt.Errorf("groups: leave announcement: %w", err)
+	}
+	return nil
+}
+
+// View returns the current group view: registered sites that are also in
+// the site membership view.
+func (s *Service) View(g GroupID) can.NodeSet {
+	return s.registered[g].Intersect(s.site.View())
+}
+
+// Groups lists the groups with at least one visible member.
+func (s *Service) Groups() []GroupID {
+	var out []GroupID
+	for g := range s.registered {
+		if !s.View(g).Empty() {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// onAnnouncement applies an agreed registration change.
+func (s *Service) onAnnouncement(_ can.NodeID, _ uint8, data []byte) {
+	if len(data) != 3 {
+		return // not a group announcement (shared RELCAN instance)
+	}
+	action, g, site := data[0], GroupID(data[1]), can.NodeID(data[2])
+	if !site.Valid() {
+		return
+	}
+	before := s.View(g)
+	switch action {
+	case actJoin:
+		s.registered[g] = s.registered[g].Add(site)
+	case actLeave:
+		s.registered[g] = s.registered[g].Remove(site)
+	default:
+		return
+	}
+	if after := s.View(g); after != before {
+		s.emit(Change{Group: g, Sites: after})
+	}
+}
+
+// reconcile re-derives every group view after a site membership change:
+// registrations of expelled sites disappear, atomically with the view.
+func (s *Service) reconcile() {
+	view := s.site.View()
+	for g, reg := range s.registered {
+		pruned := reg.Intersect(view)
+		if pruned != reg {
+			s.registered[g] = pruned
+			s.emit(Change{Group: g, Sites: s.View(g)})
+		}
+	}
+}
+
+func (s *Service) emit(c Change) {
+	for _, fn := range s.onChange {
+		fn(c)
+	}
+}

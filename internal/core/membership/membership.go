@@ -1,0 +1,331 @@
+package membership
+
+import (
+	"fmt"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/core/fd"
+	"canely/internal/sim"
+	"canely/internal/trace"
+)
+
+// Config parameterizes the site membership protocol (Figure 9).
+type Config struct {
+	// Tm is the membership cycle period.
+	Tm time.Duration
+	// TjoinWait is the maximum join wait delay armed when a node requests
+	// integration; it must be much longer than Tm (footnote 9). If it
+	// expires with no full member active, the joiners bootstrap a view
+	// among themselves.
+	TjoinWait time.Duration
+	// RHA configures the reception history agreement micro-protocol.
+	RHA RHAConfig
+	// RHAEveryCycle disables the bandwidth-saving skip of Figure 9 line
+	// s22: the RHA micro-protocol then runs every membership cycle even
+	// with no pending join/leave requests. This exists purely for the
+	// ablation benchmarks that quantify the skip's saving.
+	RHAEveryCycle bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Tm <= 0 {
+		return fmt.Errorf("membership: cycle period Tm must be positive, got %v", c.Tm)
+	}
+	if c.TjoinWait <= c.Tm {
+		return fmt.Errorf("membership: join wait %v must exceed the cycle period %v", c.TjoinWait, c.Tm)
+	}
+	if c.RHA.Trha >= c.Tm {
+		return fmt.Errorf("membership: RHA termination %v must be shorter than the cycle period %v", c.RHA.Trha, c.Tm)
+	}
+	return c.RHA.Validate()
+}
+
+// Change is a membership change notification (msh-can.nty): the set of
+// active sites and the set of failed nodes being reported.
+type Change struct {
+	Active can.NodeSet
+	Failed can.NodeSet
+	// Left reports the local node's own successful withdrawal: the final
+	// notification a leaving node receives.
+	Left bool
+}
+
+// Protocol is the site membership protocol entity at one node. It
+// consistently maintains Rf, the site membership view, across node crash
+// failures (folded in from the companion failure detection service) and
+// node join/leave events (agreed through the RHA micro-protocol).
+type Protocol struct {
+	cfg   Config
+	sched *sim.Scheduler
+	layer *canlayer.Layer
+	det   *fd.Detector
+	rha   *RHA
+	tr    *trace.Trace
+	local can.NodeID
+
+	tid *sim.Timer
+
+	// Protocol data sets (Figure 9 line i01).
+	rf     can.NodeSet // site membership view
+	rj     can.NodeSet // nodes in a joining process
+	rjPrev can.NodeSet // joiners carried from the previous cycle (footnote 10)
+	rl     can.NodeSet // nodes requesting withdrawal
+	fset   can.NodeSet // crash failures detected this cycle
+
+	onChange []func(Change)
+
+	// Cycles counts membership cycle completions (diagnostics).
+	Cycles int
+	left   bool
+
+	// sawActivity records evidence of active full members observed while
+	// the local node is not integrated (RHA executions, life-signs,
+	// application traffic). It gates the cold-start bootstrap: a joining
+	// node whose join wait elapsed retries the join when full members are
+	// demonstrably active, instead of bootstrapping a spurious singleton
+	// view. The paper's pseudocode (line s18) assumes the timer can only
+	// expire at a non-integrated node when "no full-member is active";
+	// this flag is what makes that assumption checkable.
+	sawActivity bool
+}
+
+// New wires the membership protocol to the layer, the failure detection
+// service and a fresh RHA instance sharing its node sets.
+func New(sched *sim.Scheduler, layer *canlayer.Layer, det *fd.Detector, cfg Config, tr *trace.Trace) (*Protocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Protocol{
+		cfg:   cfg,
+		sched: sched,
+		layer: layer,
+		det:   det,
+		tr:    tr,
+		local: layer.NodeID(),
+	}
+	var err error
+	p.rha, err = newRHA(sched, layer, p, cfg.RHA, tr)
+	if err != nil {
+		return nil, err
+	}
+	p.tid = sim.NewTimer(sched, p.onTimer)
+	layer.HandleRTRInd(p.onRTRInd)
+	layer.HandleDataNty(p.onDataNty)
+	det.Notify(p.onFDNty)
+	p.rha.NotifyInit(p.onRHAInit)
+	p.rha.NotifyEnd(p.onRHAEnd)
+	return p, nil
+}
+
+// rhaEnv: the shared sets of Figure 7 line i04.
+func (p *Protocol) fullMembers() can.NodeSet { return p.rf }
+func (p *Protocol) joining() can.NodeSet     { return p.rj }
+func (p *Protocol) leaving() can.NodeSet     { return p.rl }
+
+var _ rhaEnv = (*Protocol)(nil)
+
+// RHA exposes the companion micro-protocol (diagnostics and tests).
+func (p *Protocol) RHA() *RHA { return p.rha }
+
+// View returns Rf, the current site membership view.
+func (p *Protocol) View() can.NodeSet { return p.rf }
+
+// Member reports whether the local node is currently a full member.
+func (p *Protocol) Member() bool { return p.rf.Contains(p.local) }
+
+// OnChange registers an msh-can.nty consumer.
+func (p *Protocol) OnChange(fn func(Change)) { p.onChange = append(p.onChange, fn) }
+
+// Bootstrap installs a pre-agreed initial view, starts the membership cycle
+// and begins failure-detection surveillance of every member. The paper
+// describes steady-state operation; bootstrapping with a static initial
+// configuration is the standard way such systems come up (the alternative —
+// concurrent joins onto an empty bus — also works, via Join).
+func (p *Protocol) Bootstrap(view can.NodeSet) {
+	if !view.Contains(p.local) {
+		panic(fmt.Sprintf("membership: bootstrap view %v omits local node %v", view, p.local))
+	}
+	p.rf = view
+	p.tid.Start(p.cfg.Tm)
+	for _, s := range view.IDs() {
+		p.det.Start(s)
+	}
+}
+
+// Join requests integration of the local node into the set of active sites
+// (msh-can.req(JOIN), lines s00–s03).
+func (p *Protocol) Join() {
+	if p.rf.Contains(p.local) {
+		return
+	}
+	p.left = false
+	p.sawActivity = false
+	p.tid.Start(p.cfg.TjoinWait)
+	_ = p.layer.RTRReq(can.JoinSign(p.local))
+	p.tr.Emit(trace.KindJoinRequest, int(p.local), "join requested")
+}
+
+// Leave requests withdrawal of the local node from the site membership
+// view (msh-can.req(LEAVE), lines s07–s09).
+func (p *Protocol) Leave() {
+	if !p.rf.Contains(p.local) {
+		return
+	}
+	_ = p.layer.RTRReq(can.LeaveSign(p.local))
+	p.tr.Emit(trace.KindLeaveRequest, int(p.local), "leave requested")
+}
+
+// onRTRInd collects join/leave requests (lines s04–s06, s10–s12). Local
+// and remote requests are handled identically: both arrive through the
+// bus, own transmissions included.
+func (p *Protocol) onRTRInd(mid can.MID) {
+	switch mid.Type {
+	case can.TypeJoin:
+		p.rj = p.rj.Add(can.NodeID(mid.Param))
+	case can.TypeLeave:
+		p.rl = p.rl.Add(can.NodeID(mid.Param))
+	case can.TypeELS:
+		// A life-sign proves a full member is active.
+		if !p.rf.Contains(p.local) && can.NodeID(mid.Param) != p.local {
+			p.sawActivity = true
+		}
+	}
+}
+
+// onDataNty observes application traffic from other nodes as evidence of
+// active members while the local node is not yet integrated.
+func (p *Protocol) onDataNty(mid can.MID) {
+	if mid.Type == can.TypeData && !p.rf.Contains(p.local) && mid.Src != p.local {
+		p.sawActivity = true
+	}
+}
+
+// onFDNty folds a consistently-signalled node crash into the protocol
+// (lines s13–s16): the failure is accumulated for the cycle's view update
+// and a membership change is notified immediately.
+func (p *Protocol) onFDNty(r can.NodeID) {
+	p.fset = p.fset.Add(r)
+	p.changeNty(p.rf.Diff(p.fset), can.MakeSet(r))
+}
+
+// onRHAInit resynchronizes the membership cycle when an execution of the
+// RHA micro-protocol starts (line s17, first disjunct).
+func (p *Protocol) onRHAInit() {
+	if !p.rf.Contains(p.local) {
+		p.sawActivity = true
+	}
+	p.cycle(false)
+}
+
+// onTimer handles expiry of the membership cycle timer — or, at a node
+// still joining, of the join wait timer (line s17, second disjunct).
+func (p *Protocol) onTimer() { p.cycle(true) }
+
+// cycle implements lines s17–s27.
+func (p *Protocol) cycle(timerExpired bool) {
+	if p.left {
+		return
+	}
+	if timerExpired && !p.rf.Contains(p.local) {
+		if p.sawActivity {
+			// Full members are demonstrably active but our join did not
+			// integrate (e.g. the JOIN frame was inconsistently omitted at
+			// some members, or we were expelled after an inconsistent
+			// failure): retry the join rather than bootstrapping a
+			// spurious parallel view.
+			p.sawActivity = false
+			p.tid.Start(p.cfg.TjoinWait)
+			_ = p.layer.RTRReq(can.JoinSign(p.local))
+			p.tr.Emit(trace.KindJoinRequest, int(p.local), "join retried")
+			return
+		}
+		// The join wait elapsed with no full member active: the joiners
+		// bootstrap the view among themselves (lines s18–s20).
+		p.rf = p.rj
+	}
+	p.tid.Start(p.cfg.Tm)
+	p.Cycles++
+	if !p.rj.Empty() || !p.rl.Empty() || p.cfg.RHAEveryCycle {
+		p.rha.Request()
+	} else {
+		p.viewProc(p.rf)
+	}
+}
+
+// onRHAEnd applies the agreed reception history vector (lines s28–s34).
+func (p *Protocol) onRHAEnd(rhv can.NodeSet) {
+	wasMember := p.rf.Contains(p.local)
+	p.viewProc(rhv)
+	joinersIn := !p.rj.Intersect(p.rf).Empty()
+	leaversOut := !p.rl.Diff(p.rf).Empty()
+	if joinersIn || leaversOut {
+		p.changeNty(p.rf, can.EmptySet)
+	}
+	p.dataProc(wasMember)
+}
+
+// viewProc implements msh-view-proc (lines a00–a02): the new view is the
+// agreed set minus the failures detected during the cycle.
+func (p *Protocol) viewProc(rw can.NodeSet) {
+	old := p.rf
+	p.rf = rw.Diff(p.fset)
+	p.fset = can.EmptySet
+	if p.rf != old {
+		p.tr.Emit(trace.KindViewChange, int(p.local), "view %v -> %v", old, p.rf)
+	}
+}
+
+// dataProc implements msh-data-proc (lines a03–a09): start failure
+// detection for integrated joiners, expire stale join requests after two
+// cycles (footnote 10), stop surveillance of withdrawn nodes.
+func (p *Protocol) dataProc(wasMember bool) {
+	justJoined := p.rj.Intersect(p.rf)
+	if !wasMember && p.rf.Contains(p.local) {
+		// The local node just became a member: begin surveillance of the
+		// entire view (the paper omits this detail; existing members
+		// already monitor each other, the newcomer must catch up).
+		for _, s := range p.rf.IDs() {
+			p.det.Start(s)
+		}
+	} else {
+		for _, s := range justJoined.IDs() {
+			p.det.Start(s)
+		}
+	}
+	// A join request that failed to integrate (inconsistent reception of
+	// the JOIN frame at some members) is retried for one further cycle and
+	// then dropped, so Rj cannot grow without bound.
+	p.rj = p.rj.Diff(p.rf).Diff(p.rjPrev)
+	p.rjPrev = p.rj
+	gone := p.rl.Diff(p.rf)
+	for _, s := range gone.IDs() {
+		p.det.Stop(s)
+	}
+	p.rl = p.rl.Intersect(p.rf)
+}
+
+// changeNty implements msh-chg-nty (lines a10–a18): full members receive
+// the change; a node whose withdrawal completed receives its final
+// notification and stops cycling.
+func (p *Protocol) changeNty(rw, fw can.NodeSet) {
+	switch {
+	case p.rf.Contains(p.local):
+		p.emit(Change{Active: rw, Failed: fw})
+	case p.rl.Contains(p.local):
+		p.tid.Stop()
+		p.left = true
+		// The node is out: stop signalling activity (the local ELS
+		// generator) and deliver the final notification.
+		p.det.Stop(p.local)
+		p.emit(Change{Active: p.rf, Failed: can.MakeSet(p.local), Left: true})
+	}
+}
+
+func (p *Protocol) emit(c Change) {
+	for _, fn := range p.onChange {
+		fn(c)
+	}
+}

@@ -1,0 +1,486 @@
+package membership
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/core/fd"
+	"canely/internal/fault"
+	"canely/internal/sim"
+)
+
+type node struct {
+	port    *bus.Port
+	layer   *canlayer.Layer
+	fda     *fd.FDA
+	det     *fd.Detector
+	msh     *Protocol
+	changes []Change
+}
+
+type rig struct {
+	sched *sim.Scheduler
+	bus   *bus.Bus
+	nodes []*node
+	cfg   Config
+}
+
+func testConfig() Config {
+	return Config{
+		Tm:        50 * time.Millisecond,
+		TjoinWait: 120 * time.Millisecond,
+		RHA:       RHAConfig{Trha: 5 * time.Millisecond, J: 2},
+	}
+}
+
+func newRig(t *testing.T, n int, inj fault.Injector) *rig {
+	t.Helper()
+	s := sim.NewScheduler()
+	b := bus.New(s, bus.Config{Injector: inj})
+	r := &rig{sched: s, bus: b, cfg: testConfig()}
+	fdCfg := fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}
+	for i := 0; i < n; i++ {
+		nd := &node{}
+		nd.port = b.Attach(can.NodeID(i))
+		nd.layer = canlayer.New(nd.port)
+		nd.fda = fd.NewFDA(nd.layer)
+		det, err := fd.NewDetector(s, nd.layer, nd.fda, fdCfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.det = det
+		msh, err := New(s, nd.layer, det, r.cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.msh = msh
+		msh.OnChange(func(c Change) { nd.changes = append(nd.changes, c) })
+		r.nodes = append(r.nodes, nd)
+	}
+	return r
+}
+
+func (r *rig) bootstrap(view can.NodeSet) {
+	for _, nd := range r.nodes {
+		if view.Contains(nd.port.ID()) {
+			nd.msh.Bootstrap(view)
+		}
+	}
+}
+
+func (r *rig) run(d time.Duration) { r.sched.RunFor(d) }
+
+func (r *rig) requireViews(t *testing.T, want can.NodeSet) {
+	t.Helper()
+	for i, nd := range r.nodes {
+		if !nd.port.Alive() || !nd.msh.Member() {
+			continue
+		}
+		if nd.msh.View() != want {
+			t.Fatalf("node %d view = %v, want %v", i, nd.msh.View(), want)
+		}
+	}
+}
+
+func TestBootstrapViewInstalled(t *testing.T) {
+	r := newRig(t, 3, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2))
+	r.run(200 * time.Millisecond)
+	r.requireViews(t, can.MakeSet(0, 1, 2))
+	for i, nd := range r.nodes {
+		if nd.msh.Cycles == 0 {
+			t.Fatalf("node %d never cycled", i)
+		}
+		if len(nd.changes) != 0 {
+			t.Fatalf("node %d spurious changes: %+v", i, nd.changes)
+		}
+	}
+}
+
+func TestBootstrapRequiresLocal(t *testing.T) {
+	r := newRig(t, 2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bootstrap without local node should panic")
+		}
+	}()
+	r.nodes[0].msh.Bootstrap(can.MakeSet(1))
+}
+
+func TestJoinIntegration(t *testing.T) {
+	r := newRig(t, 4, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2))
+	r.run(30 * time.Millisecond)
+	r.nodes[3].msh.Join()
+	r.run(2*r.cfg.Tm + 20*time.Millisecond)
+	r.requireViews(t, can.MakeSet(0, 1, 2, 3))
+	if !r.nodes[3].msh.Member() {
+		t.Fatal("joiner not integrated")
+	}
+	// Every member (incl. the joiner) received exactly one join change.
+	for i, nd := range r.nodes {
+		if len(nd.changes) != 1 || !nd.changes[0].Failed.Empty() {
+			t.Fatalf("node %d changes = %+v", i, nd.changes)
+		}
+	}
+}
+
+func TestJoinIdempotentWhenMember(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.bootstrap(can.MakeSet(0, 1))
+	r.run(10 * time.Millisecond)
+	r.nodes[0].msh.Join() // already a member: no-op
+	r.run(3 * r.cfg.Tm)
+	for _, nd := range r.nodes {
+		if len(nd.changes) != 0 {
+			t.Fatalf("join of an existing member caused changes: %+v", nd.changes)
+		}
+	}
+}
+
+func TestLeaveWithdrawal(t *testing.T) {
+	r := newRig(t, 3, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2))
+	r.run(20 * time.Millisecond)
+	r.nodes[2].msh.Leave()
+	r.run(2*r.cfg.Tm + 20*time.Millisecond)
+	r.requireViews(t, can.MakeSet(0, 1))
+	last := r.nodes[2].changes[len(r.nodes[2].changes)-1]
+	if !last.Left {
+		t.Fatalf("leaver's final change = %+v, want Left", last)
+	}
+	if r.nodes[2].msh.Member() {
+		t.Fatal("leaver still a member")
+	}
+}
+
+func TestLeaveOfNonMemberIgnored(t *testing.T) {
+	r := newRig(t, 2, nil)
+	r.bootstrap(can.MakeSet(0))
+	r.nodes[1].msh.Leave()
+	r.run(3 * r.cfg.Tm)
+	if r.nodes[0].msh.View() != can.MakeSet(0) {
+		t.Fatalf("view = %v", r.nodes[0].msh.View())
+	}
+}
+
+func TestFailureFoldedIntoView(t *testing.T) {
+	r := newRig(t, 3, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2))
+	r.run(30 * time.Millisecond)
+	r.nodes[1].port.Crash()
+	r.run(200 * time.Millisecond)
+	r.requireViews(t, can.MakeSet(0, 2))
+	// Immediate failure notification carried (view-F, {failed}).
+	for _, i := range []int{0, 2} {
+		found := false
+		for _, c := range r.nodes[i].changes {
+			if c.Failed == can.MakeSet(1) && c.Active == can.MakeSet(0, 2) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d missing failure change: %+v", i, r.nodes[i].changes)
+		}
+	}
+}
+
+func TestRHASkippedWithoutPendingRequests(t *testing.T) {
+	r := newRig(t, 3, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2))
+	r.run(500 * time.Millisecond)
+	for i, nd := range r.nodes {
+		if nd.msh.RHA().Executions != 0 {
+			t.Fatalf("node %d ran RHA %d times with no pending join/leave",
+				i, nd.msh.RHA().Executions)
+		}
+	}
+}
+
+func TestRHAConvergesOnInconsistentJoinDelivery(t *testing.T) {
+	// The JOIN remote frame from node 3 is inconsistently omitted at node
+	// 1: Rj differs across members, so their initial RHVs differ. RHA must
+	// still deliver identical vectors everywhere (the join simply fails
+	// this cycle and is retried).
+	script := fault.NewScript(fault.Rule{
+		Match:    fault.Match{Type: can.TypeJoin, Param: 3, Sender: fault.AnySender},
+		Decision: fault.Decision{InconsistentVictims: can.MakeSet(1)},
+	})
+	r := newRig(t, 4, script)
+	r.bootstrap(can.MakeSet(0, 1, 2))
+	r.run(30 * time.Millisecond)
+	r.nodes[3].msh.Join()
+	r.run(4*r.cfg.Tm + 40*time.Millisecond)
+	if !script.Exhausted() {
+		t.Fatalf("scenario did not trigger: %s", script.PendingRules())
+	}
+	// All correct members agree; the joiner eventually integrates through
+	// the CAN retry of its join (the retry-join path).
+	views := map[can.NodeSet]int{}
+	for i := 0; i < 3; i++ {
+		views[r.nodes[i].msh.View()]++
+	}
+	if len(views) != 1 {
+		t.Fatalf("members disagree: %v", views)
+	}
+}
+
+func TestJoinRetryAfterMissedIntegration(t *testing.T) {
+	// ALL copies of node 3's first JOIN are lost to members 1 and 2 while
+	// member 0 sees it — worst-case inconsistency. Node 3 must not
+	// bootstrap a singleton view (members are active) and must eventually
+	// integrate via retry.
+	script := fault.NewScript(fault.Rule{
+		Match:    fault.Match{Type: can.TypeJoin, Param: 3, Sender: fault.AnySender},
+		Decision: fault.Decision{InconsistentVictims: can.MakeSet(1, 2)},
+	})
+	r := newRig(t, 4, script)
+	r.bootstrap(can.MakeSet(0, 1, 2))
+	r.run(30 * time.Millisecond)
+	r.nodes[3].msh.Join()
+	r.run(2 * r.cfg.TjoinWait)
+	if !r.nodes[3].msh.Member() {
+		t.Fatalf("joiner never integrated; view=%v", r.nodes[3].msh.View())
+	}
+	r.requireViews(t, can.MakeSet(0, 1, 2, 3))
+}
+
+func TestColdStartBootstrap(t *testing.T) {
+	r := newRig(t, 3, nil)
+	for _, nd := range r.nodes {
+		nd.msh.Join()
+	}
+	r.run(r.cfg.TjoinWait + 3*r.cfg.Tm)
+	r.requireViews(t, can.MakeSet(0, 1, 2))
+	for i, nd := range r.nodes {
+		if !nd.msh.Member() {
+			t.Fatalf("node %d not integrated on cold start", i)
+		}
+	}
+}
+
+func TestStaggeredColdStart(t *testing.T) {
+	r := newRig(t, 3, nil)
+	r.nodes[0].msh.Join()
+	r.sched.RunFor(5 * time.Millisecond)
+	r.nodes[1].msh.Join()
+	r.sched.RunFor(5 * time.Millisecond)
+	r.nodes[2].msh.Join()
+	r.run(r.cfg.TjoinWait + 4*r.cfg.Tm)
+	r.requireViews(t, can.MakeSet(0, 1, 2))
+}
+
+func TestLateJoinerAfterColdStart(t *testing.T) {
+	r := newRig(t, 4, nil)
+	for i := 0; i < 3; i++ {
+		r.nodes[i].msh.Join()
+	}
+	r.run(r.cfg.TjoinWait + 3*r.cfg.Tm)
+	r.nodes[3].msh.Join()
+	r.run(2*r.cfg.Tm + 20*time.Millisecond)
+	r.requireViews(t, can.MakeSet(0, 1, 2, 3))
+}
+
+func TestStaleJoinRequestExpiresAfterTwoCycles(t *testing.T) {
+	// A JOIN arrives at members but the joiner crashes immediately: the
+	// join request must not linger in Rj forever (footnote 10).
+	r := newRig(t, 3, nil)
+	r.bootstrap(can.MakeSet(0, 1))
+	r.run(20 * time.Millisecond)
+	r.nodes[2].msh.Join()
+	r.run(time.Millisecond)
+	r.nodes[2].port.Crash()
+	r.run(5 * r.cfg.Tm)
+	// The dead joiner integrated briefly (its JOIN was agreed) or not at
+	// all; either way the members must converge on {0,1} once its silence
+	// is detected, and Rj must be empty so RHA stops running.
+	r.requireViews(t, can.MakeSet(0, 1))
+	beforeExecs := []int{r.nodes[0].msh.RHA().Executions, r.nodes[1].msh.RHA().Executions}
+	r.run(4 * r.cfg.Tm)
+	for i := 0; i < 2; i++ {
+		if r.nodes[i].msh.RHA().Executions != beforeExecs[i] {
+			t.Fatalf("node %d still running RHA for a stale join", i)
+		}
+	}
+}
+
+func TestChangeNotificationOnlyWhenCompositionChanges(t *testing.T) {
+	r := newRig(t, 3, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2))
+	r.run(20 * time.Millisecond)
+	r.nodes[2].msh.Leave()
+	r.run(6 * r.cfg.Tm)
+	for _, i := range []int{0, 1} {
+		if len(r.nodes[i].changes) != 1 {
+			t.Fatalf("node %d changes = %+v, want exactly one", i, r.nodes[i].changes)
+		}
+	}
+}
+
+func TestConcurrentLeaves(t *testing.T) {
+	r := newRig(t, 4, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2, 3))
+	r.run(20 * time.Millisecond)
+	r.nodes[2].msh.Leave()
+	r.nodes[3].msh.Leave()
+	r.run(2*r.cfg.Tm + 20*time.Millisecond)
+	r.requireViews(t, can.MakeSet(0, 1))
+}
+
+func TestMassChurn(t *testing.T) {
+	// Figure 10's "multiple join/leave" regime: many membership events in
+	// one cycle, all agreed consistently.
+	r := newRig(t, 8, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2, 3))
+	r.run(20 * time.Millisecond)
+	for i := 4; i < 8; i++ {
+		r.nodes[i].msh.Join()
+	}
+	r.nodes[0].msh.Leave()
+	r.run(2*r.cfg.Tm + 40*time.Millisecond)
+	r.requireViews(t, can.MakeSet(1, 2, 3, 4, 5, 6, 7))
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := testConfig()
+	c.Tm = 0
+	if c.Validate() == nil {
+		t.Fatal("zero Tm accepted")
+	}
+	c = testConfig()
+	c.TjoinWait = c.Tm
+	if c.Validate() == nil {
+		t.Fatal("TjoinWait <= Tm accepted")
+	}
+	c = testConfig()
+	c.RHA.Trha = c.Tm
+	if c.Validate() == nil {
+		t.Fatal("Trha >= Tm accepted")
+	}
+	c = testConfig()
+	c.RHA.J = -1
+	if c.Validate() == nil {
+		t.Fatal("negative J accepted")
+	}
+}
+
+func TestRHADuplicateSuppressionBound(t *testing.T) {
+	// With J=0 the RHA must still converge — the duplicate-suppression
+	// abort is an optimization, not a correctness requirement.
+	r := newRig(t, 3, nil)
+	for i := range r.nodes {
+		r.nodes[i].msh.cfg.RHA.J = 0
+		r.nodes[i].msh.rha.cfg.J = 0
+	}
+	r.bootstrap(can.MakeSet(0, 1))
+	r.run(20 * time.Millisecond)
+	r.nodes[2].msh.Join()
+	r.run(2*r.cfg.Tm + 20*time.Millisecond)
+	r.requireViews(t, can.MakeSet(0, 1, 2))
+}
+
+// TestRHAIntersectionConvergenceProperty checks the algebra the RHA
+// convergence rests on: from any multiset of initial vectors, repeated
+// pairwise intersection in ANY exchange order converges to the global
+// intersection — so the protocol's agreed value is order-independent.
+func TestRHAIntersectionConvergenceProperty(t *testing.T) {
+	prop := func(raw []uint64, order []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		vectors := make([]can.NodeSet, len(raw))
+		global := can.FullSet
+		for i, v := range raw {
+			vectors[i] = can.NodeSet(v)
+			global = global.Intersect(vectors[i])
+		}
+		// Simulate arbitrary pairwise gossip rounds.
+		steps := len(vectors)*len(vectors)*2 + len(order)
+		for s := 0; s < steps; s++ {
+			var a, b int
+			if len(order) > 0 {
+				a = int(order[s%len(order)]) % len(vectors)
+				b = int(order[(s+1)%len(order)]) % len(vectors)
+			} else {
+				a, b = s%len(vectors), (s+1)%len(vectors)
+			}
+			// Deterministic full sweep interleaved to guarantee coverage.
+			c, d := s%len(vectors), (s/len(vectors))%len(vectors)
+			vectors[a] = vectors[a].Intersect(vectors[b])
+			vectors[b] = vectors[a]
+			vectors[c] = vectors[c].Intersect(vectors[d])
+			vectors[d] = vectors[c]
+		}
+		for _, v := range vectors {
+			if v != global {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRHAStragglerRHVTriggersBenignReexecution(t *testing.T) {
+	// An RHV signal arriving at a node with no execution running (e.g. a
+	// straggler after END) starts a fresh execution (Figure 7 line r02)
+	// that converges to the same view — consistency is preserved, only
+	// bandwidth is spent.
+	r := newRig(t, 3, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2))
+	r.run(20 * time.Millisecond)
+	// Inject a synthetic RHV broadcast from node 0 outside any execution.
+	rhv := can.MakeSet(0, 1, 2)
+	if err := r.nodes[0].layer.DataReq(can.RHASign(rhv.Count(), 0), rhv.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	r.run(3 * r.cfg.Tm)
+	r.requireViews(t, can.MakeSet(0, 1, 2))
+	for i, nd := range r.nodes {
+		if nd.msh.RHA().Executions == 0 {
+			t.Fatalf("node %d never executed RHA for the straggler", i)
+		}
+	}
+}
+
+func TestRHANonMemberAdoptsReceivedVector(t *testing.T) {
+	// A node outside the view (no valid Rf) must adopt the received vector
+	// as its initial value (Figure 7 line a05) and deliver the agreed END.
+	r := newRig(t, 4, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2)) // node 3 not bootstrapped, not joined
+	r.run(20 * time.Millisecond)
+	// Members run an RHA (triggered by a join of node 3).
+	r.nodes[3].msh.Join()
+	r.run(2*r.cfg.Tm + 20*time.Millisecond)
+	if !r.nodes[3].msh.Member() {
+		t.Fatalf("non-member never integrated: view=%v", r.nodes[3].msh.View())
+	}
+	if r.nodes[3].msh.View() != can.MakeSet(0, 1, 2, 3) {
+		t.Fatalf("adopted view = %v", r.nodes[3].msh.View())
+	}
+}
+
+func TestMembershipLeaveDuringJoinCycle(t *testing.T) {
+	// A join and the leave of another member land in the same cycle; the
+	// single RHA execution must settle both.
+	r := newRig(t, 4, nil)
+	r.bootstrap(can.MakeSet(0, 1, 2))
+	r.run(20 * time.Millisecond)
+	r.nodes[3].msh.Join()
+	r.nodes[1].msh.Leave()
+	r.run(2*r.cfg.Tm + 20*time.Millisecond)
+	r.requireViews(t, can.MakeSet(0, 2, 3))
+	execs := r.nodes[0].msh.RHA().Executions
+	if execs == 0 || execs > 2 {
+		t.Fatalf("RHA executions = %d, want 1-2 for a combined cycle", execs)
+	}
+}

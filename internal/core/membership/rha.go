@@ -1,0 +1,205 @@
+// Package membership implements the site membership half of the CANELy
+// protocol suite: the Reception History Agreement (RHA) micro-protocol of
+// Figure 7 and the site membership protocol of Figure 9.
+package membership
+
+import (
+	"fmt"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/sim"
+	"canely/internal/trace"
+)
+
+// RHAConfig parameterizes the reception history agreement.
+type RHAConfig struct {
+	// Trha is the protocol's maximum termination time: the local alarm
+	// started when an execution begins. It must cover the bounded number
+	// of convergence rounds [16].
+	Trha time.Duration
+	// J is the inconsistent omission degree bound (LCAN4): once more than
+	// J copies of the current RHV value were observed, a pending local
+	// retransmission request is aborted — even J inconsistent omissions
+	// cannot have hidden the value from any correct node.
+	J int
+}
+
+// Validate checks the configuration.
+func (c RHAConfig) Validate() error {
+	if c.Trha <= 0 {
+		return fmt.Errorf("membership: RHA termination time must be positive, got %v", c.Trha)
+	}
+	if c.J < 0 {
+		return fmt.Errorf("membership: inconsistent omission degree must be non-negative, got %d", c.J)
+	}
+	return nil
+}
+
+// rhaEnv is what RHA shares with the site membership protocol (Figure 7,
+// line i04: the full-member, joining and leaving node sets).
+type rhaEnv interface {
+	fullMembers() can.NodeSet // Rf
+	joining() can.NodeSet     // Rj
+	leaving() can.NodeSet     // Rl
+}
+
+// RHA is the reception history agreement protocol entity at one node. Each
+// member proposes a reception history vector (RHV); executions converge, by
+// pairwise intersection of circulating vectors, on a value delivered
+// identically at all correct nodes within Trha.
+type RHA struct {
+	cfg   RHAConfig
+	sched *sim.Scheduler
+	layer *canlayer.Layer
+	env   rhaEnv
+	tr    *trace.Trace
+	local can.NodeID
+
+	tid     *sim.Timer
+	running bool
+	rhv     can.NodeSet
+	ndup    map[can.NodeSet]int
+	pending can.MID
+	hasPend bool
+
+	onInit []func()
+	onEnd  []func(rhv can.NodeSet)
+
+	// Executions counts completed protocol runs (diagnostics).
+	Executions int
+}
+
+// newRHA wires the protocol entity; package-internal because RHA shares
+// state with the membership protocol that creates it.
+func newRHA(sched *sim.Scheduler, layer *canlayer.Layer, env rhaEnv, cfg RHAConfig, tr *trace.Trace) (*RHA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &RHA{
+		cfg:   cfg,
+		sched: sched,
+		layer: layer,
+		env:   env,
+		tr:    tr,
+		local: layer.NodeID(),
+		ndup:  make(map[can.NodeSet]int),
+	}
+	r.tid = sim.NewTimer(sched, r.expire)
+	layer.HandleDataInd(r.onDataInd)
+	return r, nil
+}
+
+// NotifyInit registers an rha-can.nty(INIT) consumer: protocol execution
+// has started (the membership protocol resynchronizes its cycle timer).
+func (r *RHA) NotifyInit(fn func()) { r.onInit = append(r.onInit, fn) }
+
+// NotifyEnd registers an rha-can.nty(END, RHV) consumer: protocol execution
+// finished with the agreed vector.
+func (r *RHA) NotifyEnd(fn func(rhv can.NodeSet)) { r.onEnd = append(r.onEnd, fn) }
+
+// Running reports whether an execution is in progress.
+func (r *RHA) Running() bool { return r.running }
+
+// Request starts an execution (rha-can.req, Figure 7 lines s00–s04). Only
+// full members may start the protocol in isolation; joining nodes
+// participate once they receive an RHV signal. Requests during a running
+// execution are absorbed.
+func (r *RHA) Request() {
+	if !r.env.fullMembers().Contains(r.local) {
+		return
+	}
+	if r.running {
+		return
+	}
+	r.initSend(can.FullSet)
+}
+
+// initSend implements rha-init-send (lines a00–a09): establish the initial
+// vector, broadcast it, arm the termination alarm and notify INIT upward.
+func (r *RHA) initSend(rw can.NodeSet) {
+	r.running = true
+	r.tid.Start(r.cfg.Trha)
+	if r.env.fullMembers().Contains(r.local) {
+		// Full-member initial vector: ((Rf ∪ Rj) − Rl) ∩ Rw.
+		r.rhv = r.env.fullMembers().Union(r.env.joining()).Diff(r.env.leaving()).Intersect(rw)
+	} else {
+		// Nodes in a joining process have no valid view; they adopt the
+		// received vector (line a05).
+		r.rhv = rw
+	}
+	r.tr.Emit(trace.KindRHAStart, int(r.local), "rhv=%v", r.rhv)
+	r.sendRHV()
+	for _, fn := range r.onInit {
+		fn()
+	}
+}
+
+// sendRHV broadcasts the current vector under mid {RHA, #RHV, local}.
+func (r *RHA) sendRHV() {
+	mid := can.RHASign(r.rhv.Count(), r.local)
+	// A request failure means the local controller died; the execution
+	// will still terminate locally, and the node is about to be detected.
+	_ = r.layer.DataReq(mid, r.rhv.Bytes())
+	r.pending = mid
+	r.hasPend = true
+}
+
+// onDataInd handles RHV signal arrivals (lines r00–r13), own transmissions
+// included (they bump the duplicate counter like any other copy).
+func (r *RHA) onDataInd(mid can.MID, data []byte) {
+	if mid.Type != can.TypeRHA {
+		return
+	}
+	remote, err := can.SetFromBytes(data)
+	if err != nil {
+		// A malformed RHV would be a protocol bug, not a simulated fault:
+		// corrupted frames never reach delivery (MCAN2).
+		panic(fmt.Sprintf("membership: malformed RHV payload: %v", err))
+	}
+	r.ndup[remote]++
+	switch {
+	case !r.running:
+		r.initSend(remote)
+	case r.rhv.Intersect(remote) != r.rhv:
+		// The received vector excludes nodes we still carry: abort our
+		// outstanding proposal, adopt the intersection, rebroadcast
+		// (lines r04–r07).
+		if r.hasPend {
+			r.layer.AbortReq(r.pending)
+		}
+		r.rhv = r.rhv.Intersect(remote)
+		r.sendRHV()
+	case r.rhv == remote && r.ndup[remote] > r.cfg.J:
+		// More than J copies of our exact value are circulating: even J
+		// inconsistent omissions cannot have hidden it from any correct
+		// node, so our own (re)transmission is redundant (line r08).
+		if r.hasPend {
+			r.layer.AbortReq(r.pending)
+			r.hasPend = false
+		}
+	}
+}
+
+// expire ends the execution (lines r14–r18): deliver END with the agreed
+// vector and reset protocol state.
+func (r *RHA) expire() {
+	rhv := r.rhv
+	r.tr.Emit(trace.KindRHAEnd, int(r.local), "rhv=%v", rhv)
+	// Quench any leftover transmit request: with an adequate Trha it has
+	// long been transmitted and this is a no-op; under pathological
+	// overload it prevents a stale vector from triggering a spurious
+	// post-termination execution at every node.
+	if r.hasPend {
+		r.layer.AbortReq(r.pending)
+		r.hasPend = false
+	}
+	r.running = false
+	r.rhv = can.EmptySet
+	r.ndup = make(map[can.NodeSet]int)
+	r.Executions++
+	for _, fn := range r.onEnd {
+		fn(rhv)
+	}
+}

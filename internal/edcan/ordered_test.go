@@ -1,0 +1,225 @@
+package edcan
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/fault"
+	"canely/internal/sim"
+)
+
+type onode struct {
+	port  *bus.Port
+	layer *canlayer.Layer
+	ord   *Ordered
+	got   []string
+}
+
+type orig struct {
+	sched *sim.Scheduler
+	bus   *bus.Bus
+	nodes []*onode
+}
+
+func newOrderedRig(t *testing.T, n int, cfg OrderedConfig, inj fault.Injector) *orig {
+	t.Helper()
+	s := sim.NewScheduler()
+	b := bus.New(s, bus.Config{Injector: inj})
+	r := &orig{sched: s, bus: b}
+	for i := 0; i < n; i++ {
+		nd := &onode{}
+		nd.port = b.Attach(can.NodeID(i))
+		nd.layer = canlayer.New(nd.port)
+		ord, err := NewOrdered(s, nd.layer, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.ord = ord
+		ord.Deliver(func(origin can.NodeID, ref uint8, data []byte) {
+			nd.got = append(nd.got, fmt.Sprintf("%v/%d:%s", origin, ref, data))
+		})
+		r.nodes = append(r.nodes, nd)
+	}
+	return r
+}
+
+var orderedCfg = OrderedConfig{Delta: 5 * time.Millisecond, J: 2}
+
+func TestOrderedDeliversEverywhereInSameOrder(t *testing.T) {
+	r := newOrderedRig(t, 4, orderedCfg, nil)
+	// Three concurrent senders.
+	r.sched.At(0, func() { r.nodes[0].ord.Broadcast([]byte("a")) })
+	r.sched.At(0, func() { r.nodes[1].ord.Broadcast([]byte("b")) })
+	r.sched.At(sim.Time(200*time.Microsecond), func() { r.nodes[2].ord.Broadcast([]byte("c")) })
+	r.sched.Run()
+	ref := r.nodes[0].got
+	if len(ref) != 3 {
+		t.Fatalf("deliveries = %v", ref)
+	}
+	for i, nd := range r.nodes {
+		if len(nd.got) != len(ref) {
+			t.Fatalf("node %d delivered %v, node 0 %v", i, nd.got, ref)
+		}
+		for k := range ref {
+			if nd.got[k] != ref[k] {
+				t.Fatalf("order differs at node %d: %v vs %v", i, nd.got, ref)
+			}
+		}
+	}
+}
+
+func TestOrderedSurvivesInconsistentOmissionAndCrash(t *testing.T) {
+	script := fault.NewScript(fault.Rule{
+		Match: fault.NewMatch(can.TypeRB),
+		Decision: fault.Decision{
+			InconsistentVictims: can.MakeSet(2),
+			CrashSenders:        true,
+		},
+	})
+	r := newOrderedRig(t, 4, orderedCfg, script)
+	r.sched.At(0, func() { r.nodes[0].ord.Broadcast([]byte("x")) })
+	r.sched.Run()
+	if !script.Exhausted() {
+		t.Fatalf("scenario did not fire: %s", script.PendingRules())
+	}
+	for i := 1; i < 4; i++ {
+		if len(r.nodes[i].got) != 1 {
+			t.Fatalf("node %d deliveries = %v", i, r.nodes[i].got)
+		}
+	}
+}
+
+func TestOrderedDeterministicTieBreak(t *testing.T) {
+	// Two messages with the same deadline instant: (origin, ref) breaks
+	// the tie identically everywhere.
+	r := newOrderedRig(t, 3, orderedCfg, nil)
+	r.sched.At(0, func() {
+		r.nodes[1].ord.Broadcast([]byte("lo"))
+		r.nodes[0].ord.Broadcast([]byte("eo"))
+	})
+	r.sched.Run()
+	for i, nd := range r.nodes {
+		if len(nd.got) != 2 {
+			t.Fatalf("node %d got %v", i, nd.got)
+		}
+		if nd.got[0] != "n00/0:eo" {
+			t.Fatalf("node %d tie-break order: %v", i, nd.got)
+		}
+	}
+}
+
+func TestOrderedLateCopyDiscarded(t *testing.T) {
+	// Delta longer than one transmission (~130µs) but shorter than the
+	// error-recovery retransmission (~280µs): the victim's copy arrives
+	// past its deadline and is discarded there while others delivered —
+	// the coverage failure mode the protocol documents.
+	tiny := OrderedConfig{Delta: 200 * time.Microsecond, J: 2}
+	script := fault.NewScript(fault.Rule{
+		Match:    fault.NewMatch(can.TypeRB),
+		Decision: fault.Decision{InconsistentVictims: can.MakeSet(2)},
+	})
+	r := newOrderedRig(t, 3, tiny, script)
+	r.sched.At(0, func() { r.nodes[0].ord.Broadcast([]byte("z")) })
+	r.sched.Run()
+	if r.nodes[2].ord.Discarded == 0 {
+		t.Fatal("late copy should have been discarded")
+	}
+	if len(r.nodes[2].got) != 0 {
+		t.Fatalf("victim delivered %v despite the deadline", r.nodes[2].got)
+	}
+	if len(r.nodes[1].got) != 1 {
+		t.Fatal("non-victim should deliver")
+	}
+}
+
+func TestOrderedPayloadLimit(t *testing.T) {
+	r := newOrderedRig(t, 2, orderedCfg, nil)
+	if _, err := r.nodes[0].ord.Broadcast(make([]byte, MaxOrderedData+1)); err == nil {
+		t.Fatal("oversized ordered payload accepted")
+	}
+	if _, err := r.nodes[0].ord.Broadcast(make([]byte, MaxOrderedData)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedConfigValidation(t *testing.T) {
+	if (OrderedConfig{Delta: 0, J: 0}).Validate() == nil {
+		t.Fatal("zero delta accepted")
+	}
+	if (OrderedConfig{Delta: time.Millisecond, J: -1}).Validate() == nil {
+		t.Fatal("negative J accepted")
+	}
+}
+
+func TestOrderedManyMessagesTotalOrderProperty(t *testing.T) {
+	// A burst of messages from every node: all correct nodes deliver the
+	// exact same sequence. Delta must cover the whole burst's bus backlog
+	// (~60 frames of diffusion traffic), otherwise the accept-deadline
+	// rule consistently rejects the starved lowest-priority messages.
+	r := newOrderedRig(t, 5, OrderedConfig{Delta: 20 * time.Millisecond, J: 2}, nil)
+	for i := 0; i < 5; i++ {
+		i := i
+		for k := 0; k < 4; k++ {
+			k := k
+			at := sim.Time(i*137+k*311) * sim.Time(time.Microsecond)
+			r.sched.At(at, func() {
+				r.nodes[i].ord.Broadcast([]byte{byte(i), byte(k)})
+			})
+		}
+	}
+	r.sched.Run()
+	ref := r.nodes[0].got
+	if len(ref) != 20 {
+		t.Fatalf("deliveries = %d, want 20", len(ref))
+	}
+	for i, nd := range r.nodes {
+		for k := range ref {
+			if nd.got[k] != ref[k] {
+				t.Fatalf("node %d order differs at %d: %v vs %v", i, k, nd.got[k], ref[k])
+			}
+		}
+	}
+}
+
+func TestOrderedOverloadRejectsConsistently(t *testing.T) {
+	// When Delta cannot cover the bus backlog, the accept-deadline rule
+	// starves the lowest-priority messages past their deadlines — but it
+	// does so at EVERY node identically: the delivered sequences still
+	// agree, and the discard counts match. Consistent rejection is the
+	// property that distinguishes the deadline rule from a timeout hack.
+	r := newOrderedRig(t, 5, OrderedConfig{Delta: 5 * time.Millisecond, J: 2}, nil)
+	for i := 0; i < 5; i++ {
+		i := i
+		for k := 0; k < 4; k++ {
+			at := sim.Time(i*137) * sim.Time(time.Microsecond)
+			r.sched.At(at, func() {
+				if _, err := r.nodes[i].ord.Broadcast([]byte{byte(i)}); err != nil {
+					t.Errorf("broadcast: %v", err)
+				}
+			})
+		}
+	}
+	r.sched.Run()
+	ref := r.nodes[0]
+	if ref.ord.Discarded == 0 {
+		t.Skip("no overload manifested; nothing to check")
+	}
+	for i, nd := range r.nodes {
+		if nd.ord.Discarded != ref.ord.Discarded {
+			t.Fatalf("node %d discarded %d, node 0 discarded %d",
+				i, nd.ord.Discarded, ref.ord.Discarded)
+		}
+		if len(nd.got) != len(ref.got) {
+			t.Fatalf("node %d delivered %d, node 0 %d", i, len(nd.got), len(ref.got))
+		}
+		for k := range ref.got {
+			if nd.got[k] != ref.got[k] {
+				t.Fatalf("node %d order differs: %v vs %v", i, nd.got, ref.got)
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package edcan
+
+import (
+	"fmt"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/sim"
+)
+
+// RELCAN is the lazy two-phase reliable broadcast of [18], the bandwidth-
+// frugal sibling of the eager EDCAN diffusion:
+//
+//  1. The sender transmits the message and, on its transmit confirmation,
+//     broadcasts a lightweight CONFIRM remote frame. CAN's acceptance rule
+//     (a receiver takes a frame as valid once the last-but-one bit of its
+//     end-of-frame passed without error) means a confirmed transmission
+//     reached every correct node, so recipients deliver on CONFIRM.
+//  2. If the CONFIRM does not arrive within the fallback timeout — the
+//     sender crashed mid-protocol, possibly leaving an inconsistent
+//     omission behind — the recipients switch to eager diffusion: each
+//     retransmits its copy (bounded by the inconsistent omission degree)
+//     and delivers.
+//
+// Fault-free cost: exactly two physical frames regardless of network size.
+// Failure cost: the EDCAN diffusion, paid only when a sender actually dies.
+type RELCAN struct {
+	cfg   RELCANConfig
+	sched *sim.Scheduler
+	layer *canlayer.Layer
+	local can.NodeID
+
+	deliver []func(origin can.NodeID, ref uint8, data []byte)
+
+	state   map[msgKey]*relState
+	nextRef uint8
+
+	// Confirms and Fallbacks count protocol outcomes (diagnostics).
+	Confirms  int
+	Fallbacks int
+}
+
+// RELCANConfig parameterizes the protocol.
+type RELCANConfig struct {
+	// Timeout is the fallback delay: how long a recipient waits for the
+	// sender's CONFIRM before diffusing eagerly. It must exceed the
+	// worst-case delay between the message and its confirmation (one
+	// frame slot plus queuing).
+	Timeout time.Duration
+	// J is the inconsistent omission degree bound.
+	J int
+}
+
+// Validate checks the configuration.
+func (c RELCANConfig) Validate() error {
+	if c.Timeout <= 0 {
+		return fmt.Errorf("edcan: RELCAN timeout must be positive, got %v", c.Timeout)
+	}
+	if c.J < 0 {
+		return fmt.Errorf("edcan: J must be non-negative, got %d", c.J)
+	}
+	return nil
+}
+
+type relState struct {
+	data      []byte
+	have      bool
+	confirmed bool
+	delivered bool
+	ndup      int
+	retx      bool
+	pendMid   can.MID
+	hasPend   bool
+	timer     *sim.Timer
+}
+
+// NewRELCAN creates the protocol entity on a layer.
+func NewRELCAN(sched *sim.Scheduler, layer *canlayer.Layer, cfg RELCANConfig) (*RELCAN, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &RELCAN{
+		cfg:   cfg,
+		sched: sched,
+		layer: layer,
+		local: layer.NodeID(),
+		state: make(map[msgKey]*relState),
+	}
+	layer.HandleDataInd(r.onDataInd)
+	layer.HandleDataCnf(r.onDataCnf)
+	layer.HandleRTRInd(r.onRTRInd)
+	return r, nil
+}
+
+// Deliver registers a consumer; each message is delivered at most once.
+func (r *RELCAN) Deliver(fn func(origin can.NodeID, ref uint8, data []byte)) {
+	r.deliver = append(r.deliver, fn)
+}
+
+// Broadcast reliably broadcasts a payload. References wrap at 128 (the top
+// bit marks confirmations); as with EDCAN, a reference may only be reused
+// once its previous incarnation has left the network, which holds at CAN
+// bandwidths by the same time-separation argument the paper applies to
+// node reintegration.
+func (r *RELCAN) Broadcast(data []byte) (uint8, error) {
+	ref := r.nextRef & ^uint8(can.RelConfirmFlag)
+	r.nextRef = (r.nextRef + 1) % can.RelConfirmFlag
+	if err := r.layer.DataReq(can.RelSign(r.local, r.local, ref), data); err != nil {
+		return 0, err
+	}
+	return ref, nil
+}
+
+func (r *RELCAN) get(key msgKey) *relState {
+	st, ok := r.state[key]
+	if !ok {
+		st = &relState{}
+		r.state[key] = st
+	}
+	return st
+}
+
+func (r *RELCAN) deliverOnce(key msgKey, st *relState) {
+	if st.delivered || !st.have {
+		return
+	}
+	st.delivered = true
+	if st.timer != nil {
+		st.timer.Stop()
+	}
+	for _, fn := range r.deliver {
+		fn(key.origin, key.ref, st.data)
+	}
+}
+
+// onDataInd handles message copies — originals from the origin and
+// fallback retransmissions from peers (own transmissions included).
+func (r *RELCAN) onDataInd(mid can.MID, data []byte) {
+	if mid.Type != can.TypeRel {
+		return
+	}
+	key := msgKey{can.NodeID(mid.Param), mid.Ref}
+	st := r.get(key)
+	st.ndup++
+	if st.ndup > r.cfg.J && st.hasPend {
+		// Enough copies circulate that even J inconsistent omissions
+		// cannot have hidden the message: our own fallback copy is
+		// redundant (same duplicate-suppression rule as EDCAN/RHA).
+		r.layer.AbortReq(st.pendMid)
+		st.hasPend = false
+	}
+	if !st.have {
+		st.have = true
+		st.data = append([]byte(nil), data...)
+	}
+	switch {
+	case key.origin == r.local:
+		// Own message observed on the bus: safe to deliver locally.
+		r.deliverOnce(key, st)
+	case mid.Src != key.origin:
+		// A fallback retransmission: the sender is gone. Deliver, and join
+		// the diffusion unless enough copies circulate already.
+		r.deliverOnce(key, st)
+		r.maybeRetransmit(key, st)
+	case st.confirmed:
+		r.deliverOnce(key, st)
+	case st.timer == nil:
+		// First original copy, no confirmation yet: await it.
+		key := key
+		st.timer = sim.NewTimer(r.sched, func() { r.fallback(key) })
+		st.timer.Start(r.cfg.Timeout)
+	}
+}
+
+// onDataCnf fires at the origin when its message completed: per the CAN
+// acceptance rule every correct node now holds it, so confirm.
+func (r *RELCAN) onDataCnf(mid can.MID) {
+	if mid.Type != can.TypeRel || can.NodeID(mid.Param) != r.local {
+		return
+	}
+	_ = r.layer.RTRReq(can.RelConfirmSign(r.local, mid.Ref))
+}
+
+// onRTRInd handles CONFIRM frames.
+func (r *RELCAN) onRTRInd(mid can.MID) {
+	if mid.Type != can.TypeRel || mid.Ref&can.RelConfirmFlag == 0 {
+		return
+	}
+	key := msgKey{can.NodeID(mid.Param), mid.Ref &^ can.RelConfirmFlag}
+	st := r.get(key)
+	st.confirmed = true
+	r.Confirms++
+	r.deliverOnce(key, st)
+}
+
+// fallback fires when the confirmation never came: the sender failed.
+func (r *RELCAN) fallback(key msgKey) {
+	st := r.get(key)
+	if st.delivered || st.confirmed {
+		return
+	}
+	r.Fallbacks++
+	r.deliverOnce(key, st)
+	r.maybeRetransmit(key, st)
+}
+
+// maybeRetransmit joins the eager diffusion, bounded by J.
+func (r *RELCAN) maybeRetransmit(key msgKey, st *relState) {
+	if st.retx || st.ndup > r.cfg.J {
+		return
+	}
+	st.retx = true
+	mid := can.RelSign(key.origin, r.local, key.ref)
+	if err := r.layer.DataReq(mid, st.data); err == nil {
+		st.pendMid = mid
+		st.hasPend = true
+	}
+}

@@ -1,0 +1,197 @@
+package edcan
+
+import (
+	"testing"
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/fault"
+	"canely/internal/sim"
+)
+
+type rnode struct {
+	port  *bus.Port
+	layer *canlayer.Layer
+	rel   *RELCAN
+	got   []string
+}
+
+type rrig struct {
+	sched *sim.Scheduler
+	bus   *bus.Bus
+	nodes []*rnode
+}
+
+var relCfg = RELCANConfig{Timeout: 2 * time.Millisecond, J: 2}
+
+func newRelRig(t *testing.T, n int, inj fault.Injector) *rrig {
+	t.Helper()
+	s := sim.NewScheduler()
+	b := bus.New(s, bus.Config{Injector: inj})
+	r := &rrig{sched: s, bus: b}
+	for i := 0; i < n; i++ {
+		nd := &rnode{}
+		nd.port = b.Attach(can.NodeID(i))
+		nd.layer = canlayer.New(nd.port)
+		rel, err := NewRELCAN(s, nd.layer, relCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.rel = rel
+		rel.Deliver(func(origin can.NodeID, ref uint8, data []byte) {
+			nd.got = append(nd.got, string(data))
+		})
+		r.nodes = append(r.nodes, nd)
+	}
+	return r
+}
+
+func TestRELCANFaultFreeCostsTwoFrames(t *testing.T) {
+	r := newRelRig(t, 8, nil)
+	if _, err := r.nodes[0].rel.Broadcast([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.Run()
+	// The lazy protocol's whole point: message + CONFIRM, independent of
+	// network size (EDCAN would pay ~n frames here).
+	if got := r.bus.Stats().FramesOK; got != 2 {
+		t.Fatalf("frames = %d, want 2", got)
+	}
+	for i, nd := range r.nodes {
+		if len(nd.got) != 1 || nd.got[0] != "m" {
+			t.Fatalf("node %d delivered %v", i, nd.got)
+		}
+	}
+}
+
+func TestRELCANDeliveryBeforeTimeout(t *testing.T) {
+	r := newRelRig(t, 3, nil)
+	r.nodes[0].rel.Broadcast([]byte("q"))
+	// Delivery must happen on CONFIRM (~2 frame slots), far earlier than
+	// the fallback timeout.
+	r.sched.RunUntil(sim.Time(500 * time.Microsecond))
+	for i := 1; i < 3; i++ {
+		if len(r.nodes[i].got) != 1 {
+			t.Fatalf("node %d should deliver on CONFIRM, got %v", i, r.nodes[i].got)
+		}
+		if r.nodes[i].rel.Fallbacks != 0 {
+			t.Fatalf("node %d used the fallback in a fault-free run", i)
+		}
+	}
+}
+
+func TestRELCANSenderCrashBeforeConfirmFallsBack(t *testing.T) {
+	// The sender's message completes but the sender dies before the
+	// CONFIRM goes out: recipients time out and diffuse eagerly.
+	script := fault.NewScript(fault.Rule{
+		Match:    fault.Match{Type: can.TypeRel, Param: fault.AnyParam, Sender: 0},
+		Decision: fault.Decision{CrashSenders: true},
+	})
+	r := newRelRig(t, 4, script)
+	r.nodes[0].rel.Broadcast([]byte("w"))
+	r.sched.Run()
+	for i := 1; i < 4; i++ {
+		if len(r.nodes[i].got) != 1 || r.nodes[i].got[0] != "w" {
+			t.Fatalf("node %d delivered %v (agreement broken)", i, r.nodes[i].got)
+		}
+	}
+	fallbacks := 0
+	for _, nd := range r.nodes {
+		fallbacks += nd.rel.Fallbacks
+	}
+	if fallbacks == 0 {
+		t.Fatal("no fallback despite the missing CONFIRM")
+	}
+}
+
+func TestRELCANInconsistentOmissionWithSenderCrash(t *testing.T) {
+	// The hardest case: the message is inconsistently omitted at node 2
+	// AND the sender dies. Node 2 has nothing and no CONFIRM ever comes;
+	// the other recipients' fallback diffusion must reach it.
+	script := fault.NewScript(fault.Rule{
+		Match: fault.Match{Type: can.TypeRel, Param: fault.AnyParam, Sender: 0},
+		Decision: fault.Decision{
+			InconsistentVictims: can.MakeSet(2),
+			CrashSenders:        true,
+		},
+	})
+	r := newRelRig(t, 4, script)
+	r.nodes[0].rel.Broadcast([]byte("v"))
+	r.sched.Run()
+	if !script.Exhausted() {
+		t.Fatalf("scenario did not fire: %s", script.PendingRules())
+	}
+	for i := 1; i < 4; i++ {
+		if len(r.nodes[i].got) != 1 || r.nodes[i].got[0] != "v" {
+			t.Fatalf("node %d delivered %v", i, r.nodes[i].got)
+		}
+	}
+}
+
+func TestRELCANDuplicateSuppression(t *testing.T) {
+	// Under fallback, the diffusion is bounded by J like EDCAN's.
+	script := fault.NewScript(fault.Rule{
+		Match:    fault.Match{Type: can.TypeRel, Param: fault.AnyParam, Sender: 0},
+		Decision: fault.Decision{CrashSenders: true},
+	})
+	r := newRelRig(t, 8, script)
+	r.nodes[0].rel.Broadcast([]byte("d"))
+	r.sched.Run()
+	frames := r.bus.Stats().FramesOK
+	// Original + at most J+1-ish fallback copies, not n.
+	if frames > 5 {
+		t.Fatalf("frames = %d, fallback diffusion unbounded", frames)
+	}
+	for i := 1; i < 8; i++ {
+		if len(r.nodes[i].got) != 1 {
+			t.Fatalf("node %d delivered %v", i, r.nodes[i].got)
+		}
+	}
+}
+
+func TestRELCANMultipleMessagesAndRefWrap(t *testing.T) {
+	r := newRelRig(t, 3, nil)
+	refs := map[uint8]bool{}
+	for k := 0; k < 5; k++ {
+		ref, err := r.nodes[0].rel.Broadcast([]byte{byte('a' + k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref&can.RelConfirmFlag != 0 {
+			t.Fatalf("ref %#x collides with the confirm flag", ref)
+		}
+		if refs[ref] {
+			t.Fatalf("ref %d reused", ref)
+		}
+		refs[ref] = true
+		r.sched.Run()
+	}
+	if len(r.nodes[1].got) != 5 {
+		t.Fatalf("deliveries = %v", r.nodes[1].got)
+	}
+}
+
+func TestRELCANConcurrentSenders(t *testing.T) {
+	r := newRelRig(t, 4, nil)
+	r.sched.At(0, func() {
+		r.nodes[0].rel.Broadcast([]byte("a"))
+		r.nodes[1].rel.Broadcast([]byte("b"))
+	})
+	r.sched.Run()
+	for i, nd := range r.nodes {
+		if len(nd.got) != 2 {
+			t.Fatalf("node %d delivered %v", i, nd.got)
+		}
+	}
+}
+
+func TestRELCANConfigValidation(t *testing.T) {
+	if (RELCANConfig{J: 1}).Validate() == nil {
+		t.Fatal("zero timeout accepted")
+	}
+	if (RELCANConfig{Timeout: time.Millisecond, J: -1}).Validate() == nil {
+		t.Fatal("negative J accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"canely"
+	"canely/internal/can"
+)
+
+// ChurnPoint is one cell of the churn sweep: membership-suite utilization
+// at a given number of simultaneous join requests.
+type ChurnPoint struct {
+	C           int
+	Utilization float64
+}
+
+// MeasureChurnSweep measures the membership-protocol bandwidth as the
+// number of simultaneous join requests grows — the measured counterpart of
+// the paper's footnote 11 ("each join/leave request contributes an
+// increase of ≈0.16% to the overall utilization").
+func MeasureChurnSweep(cs []int, tm time.Duration, seed int64) []ChurnPoint {
+	if len(cs) == 0 {
+		cs = []int{0, 1, 5, 10, 20}
+	}
+	const members = 32
+	var out []ChurnPoint
+	for _, c := range cs {
+		if members+c > can.MaxNodes {
+			panic(fmt.Sprintf("experiments: churn %d exceeds the node space", c))
+		}
+		cfg := canely.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Tm = tm
+		cfg.Tb = tm
+		cfg.TjoinWait = 3 * tm
+		net := canely.NewNetwork(cfg, members)
+		for i := 0; i < c; i++ {
+			net.AddNode(canely.NodeID(members + i))
+		}
+		var view canely.NodeSet
+		for i := 0; i < members; i++ {
+			view = view.Add(canely.NodeID(i))
+		}
+		for i := 0; i < members; i++ {
+			net.Node(canely.NodeID(i)).Bootstrap(view)
+		}
+		net.Run(2 * tm)
+		before := net.Stats()
+		for i := 0; i < c; i++ {
+			net.Node(canely.NodeID(members + i)).Join()
+		}
+		net.Run(2 * tm)
+		window := net.Stats().Sub(before)
+		bits := protocolBits(window)
+		out = append(out, ChurnPoint{
+			C:           c,
+			Utilization: float64(bits) / float64(cfg.Rate.Bits(2*tm)),
+		})
+	}
+	return out
+}
+
+// PerRequestDelta estimates the marginal utilization of one join request
+// from the sweep's endpoints.
+func PerRequestDelta(points []ChurnPoint) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.C == first.C {
+		return 0
+	}
+	return (last.Utilization - first.Utilization) / float64(last.C-first.C)
+}
+
+// FormatChurn renders the sweep.
+func FormatChurn(points []ChurnPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %12s\n", "c", "protocol util")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-6d %11.2f%%\n", p.C, 100*p.Utilization)
+	}
+	fmt.Fprintf(&sb, "per-request delta: %.3f%%\n", 100*PerRequestDelta(points))
+	return sb.String()
+}

@@ -1,0 +1,168 @@
+// Package experiments contains the runnable reproductions of the paper's
+// evaluation: each function regenerates one table or figure, pairing the
+// analytical model of internal/analysis with measurements taken from the
+// simulated CANELy system. The cmd/ tools and the repository benchmarks are
+// thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"canely"
+	"canely/internal/analysis"
+	"canely/internal/can"
+)
+
+// Figure10Point is one (Tm, series) cell of the reproduced Figure 10.
+type Figure10Point struct {
+	Tm         time.Duration
+	Series     analysis.Series
+	Analytical float64
+	Measured   float64
+}
+
+// Figure10Config parameterizes the measured reproduction.
+type Figure10Config struct {
+	// N is the network size (paper: 32) and B the number of nodes that
+	// signal activity only through explicit life-signs (paper: 8); the
+	// remaining N-B nodes run cyclic application traffic fast enough to
+	// signal implicitly.
+	N, B int
+	// F is the number of crash failures injected in the measurement cycle
+	// (paper: 4) and C the join/leave count of the "multiple join/leave"
+	// series (paper: 20).
+	F, C int
+	// Seed drives the simulation.
+	Seed int64
+}
+
+// DefaultFigure10Config returns the paper's operating conditions.
+func DefaultFigure10Config() Figure10Config {
+	return Figure10Config{N: 32, B: 8, F: 4, C: 20, Seed: 1}
+}
+
+// netConfig builds the CANELy configuration for one Tm point. The paper's
+// reference period issues one life-sign per signalling node per cycle, so
+// the heartbeat period tracks the membership cycle period (Tb = Tm).
+func (c Figure10Config) netConfig(tm time.Duration) canely.Config {
+	cfg := canely.DefaultConfig()
+	cfg.Seed = c.Seed
+	cfg.Tm = tm
+	cfg.Tb = tm
+	cfg.TjoinWait = 3 * tm
+	return cfg
+}
+
+// protocolBits sums the wire bits consumed by the membership protocol
+// suite (life-signs, failure-signs, join/leave requests, RHVs).
+func protocolBits(st canely.BusStats) int64 {
+	return st.BitsByType[can.TypeELS] +
+		st.BitsByType[can.TypeFDA] +
+		st.BitsByType[can.TypeJoin] +
+		st.BitsByType[can.TypeLeave] +
+		st.BitsByType[can.TypeRHA]
+}
+
+// measureSeries runs one scenario and returns the utilization attributable
+// to the membership suite, normalized to one cycle period as the paper's
+// analysis does: steady-state life-sign bits are measured over exactly one
+// cycle, event-handling bits (FDA/RHA/requests) are charged in full to the
+// cycle the events occur in.
+func (c Figure10Config) measureSeries(tm time.Duration, s analysis.Series) float64 {
+	cfg := c.netConfig(tm)
+	// Membership nodes 0..N-1; the join series adds joiners above N.
+	joiners := 0
+	switch s {
+	case analysis.SeriesJoinLeave:
+		joiners = 1
+	case analysis.SeriesMultiJoinLeave:
+		joiners = c.C
+	}
+	if c.N+joiners > can.MaxNodes {
+		panic(fmt.Sprintf("experiments: %d nodes exceed the %d limit", c.N+joiners, can.MaxNodes))
+	}
+	net := canely.NewNetwork(cfg, c.N)
+	for i := 0; i < joiners; i++ {
+		net.AddNode(canely.NodeID(c.N + i))
+	}
+	// Initial view: the N members.
+	view := canely.NodeSet(0)
+	for i := 0; i < c.N; i++ {
+		view = view.Add(canely.NodeID(i))
+	}
+	for i := 0; i < c.N; i++ {
+		net.Node(canely.NodeID(i)).Bootstrap(view)
+	}
+	// Nodes B..N-1 signal implicitly through fast cyclic traffic.
+	for i := c.B; i < c.N; i++ {
+		net.Node(canely.NodeID(i)).StartCyclicTraffic(1, tm/4, []byte{1, 2, 3, 4})
+	}
+
+	// Warm up two cycles, then measure life-sign steady state over one Tm.
+	net.Run(2 * tm)
+	before := net.Stats()
+	net.Run(tm)
+	lifeSignBits := net.Stats().Sub(before).BitsByType[can.TypeELS]
+
+	// Inject the series' events and capture their full handling cost.
+	before = net.Stats()
+	switch s {
+	case analysis.SeriesCrashFailures, analysis.SeriesJoinLeave, analysis.SeriesMultiJoinLeave:
+		for i := 0; i < c.F; i++ {
+			net.Node(canely.NodeID(c.B + i)).Crash()
+		}
+	}
+	for i := 0; i < joiners; i++ {
+		net.Node(canely.NodeID(c.N + i)).Join()
+	}
+	// Horizon: detection latency plus two cycles covers every notification
+	// and the RHA executions they trigger.
+	net.Run(cfg.DetectionLatencyBound() + 2*tm)
+	window := net.Stats().Sub(before)
+	eventBits := protocolBits(window) - window.BitsByType[can.TypeELS]
+
+	totalBits := lifeSignBits + eventBits
+	return float64(totalBits) / float64(cfg.Rate.Bits(tm))
+}
+
+// MeasureFigure10 reproduces Figure 10: for every Tm on the paper's x-axis
+// and every series, the analytical worst case next to the measured
+// utilization.
+func MeasureFigure10(c Figure10Config, tms []time.Duration) []Figure10Point {
+	if len(tms) == 0 {
+		for tm := 30; tm <= 90; tm += 10 {
+			tms = append(tms, time.Duration(tm)*time.Millisecond)
+		}
+	}
+	model := analysis.DefaultModel()
+	model.N, model.B, model.F = c.N, c.B, c.F
+	// The simulator carries the CANELy mid in 29-bit identifiers, so the
+	// like-for-like analytical column uses extended frame sizing (the
+	// paper's own plot uses standard frames; cmd/bandwidth prints both).
+	model.Format = can.FormatExtended
+	var out []Figure10Point
+	for _, tm := range tms {
+		for s := analysis.SeriesNoChanges; s <= analysis.SeriesMultiJoinLeave; s++ {
+			out = append(out, Figure10Point{
+				Tm:         tm,
+				Series:     s,
+				Analytical: model.Utilization(tm, s),
+				Measured:   c.measureSeries(tm, s),
+			})
+		}
+	}
+	return out
+}
+
+// FormatFigure10 renders measured-vs-analytical rows.
+func FormatFigure10(points []Figure10Point) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-22s %12s %12s\n", "Tm", "series", "analytical", "measured")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-8v %-22s %11.2f%% %11.2f%%\n",
+			p.Tm, p.Series, 100*p.Analytical, 100*p.Measured)
+	}
+	return sb.String()
+}

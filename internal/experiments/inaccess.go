@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"time"
+
+	"canely/internal/analysis"
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/fault"
+	"canely/internal/sim"
+)
+
+// InaccessibilityResult pairs the measured worst-case inaccessibility from
+// a scripted error burst with the analytical bound of Figure 11.
+type InaccessibilityResult struct {
+	// Burst is the number of back-to-back corrupted attempts injected.
+	Burst int
+	// Measured is the bus-accounted inaccessibility (wasted frames plus
+	// error signalling).
+	Measured time.Duration
+	// Bound is the analytical worst case for the same burst length.
+	Bound time.Duration
+}
+
+// MeasureInaccessibility injects a burst of consecutive corruptions of a
+// maximum-length data frame and reports the inaccessibility the bus
+// accumulated — the measured counterpart of the [22] scenario enumeration
+// behind Figure 11's bounds.
+func MeasureInaccessibility(burst int) InaccessibilityResult {
+	rules := make([]fault.Rule, 0, burst)
+	for i := 0; i < burst; i++ {
+		rules = append(rules, fault.Rule{
+			Match:    fault.NewMatch(can.TypeData),
+			Decision: fault.Decision{Corrupt: true},
+		})
+	}
+	script := fault.NewScript(rules...)
+
+	sched := sim.NewScheduler()
+	b := bus.New(sched, bus.Config{Injector: script})
+	tx := canlayer.New(b.Attach(0))
+	canlayer.New(b.Attach(1))
+	// A maximum-length frame: 8 data bytes, worst-case stuffing.
+	payload := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	_ = tx.DataReq(can.DataSign(0, 0, 1), payload)
+	sched.Run()
+
+	p := analysis.InaccessibilityParams{
+		Format:    can.FormatExtended,
+		DataBytes: 8,
+		Retries:   burst,
+	}
+	_, hiBits := p.Bounds()
+	return InaccessibilityResult{
+		Burst:    burst,
+		Measured: b.Stats().Inaccessibility,
+		Bound:    can.Rate1Mbps.DurationOf(hiBits),
+	}
+}

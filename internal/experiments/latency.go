@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"canely"
+	"canely/internal/analysis"
+	"canely/internal/baselines"
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/sim"
+	"canely/internal/trace"
+)
+
+// LatencyResult summarizes one scheme's measured detection latencies.
+type LatencyResult struct {
+	Scheme   string
+	Measured trace.Latencies
+	Bound    time.Duration
+}
+
+// LatencyConfig parameterizes the §6.6 related-work comparison (experiment
+// E4): the same crash, detected by CANELy, by the OSEK NM logical ring and
+// by CANopen node guarding, over several trials.
+type LatencyConfig struct {
+	N      int
+	Trials int
+	Seed   int64
+	CANELy canely.Config
+	OSEK   baselines.OSEKConfig
+	NMT    baselines.CANopenConfig
+}
+
+// DefaultLatencyConfig returns the reference comparison point.
+func DefaultLatencyConfig() LatencyConfig {
+	return LatencyConfig{
+		N:      8,
+		Trials: 10,
+		Seed:   1,
+		CANELy: canely.DefaultConfig(),
+		OSEK:   baselines.DefaultOSEKConfig(),
+		NMT:    baselines.DefaultCANopenConfig(),
+	}
+}
+
+// MeasureCANELyLatency measures crash-to-notification latency of the
+// CANELy failure detection + membership suite.
+func MeasureCANELyLatency(c LatencyConfig) LatencyResult {
+	res := LatencyResult{Scheme: "CANELy", Bound: c.CANELy.DetectionLatencyBound()}
+	for trial := 0; trial < c.Trials; trial++ {
+		cfg := c.CANELy
+		cfg.Seed = c.Seed + int64(trial)
+		net := canely.NewNetwork(cfg, c.N)
+		net.BootstrapAll()
+		net.Run(50*time.Millisecond + time.Duration(trial)*3*time.Millisecond)
+
+		victim := canely.NodeID(trial % (c.N - 1))
+		observer := net.Node(canely.NodeID(c.N - 1))
+		var detected time.Duration
+		observer.OnChange(func(ch canely.Change) {
+			if detected == 0 && ch.Failed.Contains(victim) {
+				detected = net.Now()
+			}
+		})
+		crashAt := net.Now()
+		net.Node(victim).Crash()
+		net.Run(cfg.DetectionLatencyBound() + cfg.Tm)
+		if detected == 0 {
+			panic(fmt.Sprintf("experiments: CANELy trial %d never detected the crash", trial))
+		}
+		res.Measured.Add(sim.Time(detected), detected-crashAt, "canely")
+	}
+	return res
+}
+
+// MeasureOSEKLatency measures the same crash under the OSEK NM ring.
+func MeasureOSEKLatency(c LatencyConfig) LatencyResult {
+	model := analysis.RelatedWorkModel{N: c.N, OSEKTTyp: c.OSEK.TTyp, OSEKTMax: c.OSEK.TMax}
+	res := LatencyResult{Scheme: "OSEK NM", Bound: model.OSEKLatency()}
+	for trial := 0; trial < c.Trials; trial++ {
+		sched := sim.NewScheduler()
+		b := bus.New(sched, bus.Config{})
+		var ring can.NodeSet
+		for i := 0; i < c.N; i++ {
+			ring = ring.Add(can.NodeID(i))
+		}
+		ports := make([]*bus.Port, c.N)
+		nodes := make([]*baselines.OSEKNode, c.N)
+		var detected sim.Time
+		var crashAt sim.Time
+		victim := can.NodeID(1 + trial%(c.N-1))
+		for i := 0; i < c.N; i++ {
+			ports[i] = b.Attach(can.NodeID(i))
+			n, err := baselines.NewOSEKNode(sched, canlayer.New(ports[i]), ring, c.OSEK)
+			if err != nil {
+				panic(err)
+			}
+			n.OnAbsent(func(gone can.NodeID) {
+				if gone == victim && detected == 0 {
+					detected = sched.Now()
+				}
+			})
+			nodes[i] = n
+		}
+		for _, n := range nodes {
+			n.Start()
+		}
+		sched.RunUntil(sim.Time(50*time.Millisecond + time.Duration(trial)*37*time.Millisecond))
+		crashAt = sched.Now()
+		ports[victim].Crash()
+		sched.RunUntil(crashAt.Add(2 * model.OSEKLatency()))
+		if detected == 0 {
+			panic(fmt.Sprintf("experiments: OSEK trial %d never detected the crash", trial))
+		}
+		res.Measured.Add(detected, detected.Sub(crashAt), "osek")
+	}
+	return res
+}
+
+// MeasureCANopenLatency measures the same crash under master-slave node
+// guarding.
+func MeasureCANopenLatency(c LatencyConfig) LatencyResult {
+	model := analysis.RelatedWorkModel{
+		CANopenGuardTime:  c.NMT.GuardTime,
+		CANopenLifeFactor: c.NMT.LifeFactor,
+	}
+	res := LatencyResult{Scheme: "CANopen guarding", Bound: model.CANopenLatency()}
+	for trial := 0; trial < c.Trials; trial++ {
+		sched := sim.NewScheduler()
+		b := bus.New(sched, bus.Config{})
+		ports := make([]*bus.Port, c.N)
+		for i := 0; i < c.N; i++ {
+			ports[i] = b.Attach(can.NodeID(i))
+		}
+		slaves := make([]can.NodeID, 0, c.N-1)
+		for i := 1; i < c.N; i++ {
+			slaves = append(slaves, can.NodeID(i))
+			baselines.NewCANopenSlave(canlayer.New(ports[i]))
+		}
+		master, err := baselines.NewCANopenMaster(sched, canlayer.New(ports[0]), slaves, c.NMT)
+		if err != nil {
+			panic(err)
+		}
+		victim := can.NodeID(1 + trial%(c.N-1))
+		var detected sim.Time
+		master.OnLost(func(s can.NodeID) {
+			if s == victim && detected == 0 {
+				detected = sched.Now()
+			}
+		})
+		master.Start()
+		sched.RunUntil(sim.Time(250*time.Millisecond + time.Duration(trial)*23*time.Millisecond))
+		crashAt := sched.Now()
+		ports[victim].Crash()
+		sched.RunUntil(crashAt.Add(3 * model.CANopenLatency()))
+		if detected == 0 {
+			panic(fmt.Sprintf("experiments: CANopen trial %d never detected the crash", trial))
+		}
+		res.Measured.Add(detected, detected.Sub(crashAt), "canopen")
+	}
+	return res
+}
+
+// MeasureAllLatencies runs the full E4 comparison, with the TTP TDMA
+// membership model (1 ms slots) included for the Figure 11 context.
+func MeasureAllLatencies(c LatencyConfig) []LatencyResult {
+	return []LatencyResult{
+		MeasureCANELyLatency(c),
+		MeasureOSEKLatency(c),
+		MeasureCANopenLatency(c),
+		MeasureTTPLatency(c, time.Millisecond),
+	}
+}
+
+// FormatLatencies renders the comparison table.
+func FormatLatencies(results []LatencyResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %10s %10s %10s %12s\n", "scheme", "min", "mean", "max", "model bound")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-20s %10v %10v %10v %12v\n",
+			r.Scheme, r.Measured.Min(), r.Measured.Mean(), r.Measured.Max(), r.Bound)
+	}
+	return sb.String()
+}
+
+// MeasureMembershipLatency measures the Figure 11 "membership latency"
+// cell: crash to membership-change notification under the default
+// configuration, across trials. The paper reports "tens of ms".
+func MeasureMembershipLatency(trials int, seed int64) trace.Latencies {
+	c := DefaultLatencyConfig()
+	c.Trials = trials
+	c.Seed = seed
+	return MeasureCANELyLatency(c).Measured
+}
+
+// MeasureTTPLatency measures crash-to-removal latency under the TTP TDMA
+// membership model — the reference point of Figures 1 and 11 ("membership:
+// provided"). Detection is bounded by one TDMA round plus a slot.
+func MeasureTTPLatency(c LatencyConfig, slot time.Duration) LatencyResult {
+	cfg := baselines.TTPConfig{Slot: slot}
+	res := LatencyResult{Scheme: "TTP (TDMA model)", Bound: cfg.MembershipLatencyBound(c.N)}
+	for trial := 0; trial < c.Trials; trial++ {
+		sched := sim.NewScheduler()
+		cluster, err := baselines.NewTTPCluster(sched, c.N, cfg)
+		if err != nil {
+			panic(err)
+		}
+		victim := can.NodeID(1 + trial%(c.N-1))
+		var detected sim.Time
+		cluster.OnChange(0, func(_ can.NodeSet, failed can.NodeID) {
+			if failed == victim && detected == 0 {
+				detected = sched.Now()
+			}
+		})
+		cluster.Start()
+		sched.RunUntil(sim.Time(10*time.Millisecond + time.Duration(trial)*700*time.Microsecond))
+		crashAt := sched.Now()
+		cluster.Crash(victim)
+		sched.RunUntil(crashAt.Add(3 * res.Bound))
+		if detected == 0 {
+			panic(fmt.Sprintf("experiments: TTP trial %d never detected the crash", trial))
+		}
+		res.Measured.Add(detected, detected.Sub(crashAt), "ttp")
+	}
+	return res
+}
+
+// TradeoffPoint is one point of the detection-latency / bandwidth
+// trade-off sweep: the heartbeat period buys bandwidth at the price of
+// latency.
+type TradeoffPoint struct {
+	Tb          time.Duration
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+	Bound       time.Duration
+	// ELSUtilization is the life-sign share of the bus over the run.
+	ELSUtilization float64
+}
+
+// MeasureLatencyBandwidthTradeoff sweeps the heartbeat period Tb and
+// measures both the crash-detection latency and the explicit life-sign
+// bandwidth — the engineering trade-off behind the paper's choice to
+// derive node activity from implicit traffic wherever possible.
+func MeasureLatencyBandwidthTradeoff(tbs []time.Duration, n, trials int, seed int64) []TradeoffPoint {
+	if len(tbs) == 0 {
+		tbs = []time.Duration{5 * time.Millisecond, 10 * time.Millisecond,
+			20 * time.Millisecond, 40 * time.Millisecond}
+	}
+	var out []TradeoffPoint
+	for _, tb := range tbs {
+		cfg := DefaultLatencyConfig()
+		cfg.N = n
+		cfg.Trials = trials
+		cfg.Seed = seed
+		cfg.CANELy.Tb = tb
+		res := MeasureCANELyLatency(cfg)
+
+		// Bandwidth: steady-state run, life-sign share.
+		netCfg := cfg.CANELy
+		netCfg.Seed = seed
+		net := canely.NewNetwork(netCfg, n)
+		net.BootstrapAll()
+		net.Run(time.Second)
+		st := net.Stats()
+		out = append(out, TradeoffPoint{
+			Tb:             tb,
+			MeanLatency:    res.Measured.Mean(),
+			MaxLatency:     res.Measured.Max(),
+			Bound:          res.Bound,
+			ELSUtilization: st.TypeUtilization(netCfg.Rate, time.Second, can.TypeELS),
+		})
+	}
+	return out
+}
+
+// FormatTradeoff renders the sweep.
+func FormatTradeoff(points []TradeoffPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %12s %12s %10s %12s\n", "Tb", "mean latency", "max latency", "bound", "ELS util")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-8v %12v %12v %10v %11.2f%%\n",
+			p.Tb, p.MeanLatency, p.MaxLatency, p.Bound, 100*p.ELSUtilization)
+	}
+	return sb.String()
+}

@@ -1,0 +1,213 @@
+// Package redundancy models the CANELy media redundancy scheme of [17]
+// ("A Columbus' egg idea for CAN media redundancy", FTCS-29) — the
+// mechanism behind the "media redundancy: yes" row of the paper's
+// Figure 11 and the footnote-4 assumption that medium partitions do not
+// partition the *network*.
+//
+// The egg: replicate the transmission medium and drive every replica
+// simultaneously from the same CAN controller. No protocol coordinates the
+// replicas — each receiver merely *selects* among its per-medium receive
+// lines, and a local media-selection unit masks a medium once its observed
+// error count crosses a threshold. Because every frame travels on every
+// medium, masking is purely local and instantaneous: a partition, a
+// stuck-at fault or a babbling segment on one medium is transparent as
+// long as one replica still connects the nodes.
+//
+// The model is structural rather than bit-level: media have fault states
+// (healthy, partitioned at a point, stuck-dominant, stuck-recessive), nodes
+// have positions along the media, and Broadcast computes which receivers
+// obtain a frame and what each node's selection unit learns from the
+// attempt. The properties proved by the tests are the ones the paper
+// relies on: single-medium faults never partition a dual-media network,
+// and selection units converge to masking faulty media within a bounded
+// number of frames.
+package redundancy
+
+import (
+	"fmt"
+)
+
+// MediumState is the health of one medium replica.
+type MediumState int
+
+// Medium fault states.
+const (
+	// Healthy carries traffic between all positions.
+	Healthy MediumState = iota
+	// Partitioned is physically cut at CutAt: positions < CutAt cannot
+	// reach positions >= CutAt.
+	Partitioned
+	// StuckDominant is jammed by a permanent dominant level: nothing can
+	// be transmitted, and every attempt is observed as an error.
+	StuckDominant
+	// StuckRecessive is dead (e.g. open circuit at the driver): frames
+	// never appear on it, observed as missing traffic.
+	StuckRecessive
+)
+
+// String names the state.
+func (s MediumState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Partitioned:
+		return "partitioned"
+	case StuckDominant:
+		return "stuck-dominant"
+	default:
+		return "stuck-recessive"
+	}
+}
+
+// Medium is one replica of the transmission medium.
+type Medium struct {
+	State MediumState
+	// CutAt is the partition point (meaningful only when Partitioned).
+	CutAt int
+}
+
+// reaches reports whether a frame injected at position from appears at
+// position to on this medium.
+func (m Medium) reaches(from, to int) bool {
+	switch m.State {
+	case Healthy:
+		return true
+	case Partitioned:
+		return (from < m.CutAt) == (to < m.CutAt)
+	default:
+		return false
+	}
+}
+
+// erroneous reports whether listening on this medium yields error
+// signatures (rather than mere silence).
+func (m Medium) erroneous() bool { return m.State == StuckDominant }
+
+// Selector is a node's media-selection unit: per-medium error counters and
+// the masking decision.
+type Selector struct {
+	threshold int
+	errors    []int
+	masked    []bool
+}
+
+// NewSelector creates a selection unit over nMedia replicas that masks a
+// medium after threshold observed errors.
+func NewSelector(nMedia, threshold int) *Selector {
+	if nMedia <= 0 {
+		panic("redundancy: need at least one medium")
+	}
+	if threshold <= 0 {
+		threshold = 1
+	}
+	return &Selector{
+		threshold: threshold,
+		errors:    make([]int, nMedia),
+		masked:    make([]bool, nMedia),
+	}
+}
+
+// Masked reports whether medium i is currently masked out.
+func (s *Selector) Masked(i int) bool { return s.masked[i] }
+
+// noteError records an error observation and masks past the threshold.
+func (s *Selector) noteError(i int) {
+	s.errors[i]++
+	if s.errors[i] >= s.threshold {
+		s.masked[i] = true
+	}
+}
+
+// noteGood records a clean reception (slow decay of the error count).
+func (s *Selector) noteGood(i int) {
+	if s.errors[i] > 0 && !s.masked[i] {
+		s.errors[i]--
+	}
+}
+
+// Network is a set of nodes attached to replicated media.
+type Network struct {
+	media     []Medium
+	positions []int // node index -> physical position
+	selectors []*Selector
+}
+
+// NewNetwork builds a network of n nodes at positions 0..n-1 over copies
+// of the given media, with per-node selection units.
+func NewNetwork(n int, media []Medium, maskThreshold int) *Network {
+	if n <= 0 {
+		panic("redundancy: need at least one node")
+	}
+	if len(media) == 0 {
+		panic("redundancy: need at least one medium")
+	}
+	net := &Network{media: append([]Medium(nil), media...)}
+	for i := 0; i < n; i++ {
+		net.positions = append(net.positions, i)
+		net.selectors = append(net.selectors, NewSelector(len(media), maskThreshold))
+	}
+	return net
+}
+
+// SetMedium changes a medium's fault state mid-run.
+func (net *Network) SetMedium(i int, m Medium) {
+	if i < 0 || i >= len(net.media) {
+		panic(fmt.Sprintf("redundancy: medium %d out of range", i))
+	}
+	net.media[i] = m
+}
+
+// Selector exposes a node's selection unit.
+func (net *Network) Selector(node int) *Selector { return net.selectors[node] }
+
+// Broadcast injects one frame at the sender and reports which nodes
+// received it. Each receiver takes the frame from any unmasked medium that
+// delivers it; media observed erroneous feed the selection units.
+func (net *Network) Broadcast(sender int) (received []bool) {
+	received = make([]bool, len(net.positions))
+	from := net.positions[sender]
+	for node, pos := range net.positions {
+		if node == sender {
+			received[node] = true // self-reception via the controller
+			continue
+		}
+		sel := net.selectors[node]
+		for mi, m := range net.media {
+			if sel.Masked(mi) {
+				continue
+			}
+			switch {
+			case m.erroneous():
+				sel.noteError(mi)
+			case m.reaches(from, pos):
+				received[node] = true
+				sel.noteGood(mi)
+			default:
+				// Silence where traffic was due: once the node learns (via
+				// another medium) that a frame existed, the quiet medium is
+				// suspect. Charged only if some other medium delivered.
+			}
+		}
+		if received[node] {
+			// Cross-check: any unmasked medium that stayed silent while a
+			// sibling delivered is charged an error.
+			for mi, m := range net.media {
+				if !sel.Masked(mi) && !m.erroneous() && !m.reaches(from, pos) {
+					sel.noteError(mi)
+				}
+			}
+		}
+	}
+	return received
+}
+
+// Connected reports whether every node received the last broadcast — the
+// paper's "no network partition" property.
+func Connected(received []bool) bool {
+	for _, r := range received {
+		if !r {
+			return false
+		}
+	}
+	return true
+}

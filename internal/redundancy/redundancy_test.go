@@ -1,0 +1,165 @@
+package redundancy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleMediumPartitionSplitsTheNetwork(t *testing.T) {
+	// The failure mode CANELy must rule out: one medium, one cut.
+	net := NewNetwork(6, []Medium{{State: Partitioned, CutAt: 3}}, 3)
+	got := net.Broadcast(0)
+	for node := 0; node < 3; node++ {
+		if !got[node] {
+			t.Fatalf("node %d on the sender's side should receive", node)
+		}
+	}
+	for node := 3; node < 6; node++ {
+		if got[node] {
+			t.Fatalf("node %d across the cut must not receive", node)
+		}
+	}
+	if Connected(got) {
+		t.Fatal("a single partitioned medium must split the network")
+	}
+}
+
+func TestDualMediaMaskPartition(t *testing.T) {
+	// The Columbus' egg: the same cut on one of two media is invisible.
+	net := NewNetwork(6, []Medium{
+		{State: Partitioned, CutAt: 3},
+		{State: Healthy},
+	}, 3)
+	for i := 0; i < 10; i++ {
+		if !Connected(net.Broadcast(i % 6)) {
+			t.Fatalf("broadcast %d not fully delivered", i)
+		}
+	}
+	// The far-side nodes' selectors must have masked the cut medium.
+	if !net.Selector(5).Masked(0) {
+		t.Fatal("selection unit never masked the partitioned medium")
+	}
+	if net.Selector(5).Masked(1) {
+		t.Fatal("healthy medium wrongly masked")
+	}
+}
+
+func TestStuckDominantMediumIsMaskedAndServiceContinues(t *testing.T) {
+	net := NewNetwork(4, []Medium{
+		{State: StuckDominant},
+		{State: Healthy},
+	}, 3)
+	for i := 0; i < 8; i++ {
+		if !Connected(net.Broadcast(i % 4)) {
+			t.Fatalf("broadcast %d lost", i)
+		}
+	}
+	for node := 0; node < 4; node++ {
+		if node == 3 {
+			continue
+		}
+		if !net.Selector(node).Masked(0) {
+			t.Fatalf("node %d never masked the jammed medium", node)
+		}
+	}
+}
+
+func TestStuckRecessiveMediumTransparent(t *testing.T) {
+	net := NewNetwork(4, []Medium{
+		{State: StuckRecessive},
+		{State: Healthy},
+	}, 3)
+	for i := 0; i < 8; i++ {
+		if !Connected(net.Broadcast(i % 4)) {
+			t.Fatalf("broadcast %d lost", i)
+		}
+	}
+	// The dead medium is observed silent-while-sibling-delivered: masked.
+	if !net.Selector(1).Masked(0) {
+		t.Fatal("dead medium never masked")
+	}
+}
+
+func TestMidRunMediumFailure(t *testing.T) {
+	net := NewNetwork(5, []Medium{{State: Healthy}, {State: Healthy}}, 3)
+	for i := 0; i < 5; i++ {
+		if !Connected(net.Broadcast(i % 5)) {
+			t.Fatal("healthy phase broken")
+		}
+	}
+	net.SetMedium(0, Medium{State: Partitioned, CutAt: 2})
+	for i := 0; i < 10; i++ {
+		if !Connected(net.Broadcast(i % 5)) {
+			t.Fatalf("post-failure broadcast %d lost", i)
+		}
+	}
+}
+
+func TestHealthyMediaNeverMasked(t *testing.T) {
+	net := NewNetwork(4, []Medium{{State: Healthy}, {State: Healthy}}, 2)
+	for i := 0; i < 50; i++ {
+		net.Broadcast(i % 4)
+	}
+	for node := 0; node < 4; node++ {
+		for mi := 0; mi < 2; mi++ {
+			if net.Selector(node).Masked(mi) {
+				t.Fatalf("node %d masked healthy medium %d", node, mi)
+			}
+		}
+	}
+}
+
+// Property: with two media, ANY single-medium fault leaves the network
+// connected on every broadcast — the paper's footnote-4 guarantee.
+func TestAnySingleMediumFaultToleratedProperty(t *testing.T) {
+	prop := func(stateRaw, cutRaw, senderRaw uint8) bool {
+		state := MediumState(stateRaw%3) + 1 // Partitioned..StuckRecessive
+		n := 6
+		cut := int(cutRaw%5) + 1
+		net := NewNetwork(n, []Medium{
+			{State: state, CutAt: cut},
+			{State: Healthy},
+		}, 3)
+		for i := 0; i < 12; i++ {
+			sender := (int(senderRaw) + i) % n
+			if !Connected(net.Broadcast(sender)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewNetwork(0, []Medium{{}}, 1) },
+		func() { NewNetwork(1, nil, 1) },
+		func() { NewSelector(0, 1) },
+		func() { NewNetwork(2, []Medium{{}}, 1).SetMedium(5, Medium{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[MediumState]string{
+		Healthy:        "healthy",
+		Partitioned:    "partitioned",
+		StuckDominant:  "stuck-dominant",
+		StuckRecessive: "stuck-recessive",
+	} {
+		if s.String() != want {
+			t.Fatalf("String(%d) = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// virtual time, an event scheduler, cancellable timers and reproducible,
+// per-component random number streams.
+//
+// Every protocol layer in this repository runs on top of a Scheduler. All
+// concurrency in the simulated system is expressed as events on a single
+// virtual timeline, which makes every run bit-for-bit reproducible for a
+// given seed and fault script.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is deliberately distinct from time.Time: simulated CAN runs
+// have no relation to the wall clock.
+type Time int64
+
+// Duration mirrors time.Duration (nanoseconds) on the virtual timeline.
+type Duration = time.Duration
+
+// Common durations re-exported for readability at call sites.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Never is a sentinel Time that is after every reachable instant.
+const Never = Time(math.MaxInt64)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String renders the instant as a duration offset, e.g. "12.345ms".
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return Duration(t).String()
+}
+
+// event is a scheduled callback. Events with equal deadlines fire in
+// scheduling order (seq), which keeps runs deterministic.
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	fired  bool
+	gone   bool // cancelled
+	heapIx int
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIx = i
+	q[j].heapIx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.heapIx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	ev.heapIx = -1
+	return ev
+}
+
+// Event is a handle to a scheduled callback, usable to cancel it.
+type Event struct {
+	s  *Scheduler
+	ev *event
+}
+
+// Cancel prevents the event from firing. It is a no-op if the event already
+// fired or was already cancelled. It reports whether the event was live.
+func (e *Event) Cancel() bool {
+	if e == nil || e.ev == nil || e.ev.fired || e.ev.gone {
+		return false
+	}
+	e.ev.gone = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (e *Event) Pending() bool {
+	return e != nil && e.ev != nil && !e.ev.fired && !e.ev.gone
+}
+
+// When returns the instant the event fires (or fired).
+func (e *Event) When() Time {
+	if e == nil || e.ev == nil {
+		return Never
+	}
+	return e.ev.at
+}
+
+// Scheduler is a deterministic discrete-event scheduler. The zero value is
+// not usable; create one with NewScheduler.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler positioned at virtual time zero.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet reaped).
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.gone {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at the given instant. Scheduling in the past
+// (before Now) panics: in a discrete-event simulation that is always a bug.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Event{s: s, ev: ev}
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After with negative duration %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step executes the next pending event, advancing virtual time to its
+// deadline. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.gone {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	s.running = true
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+	s.running = false
+}
+
+// RunUntil executes events with deadlines <= t, then advances time to t.
+// Events scheduled for after t remain queued.
+func (s *Scheduler) RunUntil(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, s.now))
+	}
+	s.running = true
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > t {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+	s.running = false
+}
+
+// RunFor executes events for a span of d from the current instant.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Stop aborts a Run/RunUntil in progress after the current event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// peek returns the deadline of the next live event.
+func (s *Scheduler) peek() (Time, bool) {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if ev.gone {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}
+
+// NextDeadline returns the instant of the next live event, or Never.
+func (s *Scheduler) NextDeadline() Time {
+	t, ok := s.peek()
+	if !ok {
+		return Never
+	}
+	return t
+}

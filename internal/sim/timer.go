@@ -1,0 +1,131 @@
+package sim
+
+// Timer is a restartable one-shot alarm on the virtual timeline. It mirrors
+// the "start alarm / cancel alarm / alarm expires" interface the CANELy
+// protocol specifications (Figures 7–9 of the paper) are written against.
+//
+// Unlike time.Timer there is no channel: expiry invokes a callback inline on
+// the simulation event loop, which is single-threaded and deterministic.
+type Timer struct {
+	s      *Scheduler
+	fn     func()
+	ev     *Event
+	period Duration
+}
+
+// NewTimer creates a stopped timer that runs fn on expiry.
+func NewTimer(s *Scheduler, fn func()) *Timer {
+	if s == nil {
+		panic("sim: NewTimer with nil scheduler")
+	}
+	if fn == nil {
+		panic("sim: NewTimer with nil callback")
+	}
+	return &Timer{s: s, fn: fn}
+}
+
+// Start arms the timer to expire d from now, cancelling any earlier arming.
+func (t *Timer) Start(d Duration) {
+	t.Stop()
+	t.period = d
+	t.ev = t.s.After(d, t.expire)
+}
+
+// Restart re-arms the timer with its previous duration. It panics if the
+// timer was never started.
+func (t *Timer) Restart() {
+	if t.period == 0 && t.ev == nil {
+		panic("sim: Restart of a never-started timer")
+	}
+	t.Start(t.period)
+}
+
+// Stop disarms the timer. It reports whether the timer was armed.
+func (t *Timer) Stop() bool {
+	if t.ev == nil {
+		return false
+	}
+	live := t.ev.Cancel()
+	t.ev = nil
+	return live
+}
+
+// Armed reports whether the timer is currently counting down.
+func (t *Timer) Armed() bool { return t.ev != nil && t.ev.Pending() }
+
+// Deadline returns the expiry instant, or Never when disarmed.
+func (t *Timer) Deadline() Time {
+	if !t.Armed() {
+		return Never
+	}
+	return t.ev.When()
+}
+
+func (t *Timer) expire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Ticker repeatedly invokes a callback with a fixed period. Protocols use it
+// for cyclic traffic generators and membership cycles.
+type Ticker struct {
+	s      *Scheduler
+	fn     func()
+	period Duration
+	ev     *Event
+}
+
+// NewTicker creates a stopped ticker.
+func NewTicker(s *Scheduler, fn func()) *Ticker {
+	if s == nil {
+		panic("sim: NewTicker with nil scheduler")
+	}
+	if fn == nil {
+		panic("sim: NewTicker with nil callback")
+	}
+	return &Ticker{s: s, fn: fn}
+}
+
+// Start begins ticking every period, with the first tick one period from
+// now. A non-positive period panics.
+func (t *Ticker) Start(period Duration) {
+	if period <= 0 {
+		panic("sim: Ticker.Start with non-positive period")
+	}
+	t.Stop()
+	t.period = period
+	t.ev = t.s.After(period, t.tick)
+}
+
+// StartAt begins ticking every period with the first tick at the given
+// offset from now (may differ from the period, e.g. for phase-staggering
+// cyclic senders).
+func (t *Ticker) StartAt(first, period Duration) {
+	if period <= 0 {
+		panic("sim: Ticker.StartAt with non-positive period")
+	}
+	if first < 0 {
+		panic("sim: Ticker.StartAt with negative first offset")
+	}
+	t.Stop()
+	t.period = period
+	t.ev = t.s.After(first, t.tick)
+}
+
+// Stop halts the ticker.
+func (t *Ticker) Stop() {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Running reports whether the ticker is active.
+func (t *Ticker) Running() bool { return t.ev != nil && t.ev.Pending() }
+
+func (t *Ticker) tick() {
+	// Re-arm before invoking the callback so the callback may Stop the
+	// ticker and observe Running() == false afterwards.
+	t.ev = t.s.After(t.period, t.tick)
+	t.fn()
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"canely/internal/sim"
+)
+
+// LatencySample is one measured latency (e.g. crash-to-notification).
+type LatencySample struct {
+	At    sim.Time
+	Value time.Duration
+	Label string
+}
+
+// Latencies collects latency samples and reduces them to the usual summary
+// statistics.
+type Latencies struct {
+	samples []LatencySample
+}
+
+// Add records a sample.
+func (l *Latencies) Add(at sim.Time, v time.Duration, label string) {
+	l.samples = append(l.samples, LatencySample{At: at, Value: v, Label: label})
+}
+
+// N returns the sample count.
+func (l *Latencies) N() int { return len(l.samples) }
+
+// Samples returns the raw samples.
+func (l *Latencies) Samples() []LatencySample { return l.samples }
+
+// Min returns the smallest sample, or 0 when empty.
+func (l *Latencies) Min() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	min := l.samples[0].Value
+	for _, s := range l.samples[1:] {
+		if s.Value < min {
+			min = s.Value
+		}
+	}
+	return min
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (l *Latencies) Max() time.Duration {
+	var max time.Duration
+	for _, s := range l.samples {
+		if s.Value > max {
+			max = s.Value
+		}
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (l *Latencies) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range l.samples {
+		sum += float64(s.Value)
+	}
+	return time.Duration(sum / float64(len(l.samples)))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by nearest-rank.
+func (l *Latencies) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	vals := make([]time.Duration, len(l.samples))
+	for i, s := range l.samples {
+		vals[i] = s.Value
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	rank := int(math.Ceil(p/100*float64(len(vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(vals) {
+		rank = len(vals) - 1
+	}
+	return vals[rank]
+}
+
+// String summarizes the distribution.
+func (l *Latencies) String() string {
+	return fmt.Sprintf("n=%d min=%v mean=%v p99=%v max=%v",
+		l.N(), l.Min(), l.Mean(), l.Percentile(99), l.Max())
+}

@@ -1,0 +1,147 @@
+// Package trace provides structured event tracing and metric collection for
+// simulation runs. Traces are the raw material for the experiment harness:
+// every layer (bus, controllers, protocols) emits events through a shared
+// Trace, and collectors reduce them to the quantities the paper reports
+// (bandwidth utilization, detection latency, agreement times).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"canely/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind string
+
+// Event kinds emitted by the layers in this repository.
+const (
+	KindTxStart      Kind = "tx-start"
+	KindTxSuccess    Kind = "tx-ok"
+	KindTxError      Kind = "tx-err"
+	KindTxIncons     Kind = "tx-incons"
+	KindCrash        Kind = "crash"
+	KindBusOff       Kind = "bus-off"
+	KindFDANotify    Kind = "fda-nty"
+	KindFDNotify     Kind = "fd-nty"
+	KindELS          Kind = "els"
+	KindRHAStart     Kind = "rha-start"
+	KindRHAEnd       Kind = "rha-end"
+	KindViewChange   Kind = "view-change"
+	KindJoinRequest  Kind = "join-req"
+	KindLeaveRequest Kind = "leave-req"
+)
+
+// Event is one timestamped occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Node int // -1 when not node-specific
+	Msg  string
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	who := "bus"
+	if e.Node >= 0 {
+		who = fmt.Sprintf("n%02d", e.Node)
+	}
+	return fmt.Sprintf("%12v %-10s %-4s %s", e.At, e.Kind, who, e.Msg)
+}
+
+// Trace accumulates events. The zero value is usable and discards nothing.
+// A nil *Trace is also usable everywhere and discards everything, so layers
+// can trace unconditionally.
+type Trace struct {
+	events []Event
+	clock  func() sim.Time
+	sinks  []func(Event)
+}
+
+// New returns a Trace that timestamps events with the given clock.
+func New(clock func() sim.Time) *Trace {
+	return &Trace{clock: clock}
+}
+
+// Emit records an event. Node may be -1 for bus-global events.
+func (t *Trace) Emit(kind Kind, node int, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	var at sim.Time
+	if t.clock != nil {
+		at = t.clock()
+	}
+	e := Event{At: at, Kind: kind, Node: node, Msg: fmt.Sprintf(format, args...)}
+	t.events = append(t.events, e)
+	for _, sink := range t.sinks {
+		sink(e)
+	}
+}
+
+// Subscribe registers a live sink invoked on every subsequent event.
+func (t *Trace) Subscribe(sink func(Event)) {
+	if t == nil || sink == nil {
+		return
+	}
+	t.sinks = append(t.sinks, sink)
+}
+
+// Events returns the recorded events in order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Filter returns events of the given kind.
+func (t *Trace) Filter(kind Kind) []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range t.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of the kind were recorded.
+func (t *Trace) Count(kind Kind) int { return len(t.Filter(kind)) }
+
+// Dump writes the full trace to w.
+func (t *Trace) Dump(w io.Writer) {
+	if t == nil {
+		return
+	}
+	for _, e := range t.events {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// Summary returns a per-kind event count table, sorted by kind.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	counts := map[Kind]int{}
+	for _, e := range t.events {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var sb strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "%-12s %d\n", k, counts[Kind(k)])
+	}
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"canely/internal/sim"
+)
+
+func TestEmitAndFilter(t *testing.T) {
+	now := sim.Time(0)
+	tr := New(func() sim.Time { return now })
+	tr.Emit(KindCrash, 3, "boom")
+	now = sim.Time(5 * time.Millisecond)
+	tr.Emit(KindELS, 1, "sign %d", 7)
+	tr.Emit(KindCrash, 4, "boom2")
+
+	if got := tr.Count(KindCrash); got != 2 {
+		t.Fatalf("crash count = %d", got)
+	}
+	ev := tr.Filter(KindELS)
+	if len(ev) != 1 || ev[0].At != sim.Time(5*time.Millisecond) || ev[0].Msg != "sign 7" {
+		t.Fatalf("filtered = %+v", ev)
+	}
+	if len(tr.Events()) != 3 {
+		t.Fatal("Events length wrong")
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Emit(KindCrash, 0, "x") // must not panic
+	if tr.Events() != nil || tr.Count(KindCrash) != 0 {
+		t.Fatal("nil trace should be empty")
+	}
+	tr.Subscribe(func(Event) {})
+	if tr.Summary() != "" {
+		t.Fatal("nil summary should be empty")
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	tr := New(nil)
+	var got []Event
+	tr.Subscribe(func(e Event) { got = append(got, e) })
+	tr.Emit(KindELS, 2, "x")
+	if len(got) != 1 || got[0].Node != 2 {
+		t.Fatalf("sink got %+v", got)
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	tr := New(nil)
+	tr.Emit(KindELS, 1, "a")
+	tr.Emit(KindELS, 2, "b")
+	tr.Emit(KindCrash, -1, "c")
+	var sb strings.Builder
+	tr.Dump(&sb)
+	if n := strings.Count(sb.String(), "\n"); n != 3 {
+		t.Fatalf("dump lines = %d", n)
+	}
+	if !strings.Contains(sb.String(), "bus") {
+		t.Fatal("node -1 should render as bus")
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "els") || !strings.Contains(sum, "2") {
+		t.Fatalf("summary = %q", sum)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: sim.Time(time.Millisecond), Kind: KindELS, Node: 7, Msg: "hi"}
+	s := e.String()
+	if !strings.Contains(s, "n07") || !strings.Contains(s, "hi") || !strings.Contains(s, "1ms") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	var l Latencies
+	if l.Min() != 0 || l.Max() != 0 || l.Mean() != 0 || l.Percentile(50) != 0 {
+		t.Fatal("empty latencies should be zero")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Add(0, time.Duration(i)*time.Millisecond, "s")
+	}
+	if l.N() != 100 {
+		t.Fatal("N wrong")
+	}
+	if l.Min() != time.Millisecond || l.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", l.Min(), l.Max())
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := l.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := l.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if !strings.Contains(l.String(), "n=100") {
+		t.Fatalf("String = %q", l.String())
+	}
+}

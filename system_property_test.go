@@ -1,0 +1,196 @@
+package canely
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/fault"
+)
+
+// This file checks the paper's system-level guarantees as properties over
+// randomized executions: for many seeds, random background faults, random
+// crash/join/leave schedules — all correct members must end in agreement,
+// failed nodes must be expelled, and notifications must be consistent.
+
+// scenario is one randomized execution plan derived from a seed.
+type scenario struct {
+	seed    int64
+	n       int
+	crash   []NodeID
+	leave   []NodeID
+	join    []NodeID
+	crashAt []time.Duration
+}
+
+func buildScenario(seed int64) scenario {
+	// Simple deterministic derivation (no shared RNG with the network).
+	s := scenario{seed: seed, n: 6 + int(seed%3)}
+	s.crash = []NodeID{NodeID(seed % int64(s.n-1))}
+	s.crashAt = []time.Duration{time.Duration(40+seed*7%60) * time.Millisecond}
+	if seed%2 == 0 {
+		s.leave = []NodeID{NodeID((seed + 2) % int64(s.n-1))}
+	}
+	s.join = []NodeID{NodeID(s.n)}
+	// Avoid the crash and leave colliding on the same node.
+	if len(s.leave) == 1 && s.leave[0] == s.crash[0] {
+		s.leave[0] = (s.leave[0] + 1) % NodeID(s.n-1)
+	}
+	return s
+}
+
+func TestSystemAgreementUnderRandomizedFaultsAndChurn(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sc := buildScenario(seed)
+			cfg := DefaultConfig()
+			cfg.Seed = seed
+			cfg.PCorrupt = 0.03
+			cfg.PInconsistent = 0.015
+			net := NewNetwork(cfg, sc.n)
+			joiner := net.AddNode(sc.join[0])
+
+			var view NodeSet
+			for i := 0; i < sc.n; i++ {
+				view = view.Add(NodeID(i))
+			}
+			for i := 0; i < sc.n; i++ {
+				net.Node(NodeID(i)).Bootstrap(view)
+			}
+			for i := 0; i < sc.n; i += 2 {
+				net.Node(NodeID(i)).StartCyclicTraffic(1, 4*time.Millisecond, []byte{1, 2})
+			}
+
+			sched := net.Scheduler()
+			sched.After(sc.crashAt[0], func() { net.Node(sc.crash[0]).Crash() })
+			sched.After(60*time.Millisecond, func() { joiner.Join() })
+			for _, l := range sc.leave {
+				l := l
+				sched.After(80*time.Millisecond, func() { net.Node(l).Leave() })
+			}
+			net.Run(600 * time.Millisecond)
+
+			// Property 1: all alive members agree on one view.
+			var ref NodeSet
+			first := true
+			for _, nd := range net.Nodes() {
+				if !nd.Alive() || !nd.Member() {
+					continue
+				}
+				if first {
+					ref, first = nd.View(), false
+				} else if nd.View() != ref {
+					t.Fatalf("views diverge: %v vs %v", nd.View(), ref)
+				}
+			}
+			if first {
+				t.Fatal("no members survived")
+			}
+			// Property 2: the crashed node was expelled.
+			if ref.Contains(sc.crash[0]) {
+				t.Fatalf("crashed node %v still in view %v", sc.crash[0], ref)
+			}
+			// Property 3: leavers are out and know it.
+			for _, l := range sc.leave {
+				if ref.Contains(l) {
+					t.Fatalf("left node %v still in view %v", l, ref)
+				}
+				if net.Node(l).Member() {
+					t.Fatalf("left node %v still believes it is a member", l)
+				}
+			}
+			// Property 4: the joiner integrated (joins are retried, so the
+			// background noise cannot permanently exclude it).
+			if !ref.Contains(sc.join[0]) {
+				t.Fatalf("joiner %v missing from view %v", sc.join[0], ref)
+			}
+		})
+	}
+}
+
+func TestSystemViewsNeverContainNeverAttachedNodes(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.PInconsistent = 0.02
+		net := NewNetwork(cfg, 5)
+		net.BootstrapAll()
+		net.Run(400 * time.Millisecond)
+		legal := MakeSet(0, 1, 2, 3, 4)
+		for _, nd := range net.Nodes() {
+			if !nd.View().SubsetOf(legal) {
+				t.Fatalf("seed %d: view %v contains phantom nodes", seed, nd.View())
+			}
+		}
+	}
+}
+
+func TestSystemFailureNotificationsAreConsistentAcrossMembers(t *testing.T) {
+	// Every member must deliver the same multiset of failure notifications
+	// (here: exactly one, for the crashed node), even when failure-sign
+	// transmissions suffer inconsistent omissions.
+	script := fault.NewScript(
+		fault.Rule{
+			Match:    fault.NewMatch(can.TypeFDA),
+			Decision: fault.Decision{InconsistentVictims: can.MakeSet(0)},
+		},
+		fault.Rule{
+			Match:    fault.NewMatch(can.TypeFDA),
+			Decision: fault.Decision{InconsistentVictims: can.MakeSet(2)},
+		},
+	)
+	cfg := DefaultConfig()
+	cfg.Script = script
+	net := NewNetwork(cfg, 5)
+	net.BootstrapAll()
+	failedSeen := make(map[NodeID][]NodeSet)
+	for _, nd := range net.Nodes() {
+		id := nd.ID()
+		nd.OnChange(func(c Change) {
+			if !c.Failed.Empty() {
+				failedSeen[id] = append(failedSeen[id], c.Failed)
+			}
+		})
+	}
+	net.Run(40 * time.Millisecond)
+	net.Node(4).Crash()
+	net.Run(cfg.DetectionLatencyBound() + 2*cfg.Tm)
+
+	for _, id := range []NodeID{0, 1, 2, 3} {
+		got := failedSeen[id]
+		if len(got) != 1 || got[0] != MakeSet(4) {
+			t.Fatalf("node %v failure notifications = %v, want exactly [{n04}]", id, got)
+		}
+	}
+}
+
+// TestBabblingNodeConfinedAndExpelled exercises weak-fail-silent
+// enforcement end to end: a node whose every transmission is corrupted
+// (a defective transceiver) is driven to bus-off by fault confinement and
+// then expelled from the membership by the failure detection service.
+func TestBabblingNodeConfinedAndExpelled(t *testing.T) {
+	script := fault.NewScript(fault.Rule{
+		Match:    fault.Match{Type: 0, Param: fault.AnyParam, Sender: 4},
+		Decision: fault.Decision{Corrupt: true},
+		Repeat:   true,
+	})
+	cfg := DefaultConfig()
+	cfg.Script = script
+	net := NewNetwork(cfg, 5)
+	net.BootstrapAll()
+	// The defective node babbles application data as fast as it can.
+	net.Node(4).StartCyclicTraffic(1, time.Millisecond, []byte{0xBA, 0xD0})
+	net.Run(time.Second)
+
+	requireAgreement(t, net, MakeSet(0, 1, 2, 3))
+	// The defective node stopped consuming bandwidth once confined.
+	st := net.Stats()
+	if st.FramesError < 32 {
+		t.Fatalf("errors = %d, confinement should have taken ~32 failed attempts", st.FramesError)
+	}
+	if st.FramesError > 40 {
+		t.Fatalf("errors = %d, bus-off did not silence the babbler", st.FramesError)
+	}
+}
