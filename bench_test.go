@@ -14,16 +14,21 @@
 //	BenchmarkFDADiffusion           — FDA cost per failure-sign broadcast
 //	BenchmarkRHAAgreement           — RHA cost per join/leave agreement
 //	BenchmarkMembershipCycle        — steady-state cycle engine throughput
+//	BenchmarkCampaignThroughput     — campaign engine scaling across workers
 //	BenchmarkAblation*              — design-choice ablations
 package canely_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"canely"
 	"canely/internal/analysis"
 	"canely/internal/bus"
+	"canely/internal/campaign"
 	"canely/internal/can"
 	"canely/internal/canlayer"
 	"canely/internal/core/fd"
@@ -198,6 +203,35 @@ func BenchmarkMembershipCycle(b *testing.B) {
 		net.Run(time.Second)
 	}
 	b.ReportMetric(1000, "virt-ms/op")
+}
+
+// BenchmarkCampaignThroughput measures the simulation-campaign engine's
+// scaling: a fixed 32-run crash-QoS campaign (n=8) executed at 1, 2, 4 and
+// GOMAXPROCS workers. Runs are independent single-threaded simulations, so
+// throughput should scale near-linearly until the core count is exhausted.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	const runs = 32
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := experiments.CrashQoSSpec(canely.DefaultConfig(), 8, nil,
+				campaign.SeedRange{Base: 1, N: runs})
+			runner := campaign.Runner{Workers: workers}
+			var total int
+			for i := 0; i < b.N; i++ {
+				results, err := runner.Run(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Failed() {
+						b.Fatalf("run %d failed: %s", r.Params.Index, r.Err)
+					}
+				}
+				total += len(results)
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "runs/sec")
+		})
+	}
 }
 
 // BenchmarkAblationImplicitHeartbeats quantifies the bandwidth saved by

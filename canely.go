@@ -159,6 +159,10 @@ func (c Config) DetectionLatencyBound() time.Duration {
 
 // Network is a simulated CANELy system: one bus (or two replicated media)
 // plus a set of nodes, each running the full protocol stack.
+//
+// A Network is single-goroutine: it must only be driven from the goroutine
+// that created it (see guard.go). Campaigns parallelize by building one
+// Network per run inside each worker, never by sharing an instance.
 type Network struct {
 	cfg   Config
 	sched *sim.Scheduler
@@ -168,6 +172,7 @@ type Network struct {
 	rng   *sim.RNG
 	nodes map[NodeID]*Node
 	order []NodeID
+	owner int64 // id of the goroutine that owns this network
 }
 
 // NewNetwork builds a network with nodes 0..n-1 attached. Additional nodes
@@ -197,6 +202,7 @@ func NewNetwork(cfg Config, n int) *Network {
 		tr:    tr,
 		rng:   rng,
 		nodes: make(map[NodeID]*Node),
+		owner: goroutineID(),
 	}
 	if cfg.DualMedia {
 		injB := fault.Injector(fault.None{})
@@ -213,6 +219,7 @@ func NewNetwork(cfg Config, n int) *Network {
 
 // AddNode attaches a node with the full CANELy stack.
 func (n *Network) AddNode(id NodeID) *Node {
+	n.checkOwner()
 	port := n.bus.Attach(id)
 	var ctrl canlayer.Controller = port
 	var dual *redundancy.DualPort
@@ -259,6 +266,7 @@ func (n *Network) Nodes() []*Node {
 // BootstrapAll installs the pre-agreed view containing every attached node
 // and starts all protocol machinery.
 func (n *Network) BootstrapAll() {
+	n.checkOwner()
 	var view NodeSet
 	for _, id := range n.order {
 		view = view.Add(id)
@@ -268,8 +276,12 @@ func (n *Network) BootstrapAll() {
 	}
 }
 
-// Run advances the simulation by d of virtual time.
-func (n *Network) Run(d time.Duration) { n.sched.RunFor(d) }
+// Run advances the simulation by d of virtual time. It must be called from
+// the goroutine that created the Network.
+func (n *Network) Run(d time.Duration) {
+	n.checkOwner()
+	n.sched.RunFor(d)
+}
 
 // Now returns the current virtual time as an offset from the start.
 func (n *Network) Now() time.Duration { return time.Duration(n.sched.Now()) }

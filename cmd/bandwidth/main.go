@@ -6,12 +6,14 @@
 // By default it prints the analytical worst-case model in both frame
 // formats (the paper analyzed standard 11-bit frames; this repository's
 // stack runs on extended 29-bit frames). With -measured it also runs the
-// full-stack simulation at every point (n=32, b=8, f=4, c=20).
+// full-stack simulation at every point (n=32, b=8, f=4, c=20) and the
+// churn sweep as a parallel campaign.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"canely/internal/analysis"
@@ -19,44 +21,56 @@ import (
 	"canely/internal/experiments"
 )
 
-func main() {
-	var (
-		measured = flag.Bool("measured", false, "also measure from full-stack simulation")
-		seed     = flag.Int64("seed", 1, "simulation seed for -measured")
-		tmLo     = flag.Duration("tm-min", 30*time.Millisecond, "smallest Tm")
-		tmHi     = flag.Duration("tm-max", 90*time.Millisecond, "largest Tm")
-		tmStep   = flag.Duration("tm-step", 10*time.Millisecond, "Tm increment")
-	)
-	flag.Parse()
+// options collects the flag values so the report is testable.
+type options struct {
+	measured    bool
+	seed        int64
+	churnTrials int
+	tmLo, tmHi  time.Duration
+	tmStep      time.Duration
+}
 
+// report renders the Figure 10 study.
+func report(o options) string {
 	var tms []time.Duration
-	for tm := *tmLo; tm <= *tmHi; tm += *tmStep {
+	for tm := o.tmLo; tm <= o.tmHi; tm += o.tmStep {
 		tms = append(tms, tm)
 	}
 
-	fmt.Println("Figure 10 — CAN bandwidth utilization by the site membership protocols")
-	fmt.Println("Operating conditions: n=32, b=8, f=4, c in {0,1,20}, 1 Mbit/s")
-	fmt.Println()
-	fmt.Println("Analytical worst case, standard (11-bit) frames — the paper's plot:")
+	var sb strings.Builder
+	sb.WriteString("Figure 10 — CAN bandwidth utilization by the site membership protocols\n")
+	sb.WriteString("Operating conditions: n=32, b=8, f=4, c in {0,1,20}, 1 Mbit/s\n\n")
+	sb.WriteString("Analytical worst case, standard (11-bit) frames — the paper's plot:\n")
 	std := analysis.DefaultModel()
-	fmt.Print(analysis.FormatFigure10(analysis.Figure10(std, tms)))
-	fmt.Println()
-	fmt.Println("Analytical worst case, extended (29-bit) frames — this stack's wire format:")
+	sb.WriteString(analysis.FormatFigure10(analysis.Figure10(std, tms)))
+	sb.WriteString("\nAnalytical worst case, extended (29-bit) frames — this stack's wire format:\n")
 	ext := std
 	ext.Format = can.FormatExtended
-	fmt.Print(analysis.FormatFigure10(analysis.Figure10(ext, tms)))
-	fmt.Println()
-	fmt.Printf("Footnote 11 check: each join/leave request adds %.2f%% at Tm=30ms (paper: ~0.16%%)\n",
+	sb.WriteString(analysis.FormatFigure10(analysis.Figure10(ext, tms)))
+	fmt.Fprintf(&sb, "\nFootnote 11 check: each join/leave request adds %.2f%% at Tm=30ms (paper: ~0.16%%)\n",
 		100*std.PerRequestDelta(30*time.Millisecond))
 
-	if *measured {
-		fmt.Println()
-		fmt.Println("Measured from full-stack simulation (vs extended-format analysis):")
+	if o.measured {
+		sb.WriteString("\nMeasured from full-stack simulation (vs extended-format analysis):\n")
 		cfg := experiments.DefaultFigure10Config()
-		cfg.Seed = *seed
-		fmt.Print(experiments.FormatFigure10(experiments.MeasureFigure10(cfg, tms)))
-		fmt.Println()
-		fmt.Println("Churn sweep at Tm=50ms (footnote 11's marginal request cost, measured):")
-		fmt.Print(experiments.FormatChurn(experiments.MeasureChurnSweep(nil, 50*time.Millisecond, *seed)))
+		cfg.Seed = o.seed
+		sb.WriteString(experiments.FormatFigure10(experiments.MeasureFigure10(cfg, tms)))
+		fmt.Fprintf(&sb, "\nChurn sweep at Tm=50ms (footnote 11's marginal request cost, %d trials per point):\n",
+			o.churnTrials)
+		sb.WriteString(experiments.FormatChurn(
+			experiments.MeasureChurnSweep(nil, 50*time.Millisecond, o.churnTrials, o.seed)))
 	}
+	return sb.String()
+}
+
+func main() {
+	var o options
+	flag.BoolVar(&o.measured, "measured", false, "also measure from full-stack simulation")
+	flag.Int64Var(&o.seed, "seed", 1, "simulation seed for -measured")
+	flag.IntVar(&o.churnTrials, "churn-trials", 5, "seeded trials per churn point for -measured")
+	flag.DurationVar(&o.tmLo, "tm-min", 30*time.Millisecond, "smallest Tm")
+	flag.DurationVar(&o.tmHi, "tm-max", 90*time.Millisecond, "largest Tm")
+	flag.DurationVar(&o.tmStep, "tm-step", 10*time.Millisecond, "Tm increment")
+	flag.Parse()
+	fmt.Print(report(o))
 }

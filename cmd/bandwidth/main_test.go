@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReportAnalytical runs the default main path (analytical only) and
+// checks both frame-format tables and the footnote 11 figure are present.
+func TestReportAnalytical(t *testing.T) {
+	out := report(options{
+		tmLo: 30 * time.Millisecond, tmHi: 90 * time.Millisecond, tmStep: 10 * time.Millisecond,
+	})
+	if out == "" {
+		t.Fatal("empty report")
+	}
+	for _, want := range []string{
+		"Figure 10",
+		"standard (11-bit) frames",
+		"extended (29-bit) frames",
+		"Footnote 11 check",
+		"%", // utilization figures are rendered as percentages
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Measured from full-stack simulation") {
+		t.Fatal("measured section must be off by default")
+	}
+}
+
+// TestReportMeasuredSmoke exercises the -measured path on a single Tm point
+// with a single churn trial to keep the smoke test fast.
+func TestReportMeasuredSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack measurement in -short mode")
+	}
+	out := report(options{
+		measured: true, seed: 1, churnTrials: 1,
+		tmLo: 30 * time.Millisecond, tmHi: 30 * time.Millisecond, tmStep: 10 * time.Millisecond,
+	})
+	for _, want := range []string{"Measured from full-stack simulation", "Churn sweep", "per-request delta"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q", want)
+		}
+	}
+}

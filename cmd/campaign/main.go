@@ -1,0 +1,249 @@
+// Command campaign runs a parallel Monte-Carlo simulation campaign: a
+// parameter grid over the CANELy configuration × a seed sweep, fanned out
+// over a worker pool (internal/campaign), with the failure-detector QoS of
+// every run (detection latency, mistaken suspicions, agreement violations)
+// reduced to statistical aggregates. Aggregates are deterministic: the same
+// grid and seeds produce byte-identical JSON at any -workers value.
+//
+// Examples:
+//
+//	campaign -grid "tb=5ms,10ms,20ms" -seeds 200 -o report.json
+//	campaign -grid "tb=10ms;pcorrupt=0,0.01" -seeds 1000 -csv report.csv
+//	campaign -bench BENCH_campaign.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"canely"
+	"canely/internal/campaign"
+	"canely/internal/experiments"
+)
+
+// The knob tables map grid keys to configuration setters; the table a key
+// lives in decides how its values parse.
+var durationKnobs = map[string]func(*canely.Config, time.Duration){
+	"tb":        func(c *canely.Config, v time.Duration) { c.Tb = v },
+	"tm":        func(c *canely.Config, v time.Duration) { c.Tm = v },
+	"ttd":       func(c *canely.Config, v time.Duration) { c.Ttd = v },
+	"trha":      func(c *canely.Config, v time.Duration) { c.Trha = v },
+	"tjoinwait": func(c *canely.Config, v time.Duration) { c.TjoinWait = v },
+}
+
+var floatKnobs = map[string]func(*canely.Config, float64){
+	"pcorrupt":      func(c *canely.Config, v float64) { c.PCorrupt = v },
+	"pinconsistent": func(c *canely.Config, v float64) { c.PInconsistent = v },
+}
+
+var intKnobs = map[string]func(*canely.Config, int){
+	"j": func(c *canely.Config, v int) { c.J = v },
+	"k": func(c *canely.Config, v int) { c.K = v },
+}
+
+// parseGrid turns "tb=5ms,10ms;pcorrupt=0,0.01" into campaign axes.
+func parseGrid(spec string) ([]campaign.Axis, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var axes []campaign.Axis
+	for _, part := range strings.Split(spec, ";") {
+		key, vals, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || vals == "" {
+			return nil, fmt.Errorf("axis %q: want key=v1,v2,...", part)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		ax := campaign.Axis{Name: key}
+		for _, raw := range strings.Split(vals, ",") {
+			raw = strings.TrimSpace(raw)
+			var av campaign.AxisValue
+			switch {
+			case durationKnobs[key] != nil:
+				d, err := time.ParseDuration(raw)
+				if err != nil {
+					return nil, fmt.Errorf("axis %q: bad duration %q: %v", key, raw, err)
+				}
+				apply := durationKnobs[key]
+				av = campaign.AxisValue{Label: d.String(), Apply: func(c *canely.Config) { apply(c, d) }, Value: d}
+			case floatKnobs[key] != nil:
+				f, err := strconv.ParseFloat(raw, 64)
+				if err != nil {
+					return nil, fmt.Errorf("axis %q: bad float %q: %v", key, raw, err)
+				}
+				apply := floatKnobs[key]
+				av = campaign.AxisValue{Label: raw, Apply: func(c *canely.Config) { apply(c, f) }, Value: f}
+			case intKnobs[key] != nil:
+				n, err := strconv.Atoi(raw)
+				if err != nil {
+					return nil, fmt.Errorf("axis %q: bad int %q: %v", key, raw, err)
+				}
+				apply := intKnobs[key]
+				av = campaign.AxisValue{Label: raw, Apply: func(c *canely.Config) { apply(c, n) }, Value: n}
+			default:
+				return nil, fmt.Errorf("unknown grid key %q (known: tb, tm, ttd, trha, tjoinwait, pcorrupt, pinconsistent, j, k)", key)
+			}
+			ax.Values = append(ax.Values, av)
+		}
+		axes = append(axes, ax)
+	}
+	return axes, nil
+}
+
+// benchReport is the BENCH_campaign.json artifact: the campaign engine's
+// throughput ladder plus the p99 detection latency of the measured runs —
+// the perf baseline future changes regress against.
+type benchReport struct {
+	Benchmark      string       `json:"benchmark"`
+	Nodes          int          `json:"nodes"`
+	RunsPerLadder  int          `json:"runs_per_ladder"`
+	Workers        []benchPoint `json:"workers"`
+	P99DetectionMs float64      `json:"p99_detection_ms"`
+}
+
+type benchPoint struct {
+	Workers    int     `json:"workers"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+	Speedup    float64 `json:"speedup_vs_1"`
+}
+
+// measureThroughput times a fixed crash-QoS campaign at each worker count.
+func measureThroughput(nodes, runs int) benchReport {
+	rep := benchReport{Benchmark: "campaign-throughput", Nodes: nodes, RunsPerLadder: runs}
+	ladder := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var base float64
+	for _, w := range ladder {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		spec := experiments.CrashQoSSpec(canely.DefaultConfig(), nodes, nil,
+			campaign.SeedRange{Base: 1, N: runs})
+		runner := campaign.Runner{Workers: w}
+		start := time.Now()
+		results, err := runner.Run(context.Background(), spec)
+		if err != nil {
+			panic(err)
+		}
+		rps := float64(len(results)) / time.Since(start).Seconds()
+		if base == 0 {
+			base = rps
+		}
+		rep.Workers = append(rep.Workers, benchPoint{Workers: w, RunsPerSec: rps, Speedup: rps / base})
+		if rep.P99DetectionMs == 0 {
+			rep.P99DetectionMs = campaign.MergeMetric(results, "detection_ms").Quantile(0.99)
+		}
+	}
+	return rep
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func main() {
+	var (
+		grid    = flag.String("grid", "tb=5ms,10ms,20ms,40ms", "parameter grid: \"key=v1,v2;key2=...\" over tb, tm, ttd, trha, tjoinwait, pcorrupt, pinconsistent, j, k")
+		nodes   = flag.Int("nodes", 8, "network size per run")
+		seeds   = flag.Int("seeds", 50, "seeded trials per grid point")
+		seed    = flag.Int64("seed", 1, "first seed of the sweep")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		out     = flag.String("o", "", "write the aggregate report as JSON to this path")
+		csvOut  = flag.String("csv", "", "write the aggregate report as CSV to this path")
+		bench   = flag.String("bench", "", "measure engine throughput at 1/2/4/max workers and write BENCH JSON to this path")
+		quiet   = flag.Bool("q", false, "suppress the progress meter")
+	)
+	flag.Parse()
+
+	axes, err := parseGrid(*grid)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(2)
+	}
+	if *nodes < 2 {
+		fmt.Fprintln(os.Stderr, "campaign: -nodes must be at least 2")
+		os.Exit(2)
+	}
+	spec := experiments.CrashQoSSpec(canely.DefaultConfig(), *nodes, axes,
+		campaign.SeedRange{Base: *seed, N: *seeds})
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	runner := campaign.Runner{Workers: *workers}
+	if !*quiet {
+		lastTenth := -1
+		runner.Progress = func(done, total int) {
+			if tenth := done * 10 / total; tenth > lastTenth {
+				lastTenth = tenth
+				fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d runs", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	start := time.Now()
+	results, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	rep := campaign.Summarize(spec, results)
+
+	fmt.Print(rep.Table())
+	fmt.Printf("\n%d runs in %v (%.1f runs/sec, workers=%d)\n",
+		rep.Runs, elapsed.Round(time.Millisecond),
+		float64(rep.Runs)/elapsed.Seconds(), *workers)
+
+	if *out != "" {
+		b, err := rep.JSON()
+		if err == nil {
+			err = os.WriteFile(*out, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("aggregate JSON written to %s\n", *out)
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err == nil {
+			err = rep.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: write %s: %v\n", *csvOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("aggregate CSV written to %s\n", *csvOut)
+	}
+	if *bench != "" {
+		fmt.Printf("measuring engine throughput at 1/2/4/%d workers...\n", runtime.GOMAXPROCS(0))
+		br := measureThroughput(*nodes, 32)
+		if err := writeJSON(*bench, br); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: write %s: %v\n", *bench, err)
+			os.Exit(1)
+		}
+		for _, p := range br.Workers {
+			fmt.Printf("  workers=%-3d %8.1f runs/sec  %.2fx\n", p.Workers, p.RunsPerSec, p.Speedup)
+		}
+		fmt.Printf("bench JSON written to %s\n", *bench)
+	}
+}

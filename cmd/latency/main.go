@@ -2,46 +2,64 @@
 // detected by the CANELy failure detection suite, by the OSEK NM logical
 // ring and by CANopen master-slave node guarding, all on the same simulated
 // bus. The paper's claim: CANELy detects in tens of milliseconds where the
-// OSEK ring needs on the order of one second.
+// OSEK ring needs on the order of one second. Trials run as a parallel
+// simulation campaign (see internal/campaign), so raising -trials is cheap.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"canely/internal/analysis"
 	"canely/internal/experiments"
 )
 
-func main() {
-	var (
-		nodes  = flag.Int("nodes", 8, "network size")
-		trials = flag.Int("trials", 10, "crash trials per scheme")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		tb     = flag.Duration("tb", 10*time.Millisecond, "CANELy heartbeat period")
-	)
-	flag.Parse()
+// options collects the flag values so the report is testable.
+type options struct {
+	nodes   int
+	trials  int
+	seed    int64
+	workers int
+	tb      time.Duration
+}
 
+// report renders the full study: measured comparison, analytical worst
+// cases, and the latency/bandwidth trade-off sweep.
+func report(o options) string {
 	cfg := experiments.DefaultLatencyConfig()
-	cfg.N = *nodes
-	cfg.Trials = *trials
-	cfg.Seed = *seed
-	cfg.CANELy.Tb = *tb
+	cfg.N = o.nodes
+	cfg.Trials = o.trials
+	cfg.Seed = o.seed
+	cfg.Workers = o.workers
+	cfg.CANELy.Tb = o.tb
 
-	fmt.Printf("Failure detection latency, %d nodes, %d trials per scheme\n\n", *nodes, *trials)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Failure detection latency, %d nodes, %d trials per scheme\n\n", o.nodes, o.trials)
 	results := experiments.MeasureAllLatencies(cfg)
-	fmt.Print(experiments.FormatLatencies(results))
-	fmt.Println()
+	sb.WriteString(experiments.FormatLatencies(results))
+	sb.WriteString("\n")
 
 	model := analysis.DefaultRelatedWork()
-	model.N = *nodes
-	model.CANELy.Tb = *tb
-	fmt.Println("Analytical worst cases (§6.6):")
-	fmt.Print(model.FormatRelatedWork())
+	model.N = o.nodes
+	model.CANELy.Tb = o.tb
+	sb.WriteString("Analytical worst cases (§6.6):\n")
+	sb.WriteString(model.FormatRelatedWork())
 
-	fmt.Println()
-	fmt.Println("Latency / bandwidth trade-off over the heartbeat period Tb:")
-	fmt.Print(experiments.FormatTradeoff(
-		experiments.MeasureLatencyBandwidthTradeoff(nil, *nodes, *trials, *seed)))
+	sb.WriteString("\nLatency / bandwidth trade-off over the heartbeat period Tb:\n")
+	sb.WriteString(experiments.FormatTradeoff(
+		experiments.MeasureLatencyBandwidthTradeoff(nil, o.nodes, o.trials, o.seed)))
+	return sb.String()
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.nodes, "nodes", 8, "network size")
+	flag.IntVar(&o.trials, "trials", 10, "crash trials per scheme")
+	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.IntVar(&o.workers, "workers", 0, "campaign workers (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.tb, "tb", 10*time.Millisecond, "CANELy heartbeat period")
+	flag.Parse()
+	fmt.Print(report(o))
 }

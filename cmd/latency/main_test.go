@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReportSmoke runs the whole main path on a small configuration and
+// checks every section of the study is present and non-empty.
+func TestReportSmoke(t *testing.T) {
+	out := report(options{nodes: 6, trials: 2, seed: 1, tb: 10 * time.Millisecond})
+	if out == "" {
+		t.Fatal("empty report")
+	}
+	for _, want := range []string{
+		"Failure detection latency",
+		"CANELy", "OSEK NM", "CANopen guarding", "TTP (TDMA model)",
+		"Analytical worst cases",
+		"trade-off", "ELS util",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%s", want, out)
+		}
+	}
+	// Parseability of the comparison table: a CANELy row with a millisecond
+	// latency figure.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "CANELy") {
+			if !strings.Contains(line, "ms") {
+				t.Fatalf("CANELy row has no latency figure: %q", line)
+			}
+			return
+		}
+	}
+	t.Fatal("no CANELy row found")
+}

@@ -1,0 +1,43 @@
+package canely
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+)
+
+// A Network is a single-goroutine object: the discrete-event simulation it
+// wraps has no internal locking, so sharing one Network across goroutines
+// (for instance handing the same instance to several campaign workers)
+// silently corrupts the event queue. NewNetwork records the creating
+// goroutine and the mutating entry points (Run, AddNode, BootstrapAll)
+// panic when called from any other one — each internal/campaign worker must
+// construct its own Network inside its extractor. Callbacks fired during
+// Run execute on the owner goroutine, so re-entering the facade from a
+// membership or scheduler callback stays legal.
+
+// goroutineID parses the current goroutine's id from its stack header
+// ("goroutine 123 [running]:"). It is only called on the facade's mutating
+// entry points, never per simulated event, so the ~µs cost is invisible.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	header := bytes.TrimPrefix(buf[:n], []byte("goroutine "))
+	if i := bytes.IndexByte(header, ' '); i > 0 {
+		if id, err := strconv.ParseInt(string(header[:i]), 10, 64); err == nil {
+			return id
+		}
+	}
+	return -1
+}
+
+// checkOwner enforces the single-goroutine contract.
+func (n *Network) checkOwner() {
+	if id := goroutineID(); id != n.owner {
+		panic(fmt.Sprintf(
+			"canely: Network created on goroutine %d used from goroutine %d; "+
+				"a Network is single-goroutine — build one Network per campaign worker",
+			n.owner, id))
+	}
+}

@@ -1,0 +1,70 @@
+package canely_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"canely"
+)
+
+// TestNetworkSingleGoroutineGuard: a Network driven from a goroutine other
+// than its creator must panic loudly instead of corrupting the simulation —
+// the misuse a campaign worker pool would otherwise make easy.
+func TestNetworkSingleGoroutineGuard(t *testing.T) {
+	net := canely.NewNetwork(canely.DefaultConfig(), 2)
+	net.BootstrapAll()
+
+	recovered := make(chan any, 1)
+	go func() {
+		defer func() { recovered <- recover() }()
+		net.Run(time.Millisecond)
+	}()
+	r := <-recovered
+	if r == nil {
+		t.Fatal("cross-goroutine Run did not panic")
+	}
+	if msg := fmt.Sprint(r); !strings.Contains(msg, "single-goroutine") {
+		t.Fatalf("panic message %q does not explain the contract", msg)
+	}
+
+	// AddNode and BootstrapAll are guarded too.
+	go func() {
+		defer func() { recovered <- recover() }()
+		net.AddNode(5)
+	}()
+	if r := <-recovered; r == nil {
+		t.Fatal("cross-goroutine AddNode did not panic")
+	}
+
+	// The owner goroutine is unaffected.
+	net.Run(time.Millisecond)
+}
+
+// TestNetworkPerWorkerConstructionIsLegal: the supported campaign pattern —
+// each goroutine builds and drives its own Network — must keep working.
+func TestNetworkPerWorkerConstructionIsLegal(t *testing.T) {
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			defer func() {
+				if r := recover(); r != nil {
+					done <- fmt.Errorf("worker panic: %v", r)
+					return
+				}
+				done <- nil
+			}()
+			cfg := canely.DefaultConfig()
+			cfg.Seed = seed
+			net := canely.NewNetwork(cfg, 3)
+			net.BootstrapAll()
+			net.Run(20 * time.Millisecond)
+		}(int64(w + 1))
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

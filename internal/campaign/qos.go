@@ -1,0 +1,45 @@
+package campaign
+
+import "time"
+
+// QoS is the per-run quality-of-service sample of an unreliable failure
+// detector, after the usual QoS vocabulary (Chen/Toueg; Duarte et al. in
+// PAPERS.md): how fast a real crash is detected, how often the detector is
+// wrong, and whether the membership views of correct nodes diverged.
+type QoS struct {
+	// Detected reports whether the injected crash was ever notified;
+	// DetectionTime is the crash-to-notification latency and DetectedAt the
+	// virtual instant of the notification (both meaningful only when
+	// Detected).
+	Detected      bool
+	DetectionTime time.Duration
+	DetectedAt    time.Duration
+	// Mistakes counts failure notifications for nodes that had not crashed
+	// (premature or wrong suspicions).
+	Mistakes int
+	// AgreementViolations counts correct member nodes whose final view
+	// disagrees with the observer's.
+	AgreementViolations int
+}
+
+// Metrics reduces the sample to campaign metrics. DetectionTime is exported
+// in milliseconds only for detected crashes, so undetected runs do not drag
+// the latency distribution to zero; "detected" carries the hit rate.
+func (q QoS) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"detected":             boolToFloat(q.Detected),
+		"mistakes":             float64(q.Mistakes),
+		"agreement_violations": float64(q.AgreementViolations),
+	}
+	if q.Detected {
+		m["detection_ms"] = float64(q.DetectionTime) / 1e6
+	}
+	return m
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,63 +1,96 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"canely"
+	"canely/internal/campaign"
 	"canely/internal/can"
 )
 
 // ChurnPoint is one cell of the churn sweep: membership-suite utilization
-// at a given number of simultaneous join requests.
+// at a given number of simultaneous join requests, averaged over the seed
+// sweep.
 type ChurnPoint struct {
 	C           int
 	Utilization float64
+	// CI95 is the half-width of the 95% confidence interval of the mean
+	// utilization across the seeded trials.
+	CI95 float64
 }
 
 // MeasureChurnSweep measures the membership-protocol bandwidth as the
 // number of simultaneous join requests grows — the measured counterpart of
 // the paper's footnote 11 ("each join/leave request contributes an
-// increase of ≈0.16% to the overall utilization").
-func MeasureChurnSweep(cs []int, tm time.Duration, seed int64) []ChurnPoint {
+// increase of ≈0.16% to the overall utilization"). The churn counts form a
+// campaign axis and every point is averaged over trials parallel seeded
+// runs.
+func MeasureChurnSweep(cs []int, tm time.Duration, trials int, seed int64) []ChurnPoint {
 	if len(cs) == 0 {
 		cs = []int{0, 1, 5, 10, 20}
 	}
+	if trials <= 0 {
+		trials = 1
+	}
 	const members = 32
-	var out []ChurnPoint
-	for _, c := range cs {
-		if members+c > can.MaxNodes {
-			panic(fmt.Sprintf("experiments: churn %d exceeds the node space", c))
+	base := canely.DefaultConfig()
+	base.Tm = tm
+	base.Tb = tm
+	base.TjoinWait = 3 * tm
+	spec := &campaign.Spec{
+		Name:  "churn-sweep",
+		Base:  base,
+		Axes:  []campaign.Axis{campaign.IntAxis("c", cs...)},
+		Seeds: campaign.SeedRange{Base: seed, N: trials},
+		Run: func(p campaign.Params) (map[string]float64, error) {
+			c := p.Values[0].(int)
+			if members+c > can.MaxNodes {
+				return nil, fmt.Errorf("churn %d exceeds the node space", c)
+			}
+			cfg := p.Config
+			net := canely.NewNetwork(cfg, members)
+			for i := 0; i < c; i++ {
+				net.AddNode(canely.NodeID(members + i))
+			}
+			var view canely.NodeSet
+			for i := 0; i < members; i++ {
+				view = view.Add(canely.NodeID(i))
+			}
+			for i := 0; i < members; i++ {
+				net.Node(canely.NodeID(i)).Bootstrap(view)
+			}
+			net.Run(2 * tm)
+			before := net.Stats()
+			for i := 0; i < c; i++ {
+				net.Node(canely.NodeID(members + i)).Join()
+			}
+			net.Run(2 * tm)
+			window := net.Stats().Sub(before)
+			bits := protocolBits(window)
+			return map[string]float64{
+				"util": float64(bits) / float64(cfg.Rate.Bits(2*tm)),
+			}, nil
+		},
+	}
+	runner := campaign.Runner{}
+	runs, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: churn campaign: %v", err))
+	}
+	rep := campaign.Summarize(spec, runs)
+	out := make([]ChurnPoint, 0, len(cs))
+	for i, p := range rep.Points {
+		pt := ChurnPoint{C: cs[i]}
+		for _, m := range p.Metrics {
+			if m.Name == "util" {
+				pt.Utilization = m.Agg.Mean
+				pt.CI95 = m.Agg.CI95
+			}
 		}
-		cfg := canely.DefaultConfig()
-		cfg.Seed = seed
-		cfg.Tm = tm
-		cfg.Tb = tm
-		cfg.TjoinWait = 3 * tm
-		net := canely.NewNetwork(cfg, members)
-		for i := 0; i < c; i++ {
-			net.AddNode(canely.NodeID(members + i))
-		}
-		var view canely.NodeSet
-		for i := 0; i < members; i++ {
-			view = view.Add(canely.NodeID(i))
-		}
-		for i := 0; i < members; i++ {
-			net.Node(canely.NodeID(i)).Bootstrap(view)
-		}
-		net.Run(2 * tm)
-		before := net.Stats()
-		for i := 0; i < c; i++ {
-			net.Node(canely.NodeID(members + i)).Join()
-		}
-		net.Run(2 * tm)
-		window := net.Stats().Sub(before)
-		bits := protocolBits(window)
-		out = append(out, ChurnPoint{
-			C:           c,
-			Utilization: float64(bits) / float64(cfg.Rate.Bits(2*tm)),
-		})
+		out = append(out, pt)
 	}
 	return out
 }
@@ -78,9 +111,9 @@ func PerRequestDelta(points []ChurnPoint) float64 {
 // FormatChurn renders the sweep.
 func FormatChurn(points []ChurnPoint) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-6s %12s\n", "c", "protocol util")
+	fmt.Fprintf(&sb, "%-6s %12s %12s\n", "c", "protocol util", "±95% CI")
 	for _, p := range points {
-		fmt.Fprintf(&sb, "%-6d %11.2f%%\n", p.C, 100*p.Utilization)
+		fmt.Fprintf(&sb, "%-6d %11.2f%% %11.3f%%\n", p.C, 100*p.Utilization, 100*p.CI95)
 	}
 	fmt.Fprintf(&sb, "per-request delta: %.3f%%\n", 100*PerRequestDelta(points))
 	return sb.String()

@@ -133,7 +133,7 @@ func TestMeasuredInaccessibilityWithinAnalyticalBound(t *testing.T) {
 }
 
 func TestChurnSweepMonotoneAndCalibrated(t *testing.T) {
-	points := MeasureChurnSweep([]int{0, 5, 10, 20}, 50*time.Millisecond, 1)
+	points := MeasureChurnSweep([]int{0, 5, 10, 20}, 50*time.Millisecond, 2, 1)
 	for i := 1; i < len(points); i++ {
 		if points[i].Utilization <= points[i-1].Utilization {
 			t.Fatalf("utilization not monotone in churn: %+v", points)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"canely/internal/analysis"
 	"canely/internal/baselines"
 	"canely/internal/bus"
+	"canely/internal/campaign"
 	"canely/internal/can"
 	"canely/internal/canlayer"
 	"canely/internal/sim"
@@ -20,18 +22,26 @@ type LatencyResult struct {
 	Scheme   string
 	Measured trace.Latencies
 	Bound    time.Duration
+	// Failed counts trials that never detected the crash (always 0 in the
+	// paper's operating envelope; campaigns record rather than panic).
+	Failed int
+	// CI95 is the half-width of the 95% confidence interval of the mean.
+	CI95 time.Duration
 }
 
 // LatencyConfig parameterizes the §6.6 related-work comparison (experiment
 // E4): the same crash, detected by CANELy, by the OSEK NM logical ring and
-// by CANopen node guarding, over several trials.
+// by CANopen node guarding, over several trials. Trials is free — the
+// campaign engine runs them in parallel — and Workers bounds the pool
+// (0 = GOMAXPROCS).
 type LatencyConfig struct {
-	N      int
-	Trials int
-	Seed   int64
-	CANELy canely.Config
-	OSEK   baselines.OSEKConfig
-	NMT    baselines.CANopenConfig
+	N       int
+	Trials  int
+	Seed    int64
+	Workers int
+	CANELy  canely.Config
+	OSEK    baselines.OSEKConfig
+	NMT     baselines.CANopenConfig
 }
 
 // DefaultLatencyConfig returns the reference comparison point.
@@ -46,78 +56,108 @@ func DefaultLatencyConfig() LatencyConfig {
 	}
 }
 
-// MeasureCANELyLatency measures crash-to-notification latency of the
-// CANELy failure detection + membership suite.
-func MeasureCANELyLatency(c LatencyConfig) LatencyResult {
-	res := LatencyResult{Scheme: "CANELy", Bound: c.CANELy.DetectionLatencyBound()}
-	for trial := 0; trial < c.Trials; trial++ {
-		cfg := c.CANELy
-		cfg.Seed = c.Seed + int64(trial)
-		net := canely.NewNetwork(cfg, c.N)
-		net.BootstrapAll()
-		net.Run(50*time.Millisecond + time.Duration(trial)*3*time.Millisecond)
+// latencyTrial is one scheme-specific seeded crash trial: it returns the
+// virtual detection instant and the crash-to-detection latency.
+type latencyTrial func(p campaign.Params) (at sim.Time, d time.Duration, err error)
 
-		victim := canely.NodeID(trial % (c.N - 1))
-		observer := net.Node(canely.NodeID(c.N - 1))
-		var detected time.Duration
-		observer.OnChange(func(ch canely.Change) {
-			if detected == 0 && ch.Failed.Contains(victim) {
-				detected = net.Now()
-			}
-		})
-		crashAt := net.Now()
-		net.Node(victim).Crash()
-		net.Run(cfg.DetectionLatencyBound() + cfg.Tm)
-		if detected == 0 {
-			panic(fmt.Sprintf("experiments: CANELy trial %d never detected the crash", trial))
-		}
-		res.Measured.Add(sim.Time(detected), detected-crashAt, "canely")
+// measureLatencyCampaign fans the trials of one scheme out over the
+// campaign worker pool and folds the detection samples back into a
+// LatencyResult in trial order, so the distribution is identical to the old
+// sequential loop regardless of the worker count.
+func measureLatencyCampaign(scheme, label string, c LatencyConfig, bound time.Duration, trial latencyTrial) LatencyResult {
+	res := LatencyResult{Scheme: scheme, Bound: bound}
+	type sample struct {
+		at sim.Time
+		d  time.Duration
+		ok bool
 	}
+	samples := make([]sample, c.Trials)
+	spec := &campaign.Spec{
+		Name:  scheme,
+		Base:  c.CANELy,
+		Seeds: campaign.SeedRange{Base: c.Seed, N: c.Trials},
+		Run: func(p campaign.Params) (map[string]float64, error) {
+			at, d, err := trial(p)
+			if err != nil {
+				return nil, err
+			}
+			// Each run owns its slice element: parallel writes never alias.
+			samples[p.Index] = sample{at: at, d: d, ok: true}
+			return map[string]float64{"detection_ms": float64(d) / 1e6}, nil
+		},
+	}
+	runner := campaign.Runner{Workers: c.Workers}
+	runs, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s campaign: %v", scheme, err))
+	}
+	for _, s := range samples {
+		if s.ok {
+			res.Measured.Add(s.at, s.d, label)
+		} else {
+			res.Failed++
+		}
+	}
+	res.CI95 = time.Duration(campaign.MergeMetric(runs, "detection_ms").CI95() * 1e6)
 	return res
+}
+
+// MeasureCANELyLatency measures crash-to-notification latency of the
+// CANELy failure detection + membership suite across Trials parallel
+// seeded runs.
+func MeasureCANELyLatency(c LatencyConfig) LatencyResult {
+	return measureLatencyCampaign("CANELy", "canely", c, c.CANELy.DetectionLatencyBound(),
+		func(p campaign.Params) (sim.Time, time.Duration, error) {
+			victim := canely.NodeID(p.Trial % (c.N - 1))
+			q := CrashTrial(p.Config, c.N, victim, time.Duration(p.Trial)*3*time.Millisecond)
+			if !q.Detected {
+				return 0, 0, fmt.Errorf("CANELy trial %d never detected the crash", p.Trial)
+			}
+			return sim.Time(q.DetectedAt), q.DetectionTime, nil
+		})
 }
 
 // MeasureOSEKLatency measures the same crash under the OSEK NM ring.
 func MeasureOSEKLatency(c LatencyConfig) LatencyResult {
 	model := analysis.RelatedWorkModel{N: c.N, OSEKTTyp: c.OSEK.TTyp, OSEKTMax: c.OSEK.TMax}
-	res := LatencyResult{Scheme: "OSEK NM", Bound: model.OSEKLatency()}
-	for trial := 0; trial < c.Trials; trial++ {
-		sched := sim.NewScheduler()
-		b := bus.New(sched, bus.Config{})
-		var ring can.NodeSet
-		for i := 0; i < c.N; i++ {
-			ring = ring.Add(can.NodeID(i))
-		}
-		ports := make([]*bus.Port, c.N)
-		nodes := make([]*baselines.OSEKNode, c.N)
-		var detected sim.Time
-		var crashAt sim.Time
-		victim := can.NodeID(1 + trial%(c.N-1))
-		for i := 0; i < c.N; i++ {
-			ports[i] = b.Attach(can.NodeID(i))
-			n, err := baselines.NewOSEKNode(sched, canlayer.New(ports[i]), ring, c.OSEK)
-			if err != nil {
-				panic(err)
+	return measureLatencyCampaign("OSEK NM", "osek", c, model.OSEKLatency(),
+		func(p campaign.Params) (sim.Time, time.Duration, error) {
+			trial := p.Trial
+			sched := sim.NewScheduler()
+			b := bus.New(sched, bus.Config{})
+			var ring can.NodeSet
+			for i := 0; i < c.N; i++ {
+				ring = ring.Add(can.NodeID(i))
 			}
-			n.OnAbsent(func(gone can.NodeID) {
-				if gone == victim && detected == 0 {
-					detected = sched.Now()
+			ports := make([]*bus.Port, c.N)
+			nodes := make([]*baselines.OSEKNode, c.N)
+			var detected sim.Time
+			victim := can.NodeID(1 + trial%(c.N-1))
+			for i := 0; i < c.N; i++ {
+				ports[i] = b.Attach(can.NodeID(i))
+				n, err := baselines.NewOSEKNode(sched, canlayer.New(ports[i]), ring, c.OSEK)
+				if err != nil {
+					panic(err)
 				}
-			})
-			nodes[i] = n
-		}
-		for _, n := range nodes {
-			n.Start()
-		}
-		sched.RunUntil(sim.Time(50*time.Millisecond + time.Duration(trial)*37*time.Millisecond))
-		crashAt = sched.Now()
-		ports[victim].Crash()
-		sched.RunUntil(crashAt.Add(2 * model.OSEKLatency()))
-		if detected == 0 {
-			panic(fmt.Sprintf("experiments: OSEK trial %d never detected the crash", trial))
-		}
-		res.Measured.Add(detected, detected.Sub(crashAt), "osek")
-	}
-	return res
+				n.OnAbsent(func(gone can.NodeID) {
+					if gone == victim && detected == 0 {
+						detected = sched.Now()
+					}
+				})
+				nodes[i] = n
+			}
+			for _, n := range nodes {
+				n.Start()
+			}
+			sched.RunUntil(sim.Time(50*time.Millisecond + time.Duration(trial)*37*time.Millisecond))
+			crashAt := sched.Now()
+			ports[victim].Crash()
+			sched.RunUntil(crashAt.Add(2 * model.OSEKLatency()))
+			if detected == 0 {
+				return 0, 0, fmt.Errorf("OSEK trial %d never detected the crash", trial)
+			}
+			return detected, detected.Sub(crashAt), nil
+		})
 }
 
 // MeasureCANopenLatency measures the same crash under master-slave node
@@ -127,41 +167,74 @@ func MeasureCANopenLatency(c LatencyConfig) LatencyResult {
 		CANopenGuardTime:  c.NMT.GuardTime,
 		CANopenLifeFactor: c.NMT.LifeFactor,
 	}
-	res := LatencyResult{Scheme: "CANopen guarding", Bound: model.CANopenLatency()}
-	for trial := 0; trial < c.Trials; trial++ {
-		sched := sim.NewScheduler()
-		b := bus.New(sched, bus.Config{})
-		ports := make([]*bus.Port, c.N)
-		for i := 0; i < c.N; i++ {
-			ports[i] = b.Attach(can.NodeID(i))
-		}
-		slaves := make([]can.NodeID, 0, c.N-1)
-		for i := 1; i < c.N; i++ {
-			slaves = append(slaves, can.NodeID(i))
-			baselines.NewCANopenSlave(canlayer.New(ports[i]))
-		}
-		master, err := baselines.NewCANopenMaster(sched, canlayer.New(ports[0]), slaves, c.NMT)
-		if err != nil {
-			panic(err)
-		}
-		victim := can.NodeID(1 + trial%(c.N-1))
-		var detected sim.Time
-		master.OnLost(func(s can.NodeID) {
-			if s == victim && detected == 0 {
-				detected = sched.Now()
+	return measureLatencyCampaign("CANopen guarding", "canopen", c, model.CANopenLatency(),
+		func(p campaign.Params) (sim.Time, time.Duration, error) {
+			trial := p.Trial
+			sched := sim.NewScheduler()
+			b := bus.New(sched, bus.Config{})
+			ports := make([]*bus.Port, c.N)
+			for i := 0; i < c.N; i++ {
+				ports[i] = b.Attach(can.NodeID(i))
 			}
+			slaves := make([]can.NodeID, 0, c.N-1)
+			for i := 1; i < c.N; i++ {
+				slaves = append(slaves, can.NodeID(i))
+				baselines.NewCANopenSlave(canlayer.New(ports[i]))
+			}
+			master, err := baselines.NewCANopenMaster(sched, canlayer.New(ports[0]), slaves, c.NMT)
+			if err != nil {
+				panic(err)
+			}
+			victim := can.NodeID(1 + trial%(c.N-1))
+			var detected sim.Time
+			master.OnLost(func(s can.NodeID) {
+				if s == victim && detected == 0 {
+					detected = sched.Now()
+				}
+			})
+			master.Start()
+			sched.RunUntil(sim.Time(250*time.Millisecond + time.Duration(trial)*23*time.Millisecond))
+			crashAt := sched.Now()
+			ports[victim].Crash()
+			sched.RunUntil(crashAt.Add(3 * model.CANopenLatency()))
+			if detected == 0 {
+				return 0, 0, fmt.Errorf("CANopen trial %d never detected the crash", trial)
+			}
+			return detected, detected.Sub(crashAt), nil
 		})
-		master.Start()
-		sched.RunUntil(sim.Time(250*time.Millisecond + time.Duration(trial)*23*time.Millisecond))
-		crashAt := sched.Now()
-		ports[victim].Crash()
-		sched.RunUntil(crashAt.Add(3 * model.CANopenLatency()))
-		if detected == 0 {
-			panic(fmt.Sprintf("experiments: CANopen trial %d never detected the crash", trial))
-		}
-		res.Measured.Add(detected, detected.Sub(crashAt), "canopen")
-	}
-	return res
+}
+
+// MeasureTTPLatency measures crash-to-removal latency under the TTP TDMA
+// membership model — the reference point of Figures 1 and 11 ("membership:
+// provided"). Detection is bounded by one TDMA round plus a slot.
+func MeasureTTPLatency(c LatencyConfig, slot time.Duration) LatencyResult {
+	cfg := baselines.TTPConfig{Slot: slot}
+	bound := cfg.MembershipLatencyBound(c.N)
+	return measureLatencyCampaign("TTP (TDMA model)", "ttp", c, bound,
+		func(p campaign.Params) (sim.Time, time.Duration, error) {
+			trial := p.Trial
+			sched := sim.NewScheduler()
+			cluster, err := baselines.NewTTPCluster(sched, c.N, cfg)
+			if err != nil {
+				panic(err)
+			}
+			victim := can.NodeID(1 + trial%(c.N-1))
+			var detected sim.Time
+			cluster.OnChange(0, func(_ can.NodeSet, failed can.NodeID) {
+				if failed == victim && detected == 0 {
+					detected = sched.Now()
+				}
+			})
+			cluster.Start()
+			sched.RunUntil(sim.Time(10*time.Millisecond + time.Duration(trial)*700*time.Microsecond))
+			crashAt := sched.Now()
+			cluster.Crash(victim)
+			sched.RunUntil(crashAt.Add(3 * bound))
+			if detected == 0 {
+				return 0, 0, fmt.Errorf("TTP trial %d never detected the crash", trial)
+			}
+			return detected, detected.Sub(crashAt), nil
+		})
 }
 
 // MeasureAllLatencies runs the full E4 comparison, with the TTP TDMA
@@ -178,10 +251,13 @@ func MeasureAllLatencies(c LatencyConfig) []LatencyResult {
 // FormatLatencies renders the comparison table.
 func FormatLatencies(results []LatencyResult) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-20s %10s %10s %10s %12s\n", "scheme", "min", "mean", "max", "model bound")
+	fmt.Fprintf(&sb, "%-20s %5s %10s %10s %10s %10s %10s %12s\n",
+		"scheme", "n", "min", "mean", "p99", "max", "±95% CI", "model bound")
+	us := func(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
 	for _, r := range results {
-		fmt.Fprintf(&sb, "%-20s %10v %10v %10v %12v\n",
-			r.Scheme, r.Measured.Min(), r.Measured.Mean(), r.Measured.Max(), r.Bound)
+		fmt.Fprintf(&sb, "%-20s %5d %10v %10v %10v %10v %10v %12v\n",
+			r.Scheme, r.Measured.N(), us(r.Measured.Min()), us(r.Measured.Mean()),
+			us(r.Measured.P99()), us(r.Measured.Max()), us(r.CI95), r.Bound)
 	}
 	return sb.String()
 }
@@ -196,81 +272,96 @@ func MeasureMembershipLatency(trials int, seed int64) trace.Latencies {
 	return MeasureCANELyLatency(c).Measured
 }
 
-// MeasureTTPLatency measures crash-to-removal latency under the TTP TDMA
-// membership model — the reference point of Figures 1 and 11 ("membership:
-// provided"). Detection is bounded by one TDMA round plus a slot.
-func MeasureTTPLatency(c LatencyConfig, slot time.Duration) LatencyResult {
-	cfg := baselines.TTPConfig{Slot: slot}
-	res := LatencyResult{Scheme: "TTP (TDMA model)", Bound: cfg.MembershipLatencyBound(c.N)}
-	for trial := 0; trial < c.Trials; trial++ {
-		sched := sim.NewScheduler()
-		cluster, err := baselines.NewTTPCluster(sched, c.N, cfg)
-		if err != nil {
-			panic(err)
-		}
-		victim := can.NodeID(1 + trial%(c.N-1))
-		var detected sim.Time
-		cluster.OnChange(0, func(_ can.NodeSet, failed can.NodeID) {
-			if failed == victim && detected == 0 {
-				detected = sched.Now()
-			}
-		})
-		cluster.Start()
-		sched.RunUntil(sim.Time(10*time.Millisecond + time.Duration(trial)*700*time.Microsecond))
-		crashAt := sched.Now()
-		cluster.Crash(victim)
-		sched.RunUntil(crashAt.Add(3 * res.Bound))
-		if detected == 0 {
-			panic(fmt.Sprintf("experiments: TTP trial %d never detected the crash", trial))
-		}
-		res.Measured.Add(detected, detected.Sub(crashAt), "ttp")
-	}
-	return res
-}
-
 // TradeoffPoint is one point of the detection-latency / bandwidth
 // trade-off sweep: the heartbeat period buys bandwidth at the price of
 // latency.
 type TradeoffPoint struct {
 	Tb          time.Duration
 	MeanLatency time.Duration
+	P99Latency  time.Duration
 	MaxLatency  time.Duration
-	Bound       time.Duration
+	// CI95 is the half-width of the 95% confidence interval of the mean.
+	CI95  time.Duration
+	Bound time.Duration
 	// ELSUtilization is the life-sign share of the bus over the run.
 	ELSUtilization float64
 }
 
 // MeasureLatencyBandwidthTradeoff sweeps the heartbeat period Tb and
 // measures both the crash-detection latency and the explicit life-sign
-// bandwidth — the engineering trade-off behind the paper's choice to
-// derive node activity from implicit traffic wherever possible.
+// bandwidth — the engineering trade-off behind the paper's choice to derive
+// node activity from implicit traffic wherever possible. The whole sweep is
+// one campaign: the Tb axis × (trials crash runs + one steady-state
+// bandwidth run) per point, all in parallel.
 func MeasureLatencyBandwidthTradeoff(tbs []time.Duration, n, trials int, seed int64) []TradeoffPoint {
 	if len(tbs) == 0 {
 		tbs = []time.Duration{5 * time.Millisecond, 10 * time.Millisecond,
 			20 * time.Millisecond, 40 * time.Millisecond}
 	}
-	var out []TradeoffPoint
-	for _, tb := range tbs {
-		cfg := DefaultLatencyConfig()
-		cfg.N = n
-		cfg.Trials = trials
-		cfg.Seed = seed
-		cfg.CANELy.Tb = tb
-		res := MeasureCANELyLatency(cfg)
-
-		// Bandwidth: steady-state run, life-sign share.
-		netCfg := cfg.CANELy
-		netCfg.Seed = seed
-		net := canely.NewNetwork(netCfg, n)
-		net.BootstrapAll()
-		net.Run(time.Second)
-		st := net.Stats()
+	base := canely.DefaultConfig()
+	type cell struct {
+		at  sim.Time
+		d   time.Duration
+		ok  bool
+		els float64
+	}
+	cells := make([]cell, len(tbs)*(trials+1))
+	spec := &campaign.Spec{
+		Name: "latency-bandwidth-tradeoff",
+		Base: base,
+		Axes: []campaign.Axis{campaign.DurationAxis("tb",
+			func(c *canely.Config, v time.Duration) { c.Tb = v }, tbs...)},
+		Seeds: campaign.SeedRange{Base: seed, N: trials + 1},
+		Run: func(p campaign.Params) (map[string]float64, error) {
+			if p.Trial == trials {
+				// The point's extra run: steady state, life-sign share.
+				net := canely.NewNetwork(p.Config, n)
+				net.BootstrapAll()
+				net.Run(time.Second)
+				els := net.Stats().TypeUtilization(p.Config.Rate, time.Second, can.TypeELS)
+				cells[p.Index] = cell{els: els, ok: true}
+				return map[string]float64{"els_util": els}, nil
+			}
+			victim := canely.NodeID(p.Trial % (n - 1))
+			q := CrashTrial(p.Config, n, victim, time.Duration(p.Trial)*3*time.Millisecond)
+			if !q.Detected {
+				return nil, fmt.Errorf("tb=%v trial %d never detected the crash", p.Config.Tb, p.Trial)
+			}
+			cells[p.Index] = cell{at: sim.Time(q.DetectedAt), d: q.DetectionTime, ok: true}
+			return map[string]float64{"detection_ms": float64(q.DetectionTime) / 1e6}, nil
+		},
+	}
+	runner := campaign.Runner{}
+	if _, err := runner.Run(context.Background(), spec); err != nil {
+		panic(fmt.Sprintf("experiments: tradeoff campaign: %v", err))
+	}
+	out := make([]TradeoffPoint, 0, len(tbs))
+	for pi, tb := range tbs {
+		var lat trace.Latencies
+		var ms campaign.Sample
+		var els float64
+		for t := 0; t <= trials; t++ {
+			c := cells[pi*(trials+1)+t]
+			if !c.ok {
+				continue
+			}
+			if t == trials {
+				els = c.els
+				continue
+			}
+			lat.Add(c.at, c.d, "canely")
+			ms.Add(float64(c.d) / 1e6)
+		}
+		cfg := base
+		cfg.Tb = tb
 		out = append(out, TradeoffPoint{
 			Tb:             tb,
-			MeanLatency:    res.Measured.Mean(),
-			MaxLatency:     res.Measured.Max(),
-			Bound:          res.Bound,
-			ELSUtilization: st.TypeUtilization(netCfg.Rate, time.Second, can.TypeELS),
+			MeanLatency:    lat.Mean(),
+			P99Latency:     lat.P99(),
+			MaxLatency:     lat.Max(),
+			CI95:           time.Duration(ms.CI95() * 1e6),
+			Bound:          cfg.DetectionLatencyBound(),
+			ELSUtilization: els,
 		})
 	}
 	return out
@@ -279,10 +370,12 @@ func MeasureLatencyBandwidthTradeoff(tbs []time.Duration, n, trials int, seed in
 // FormatTradeoff renders the sweep.
 func FormatTradeoff(points []TradeoffPoint) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-8s %12s %12s %10s %12s\n", "Tb", "mean latency", "max latency", "bound", "ELS util")
+	fmt.Fprintf(&sb, "%-8s %12s %12s %12s %10s %10s %12s\n",
+		"Tb", "mean latency", "p99 latency", "max latency", "±95% CI", "bound", "ELS util")
+	us := func(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
 	for _, p := range points {
-		fmt.Fprintf(&sb, "%-8v %12v %12v %10v %11.2f%%\n",
-			p.Tb, p.MeanLatency, p.MaxLatency, p.Bound, 100*p.ELSUtilization)
+		fmt.Fprintf(&sb, "%-8v %12v %12v %12v %10v %10v %11.2f%%\n",
+			p.Tb, us(p.MeanLatency), us(p.P99Latency), us(p.MaxLatency), us(p.CI95), p.Bound, 100*p.ELSUtilization)
 	}
 	return sb.String()
 }

@@ -75,11 +75,7 @@ func (l *Latencies) Percentile(p float64) time.Duration {
 	if len(l.samples) == 0 {
 		return 0
 	}
-	vals := make([]time.Duration, len(l.samples))
-	for i, s := range l.samples {
-		vals[i] = s.Value
-	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	vals := l.sorted()
 	rank := int(math.Ceil(p/100*float64(len(vals)))) - 1
 	if rank < 0 {
 		rank = 0
@@ -88,6 +84,48 @@ func (l *Latencies) Percentile(p float64) time.Duration {
 		rank = len(vals) - 1
 	}
 	return vals[rank]
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) with linear interpolation
+// between order statistics (the R-7 rule). It is safe on the empty sample
+// set (0) and on a single sample (that sample).
+func (l *Latencies) Quantile(q float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	vals := l.sorted()
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[len(vals)-1]
+	}
+	pos := q * float64(len(vals)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(vals) {
+		return vals[len(vals)-1]
+	}
+	return vals[lo] + time.Duration(math.Round(frac*float64(vals[lo+1]-vals[lo])))
+}
+
+// P50 returns the interpolated median.
+func (l *Latencies) P50() time.Duration { return l.Quantile(0.50) }
+
+// P95 returns the interpolated 95th quantile.
+func (l *Latencies) P95() time.Duration { return l.Quantile(0.95) }
+
+// P99 returns the interpolated 99th quantile.
+func (l *Latencies) P99() time.Duration { return l.Quantile(0.99) }
+
+// sorted returns the sample values in ascending order.
+func (l *Latencies) sorted() []time.Duration {
+	vals := make([]time.Duration, len(l.samples))
+	for i, s := range l.samples {
+		vals[i] = s.Value
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
 }
 
 // String summarizes the distribution.

@@ -107,3 +107,46 @@ func TestLatencies(t *testing.T) {
 		t.Fatalf("String = %q", l.String())
 	}
 }
+
+func TestLatencyQuantilesEmptyAndSingle(t *testing.T) {
+	var l Latencies
+	if l.Quantile(0.5) != 0 || l.P50() != 0 || l.P95() != 0 || l.P99() != 0 {
+		t.Fatal("empty sample set must yield zero quantiles")
+	}
+	l.Add(0, 7*time.Millisecond, "only")
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := l.Quantile(q); got != 7*time.Millisecond {
+			t.Fatalf("one-sample quantile(%v) = %v, want 7ms", q, got)
+		}
+	}
+}
+
+func TestLatencyQuantileInterpolation(t *testing.T) {
+	var l Latencies
+	for _, ms := range []int{40, 10, 30, 20} { // insertion order must not matter
+		l.Add(0, time.Duration(ms)*time.Millisecond, "s")
+	}
+	if got := l.P50(); got != 25*time.Millisecond {
+		t.Fatalf("p50 = %v, want interpolated 25ms", got)
+	}
+	if got := l.Quantile(0.25); got != 17500*time.Microsecond {
+		t.Fatalf("q25 = %v, want 17.5ms", got)
+	}
+	if l.Quantile(0) != 10*time.Millisecond || l.Quantile(1) != 40*time.Millisecond {
+		t.Fatal("extreme quantiles must hit min/max")
+	}
+	if l.Quantile(-0.5) != 10*time.Millisecond || l.Quantile(1.5) != 40*time.Millisecond {
+		t.Fatal("out-of-range q must clamp")
+	}
+	// A large sample: p95/p99 sit between the neighbouring order statistics.
+	var big Latencies
+	for i := 1; i <= 100; i++ {
+		big.Add(0, time.Duration(i)*time.Millisecond, "s")
+	}
+	if got := big.P95(); got != 95050*time.Microsecond {
+		t.Fatalf("p95 = %v, want 95.05ms (R-7)", got)
+	}
+	if got := big.P99(); got != 99010*time.Microsecond {
+		t.Fatalf("p99 = %v, want 99.01ms (R-7)", got)
+	}
+}
