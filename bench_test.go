@@ -206,14 +206,24 @@ func BenchmarkMembershipCycle(b *testing.B) {
 }
 
 // BenchmarkCampaignThroughput measures the simulation-campaign engine's
-// scaling: a fixed 32-run crash-QoS campaign (n=8) executed at 1, 2, 4 and
-// GOMAXPROCS workers. Runs are independent single-threaded simulations, so
-// throughput should scale near-linearly until the core count is exhausted.
+// scaling along two axes: the substrate (bit-accurate vs fast frame-level)
+// and the worker count (1, 2, 4, GOMAXPROCS) on a fixed 32-run crash-QoS
+// campaign (n=8). Runs are independent single-threaded simulations, so
+// throughput should scale near-linearly until the core count is exhausted;
+// the fast substrate multiplies whatever the worker ladder achieves.
 func BenchmarkCampaignThroughput(b *testing.B) {
 	const runs = 32
+	for _, sub := range []canely.Substrate{canely.SubstrateBitAccurate, canely.SubstrateFast} {
+		benchmarkCampaignLadder(b, sub, runs)
+	}
+}
+
+func benchmarkCampaignLadder(b *testing.B, sub canely.Substrate, runs int) {
 	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			spec := experiments.CrashQoSSpec(canely.DefaultConfig(), 8, nil,
+		b.Run(fmt.Sprintf("substrate=%v/workers=%d", sub, workers), func(b *testing.B) {
+			cfg := canely.DefaultConfig()
+			cfg.Substrate = sub
+			spec := experiments.CrashQoSSpec(cfg, 8, nil,
 				campaign.SeedRange{Base: 1, N: runs})
 			runner := campaign.Runner{Workers: workers}
 			var total int

@@ -8,9 +8,19 @@
 // The package assembles, per node, the full protocol stack of the paper's
 // Figure 5 — CAN standard layer (with the can-data.nty extension), the FDA
 // and RHA micro-protocols, the node failure detection protocol and the site
-// membership protocol — on top of a bit-time-accurate discrete-event CAN
-// bus simulator with fault injection (consistent corruptions, inconsistent
-// omissions in the last two bits, node crashes, fault confinement).
+// membership protocol — through internal/stack, over one of two pluggable
+// simulation substrates (Config.Substrate):
+//
+//   - SubstrateBitAccurate (default): the internal/bus simulator, with
+//     bit-time-accurate wire accounting, a full structured event trace and
+//     per-message-type occupancy statistics — the diagnostic substrate;
+//   - SubstrateFast: the internal/fastbus frame-level simulator, with
+//     identical MAC/LLC semantics (arbitration, wired-AND clustering, exact
+//     frame durations, inconsistent omissions, fault confinement) but no
+//     trace — roughly an order of magnitude more campaign runs per second.
+//
+// A seeded run delivers the same frame sequence and reaches the same
+// membership views on either substrate (see the equivalence tests).
 //
 // # Quick start
 //
@@ -28,19 +38,17 @@ package canely
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"canely/internal/bus"
 	"canely/internal/can"
-	"canely/internal/canlayer"
-	"canely/internal/clocksync"
 	"canely/internal/core/fd"
 	"canely/internal/core/groups"
 	"canely/internal/core/membership"
-	"canely/internal/edcan"
 	"canely/internal/fault"
-	"canely/internal/redundancy"
 	"canely/internal/sim"
+	"canely/internal/stack"
 	"canely/internal/trace"
 )
 
@@ -62,7 +70,25 @@ type (
 	GroupID = groups.GroupID
 	// GroupChange is a process-group view change notification.
 	GroupChange = groups.Change
+	// Substrate selects the simulation substrate (see Config.Substrate).
+	Substrate = stack.Substrate
+	// Hooks is the uniform layer-boundary observation and fault-injection
+	// surface of the per-node stack (see Config.Hooks).
+	Hooks = stack.Hooks
 )
+
+// Substrate values for Config.Substrate.
+const (
+	// SubstrateBitAccurate runs on the bit-time-accurate bus simulator with
+	// full tracing — the diagnostic substrate, and the zero-value default.
+	SubstrateBitAccurate = stack.BitAccurate
+	// SubstrateFast runs on the frame-level fastbus simulator: identical
+	// semantics and timing, no trace, much faster Monte-Carlo campaigns.
+	SubstrateFast = stack.Fast
+)
+
+// ParseSubstrate parses a -substrate CLI flag value ("bit" or "fast").
+func ParseSubstrate(v string) (Substrate, error) { return stack.ParseSubstrate(v) }
 
 // MakeSet builds a NodeSet from ids.
 func MakeSet(ids ...NodeID) NodeSet { return can.MakeSet(ids...) }
@@ -74,6 +100,11 @@ type Config struct {
 	// Seed drives all stochastic behaviour (fault injection, traffic
 	// jitter); runs with equal seeds are identical.
 	Seed int64
+
+	// Substrate selects the simulation substrate: SubstrateBitAccurate
+	// (default; full trace) or SubstrateFast (no trace, fastest campaigns).
+	// The protocol stack and its outcomes are identical on both.
+	Substrate Substrate
 
 	// Tb is the heartbeat period: the maximum interval between consecutive
 	// life-sign transmit requests at a node.
@@ -104,6 +135,14 @@ type Config struct {
 	// decisions take precedence over stochastic ones.
 	Script Injector
 
+	// Hooks optionally observes (and perturbs) every node's stack at its
+	// layer boundaries: frame indications and confirmations entering the
+	// standard layer, can-data.nty, fda-can.nty, fd-can.nty and membership
+	// view changes. The same Hooks value serves all nodes; callbacks carry
+	// the node identity. Substrate-independent — the equivalence tests are
+	// built on it.
+	Hooks *Hooks
+
 	// RHAEveryCycle disables the Figure 9 line s22 bandwidth optimization
 	// (skipping RHA when no join/leave is pending). Ablation knob only.
 	RHAEveryCycle bool
@@ -112,7 +151,7 @@ type Config struct {
 	// node drives two replicated buses through a selection unit, so a
 	// single-medium partition or jam never partitions the network. Script
 	// and the stochastic injector apply to medium A; MediumBScript (if
-	// set) applies to medium B.
+	// set) applies to medium B. Both media use Config.Substrate.
 	DualMedia     bool
 	MediumBScript Injector
 }
@@ -157,22 +196,37 @@ func (c Config) DetectionLatencyBound() time.Duration {
 	return fd.Config{Tb: c.Tb, Ttd: c.Ttd}.DetectionLatency()
 }
 
-// Network is a simulated CANELy system: one bus (or two replicated media)
-// plus a set of nodes, each running the full protocol stack.
+// stackConfig translates the network configuration to the per-node stack
+// parameterization.
+func (c Config) stackConfig() stack.Config {
+	return stack.Config{
+		FD: fd.Config{Tb: c.Tb, Ttd: c.Ttd},
+		Membership: membership.Config{
+			Tm:            c.Tm,
+			TjoinWait:     c.TjoinWait,
+			RHA:           membership.RHAConfig{Trha: c.Trha, J: c.J},
+			RHAEveryCycle: c.RHAEveryCycle,
+		},
+		J: c.J,
+	}
+}
+
+// Network is a simulated CANELy system: one medium (or two replicated
+// media) plus a set of nodes, each running the full protocol stack.
 //
-// A Network is single-goroutine: it must only be driven from the goroutine
-// that created it (see guard.go). Campaigns parallelize by building one
+// A Network is single-goroutine: it must never be entered from two
+// goroutines at once (see guard.go). Campaigns parallelize by building one
 // Network per run inside each worker, never by sharing an instance.
 type Network struct {
-	cfg   Config
-	sched *sim.Scheduler
-	bus   *bus.Bus
-	busB  *bus.Bus // second medium when cfg.DualMedia
-	tr    *trace.Trace
-	rng   *sim.RNG
-	nodes map[NodeID]*Node
-	order []NodeID
-	owner int64 // id of the goroutine that owns this network
+	cfg     Config
+	sched   *sim.Scheduler
+	medium  stack.Medium
+	mediumB stack.Medium // second medium when cfg.DualMedia
+	tr      *trace.Trace
+	rng     *sim.RNG
+	nodes   map[NodeID]*Node
+	order   []NodeID
+	busy    atomic.Int32 // concurrent-use guard (see guard.go)
 }
 
 // NewNetwork builds a network with nodes 0..n-1 attached. Additional nodes
@@ -182,8 +236,13 @@ func NewNetwork(cfg Config, n int) *Network {
 		panic(fmt.Sprintf("canely: invalid config: %v", err))
 	}
 	sched := sim.NewScheduler()
-	tr := trace.New(func() sim.Time { return sched.Now() })
 	rng := sim.NewRNG(cfg.Seed)
+	// The fast substrate never traces; leaving tr nil turns every Emit in
+	// the protocol stack into a nil-receiver no-op.
+	var tr *trace.Trace
+	if cfg.Substrate != SubstrateFast {
+		tr = trace.New(func() sim.Time { return sched.Now() })
+	}
 
 	var inj fault.Injector = fault.None{}
 	if cfg.PCorrupt > 0 || cfg.PInconsistent > 0 {
@@ -194,58 +253,50 @@ func NewNetwork(cfg Config, n int) *Network {
 		inj = fault.Chain{cfg.Script, inj}
 	}
 
-	b := bus.New(sched, bus.Config{Rate: cfg.Rate, Injector: inj, Trace: tr})
 	net := &Network{
 		cfg:   cfg,
 		sched: sched,
-		bus:   b,
+		medium: stack.NewMedium(sched, stack.MediumConfig{
+			Substrate: cfg.Substrate, Rate: cfg.Rate, Injector: inj, Trace: tr,
+		}),
 		tr:    tr,
 		rng:   rng,
 		nodes: make(map[NodeID]*Node),
-		owner: goroutineID(),
 	}
 	if cfg.DualMedia {
 		injB := fault.Injector(fault.None{})
 		if cfg.MediumBScript != nil {
 			injB = cfg.MediumBScript
 		}
-		net.busB = bus.New(sched, bus.Config{Rate: cfg.Rate, Injector: injB})
+		net.mediumB = stack.NewMedium(sched, stack.MediumConfig{
+			Substrate: cfg.Substrate, Rate: cfg.Rate, Injector: injB,
+		})
 	}
 	for i := 0; i < n; i++ {
-		net.AddNode(NodeID(i))
+		net.addNode(NodeID(i))
 	}
 	return net
 }
 
 // AddNode attaches a node with the full CANELy stack.
 func (n *Network) AddNode(id NodeID) *Node {
-	n.checkOwner()
-	port := n.bus.Attach(id)
-	var ctrl canlayer.Controller = port
-	var dual *redundancy.DualPort
-	if n.busB != nil {
-		dual = redundancy.NewDualPort(n.sched, port, n.busB.Attach(id), 0)
-		ctrl = dual
+	n.enter()
+	defer n.leave()
+	return n.addNode(id)
+}
+
+// addNode is AddNode without the concurrency guard, for use from NewNetwork
+// (where the Network has not escaped to any other goroutine yet).
+func (n *Network) addNode(id NodeID) *Node {
+	media := []stack.Medium{n.medium}
+	if n.mediumB != nil {
+		media = append(media, n.mediumB)
 	}
-	layer := canlayer.New(ctrl)
-	fda := fd.NewFDA(layer)
-	det, err := fd.NewDetector(n.sched, layer, fda, fd.Config{Tb: n.cfg.Tb, Ttd: n.cfg.Ttd}, n.tr)
+	st, err := stack.New(n.sched, media, id, n.cfg.stackConfig(), n.tr, n.cfg.Hooks)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("canely: %v", err))
 	}
-	msh, err := membership.New(n.sched, layer, det, membership.Config{
-		Tm:            n.cfg.Tm,
-		TjoinWait:     n.cfg.TjoinWait,
-		RHA:           membership.RHAConfig{Trha: n.cfg.Trha, J: n.cfg.J},
-		RHAEveryCycle: n.cfg.RHAEveryCycle,
-	}, n.tr)
-	if err != nil {
-		panic(err)
-	}
-	node := &Node{
-		id: id, net: n, port: port, dual: dual, layer: layer,
-		fda: fda, det: det, msh: msh,
-	}
+	node := &Node{id: id, net: n, st: st}
 	n.nodes[id] = node
 	n.order = append(n.order, id)
 	return node
@@ -266,30 +317,34 @@ func (n *Network) Nodes() []*Node {
 // BootstrapAll installs the pre-agreed view containing every attached node
 // and starts all protocol machinery.
 func (n *Network) BootstrapAll() {
-	n.checkOwner()
+	n.enter()
+	defer n.leave()
 	var view NodeSet
 	for _, id := range n.order {
 		view = view.Add(id)
 	}
 	for _, id := range n.order {
-		n.nodes[id].msh.Bootstrap(view)
+		n.nodes[id].st.Msh.Bootstrap(view)
 	}
 }
 
-// Run advances the simulation by d of virtual time. It must be called from
-// the goroutine that created the Network.
+// Run advances the simulation by d of virtual time. Only one goroutine may
+// drive the Network at a time.
 func (n *Network) Run(d time.Duration) {
-	n.checkOwner()
+	n.enter()
+	defer n.leave()
 	n.sched.RunFor(d)
 }
 
 // Now returns the current virtual time as an offset from the start.
 func (n *Network) Now() time.Duration { return time.Duration(n.sched.Now()) }
 
-// Stats returns a snapshot of bus statistics.
-func (n *Network) Stats() BusStats { return n.bus.Stats() }
+// Stats returns a snapshot of medium-A wire statistics.
+func (n *Network) Stats() BusStats { return n.medium.Stats() }
 
-// Trace returns the network-wide event trace.
+// Trace returns the network-wide event trace. It is nil under
+// SubstrateFast, which never traces; all trace.Trace methods are
+// nil-receiver safe, so reading an absent trace yields empty results.
 func (n *Network) Trace() *trace.Trace { return n.tr }
 
 // Scheduler exposes the simulation scheduler for advanced scripting
@@ -299,46 +354,39 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 // Rate returns the configured bus bit rate.
 func (n *Network) Rate() BitRate { return n.cfg.Rate }
 
-// Node is one CANELy site: the full protocol stack of Figure 5.
+// Node is one CANELy site: the full protocol stack of Figure 5, assembled
+// by internal/stack over the network's media.
 type Node struct {
-	id    NodeID
-	net   *Network
-	port  *bus.Port
-	layer *canlayer.Layer
-	fda   *fd.FDA
-	det   *fd.Detector
-	msh   *membership.Protocol
+	id  NodeID
+	net *Network
+	st  *stack.Stack
 
-	dual    *redundancy.DualPort
 	tickers []*sim.Ticker
 	seq     uint8
-	sync    *clocksync.Synchronizer
-	grp     *groups.Service
-	ordered *edcan.Ordered
 }
 
 // ID returns the node identity.
 func (nd *Node) ID() NodeID { return nd.id }
 
 // View returns the node's current site membership view (Rf).
-func (nd *Node) View() NodeSet { return nd.msh.View() }
+func (nd *Node) View() NodeSet { return nd.st.Msh.View() }
 
 // Member reports whether the node is currently a full member.
-func (nd *Node) Member() bool { return nd.msh.Member() }
+func (nd *Node) Member() bool { return nd.st.Msh.Member() }
 
 // Bootstrap installs a pre-agreed initial view at this node and starts its
 // protocol machinery. All initial members must be bootstrapped with the
 // same view.
-func (nd *Node) Bootstrap(view NodeSet) { nd.msh.Bootstrap(view) }
+func (nd *Node) Bootstrap(view NodeSet) { nd.st.Msh.Bootstrap(view) }
 
 // Join requests integration into the set of active sites.
-func (nd *Node) Join() { nd.msh.Join() }
+func (nd *Node) Join() { nd.st.Msh.Join() }
 
 // Leave requests withdrawal from the site membership view.
-func (nd *Node) Leave() { nd.msh.Leave() }
+func (nd *Node) Leave() { nd.st.Msh.Leave() }
 
 // OnChange registers a membership change consumer (msh-can.nty).
-func (nd *Node) OnChange(fn func(Change)) { nd.msh.OnChange(fn) }
+func (nd *Node) OnChange(fn func(Change)) { nd.st.Msh.OnChange(fn) }
 
 // Crash fail-silences the node immediately (on both media under
 // DualMedia).
@@ -346,11 +394,7 @@ func (nd *Node) Crash() {
 	for _, t := range nd.tickers {
 		t.Stop()
 	}
-	if nd.dual != nil {
-		nd.dual.Crash()
-		return
-	}
-	nd.port.Crash()
+	nd.st.Crash()
 }
 
 // Alive reports whether the node is operational: not crashed and not shut
@@ -358,27 +402,17 @@ func (nd *Node) Crash() {
 // its process may run on, but it can neither send nor receive, so from the
 // system's perspective it has failed and its local view is stale. Under
 // DualMedia the node is alive while at least one medium serves it.
-func (nd *Node) Alive() bool {
-	if nd.dual != nil {
-		return nd.dual.Operational()
-	}
-	return nd.port.Operational()
-}
+func (nd *Node) Alive() bool { return nd.st.Alive() }
 
 // ActiveMedium returns the index of the medium the node currently receives
 // from (always 0 without DualMedia).
-func (nd *Node) ActiveMedium() int {
-	if nd.dual == nil {
-		return 0
-	}
-	return nd.dual.Active()
-}
+func (nd *Node) ActiveMedium() int { return nd.st.ActiveMedium() }
 
 // Send broadcasts one application data message on a stream. Application
 // traffic doubles as an implicit heartbeat (can-data.nty).
 func (nd *Node) Send(stream uint8, payload []byte) error {
 	nd.seq++
-	return nd.layer.DataReq(can.DataSign(stream, nd.id, nd.seq), payload)
+	return nd.st.Layer.DataReq(can.DataSign(stream, nd.id, nd.seq), payload)
 }
 
 // StartCyclicTraffic emits one application message on the stream every
@@ -406,21 +440,21 @@ func (nd *Node) StopTraffic() {
 
 // LifeSigns returns how many explicit life-sign frames this node has
 // requested — the quantity the Figure 10 analysis calls b.
-func (nd *Node) LifeSigns() int { return nd.det.LifeSigns() }
+func (nd *Node) LifeSigns() int { return nd.st.Det.LifeSigns() }
 
-// ControllerState reports the node's fault-confinement state
+// ControllerState reports the node's fault-confinement state on medium A
 // ("error-active", "error-passive" or "bus-off").
-func (nd *Node) ControllerState() string { return nd.port.State().String() }
+func (nd *Node) ControllerState() string { return nd.st.Ports[0].State().String() }
 
-// ErrorCounters returns the controller's transmit and receive error
-// counters (TEC, REC).
-func (nd *Node) ErrorCounters() (tec, rec int) { return nd.port.Counters() }
+// ErrorCounters returns the medium-A controller's transmit and receive
+// error counters (TEC, REC).
+func (nd *Node) ErrorCounters() (tec, rec int) { return nd.st.Ports[0].Counters() }
 
 // Monitoring reports whether the node currently surveils node r.
-func (nd *Node) Monitoring(r NodeID) bool { return nd.det.Monitoring(r) }
+func (nd *Node) Monitoring(r NodeID) bool { return nd.st.Det.Monitoring(r) }
 
 // Cycles returns the number of completed membership cycles.
-func (nd *Node) Cycles() int { return nd.msh.Cycles }
+func (nd *Node) Cycles() int { return nd.st.Msh.Cycles }
 
 // EnableClockSync starts the CANELy clock synchronization service on this
 // node ([15]; the Figure 11 "tens of µs" row). drift is the node crystal's
@@ -429,119 +463,78 @@ func (nd *Node) Cycles() int { return nd.msh.Cycles }
 // membership view, so a master crash is healed by the membership service
 // with no extra election.
 func (nd *Node) EnableClockSync(drift float64, period time.Duration) error {
-	if nd.sync != nil {
-		return fmt.Errorf("canely: clock sync already enabled on %v", nd.id)
-	}
-	clock := clocksync.NewClock(nd.net.sched, drift, time.Microsecond)
-	master := func() NodeID {
-		ids := nd.msh.View().IDs()
-		if len(ids) == 0 {
-			return nd.id // not yet integrated: act alone
-		}
-		return ids[0]
-	}
-	s, err := clocksync.New(nd.net.sched, nd.layer, clock, master, clocksync.Config{Period: period})
-	if err != nil {
-		return err
-	}
-	nd.sync = s
-	s.Start()
-	return nil
+	return nd.st.EnableClockSync(drift, period)
 }
 
 // ClockNow returns the node's synchronized local clock reading.
 // EnableClockSync must have been called.
 func (nd *Node) ClockNow() time.Duration {
-	if nd.sync == nil {
+	if nd.st.Sync == nil {
 		panic("canely: clock sync not enabled")
 	}
-	return nd.sync.Clock().Now()
+	return nd.st.Sync.Clock().Now()
 }
 
 // EnableGroups starts the process-group membership service on this node:
 // group registrations travel over a RELCAN reliable broadcast and group
 // views are pruned by the site membership service (§6's motivating use).
-func (nd *Node) EnableGroups() error {
-	if nd.grp != nil {
-		return fmt.Errorf("canely: groups already enabled on %v", nd.id)
-	}
-	rel, err := edcan.NewRELCAN(nd.net.sched, nd.layer, edcan.RELCANConfig{
-		Timeout: 2 * nd.net.cfg.Ttd,
-		J:       nd.net.cfg.J,
-	})
-	if err != nil {
-		return err
-	}
-	nd.grp = groups.New(rel, nd.msh, nd.id)
-	return nil
-}
+func (nd *Node) EnableGroups() error { return nd.st.EnableGroups() }
 
 // JoinGroup announces a local process joining a group. EnableGroups must
 // have been called.
 func (nd *Node) JoinGroup(g GroupID) error {
-	if nd.grp == nil {
+	if nd.st.Groups == nil {
 		return fmt.Errorf("canely: groups not enabled on %v", nd.id)
 	}
-	return nd.grp.Join(g)
+	return nd.st.Groups.Join(g)
 }
 
 // LeaveGroup announces the local process leaving a group.
 func (nd *Node) LeaveGroup(g GroupID) error {
-	if nd.grp == nil {
+	if nd.st.Groups == nil {
 		return fmt.Errorf("canely: groups not enabled on %v", nd.id)
 	}
-	return nd.grp.Leave(g)
+	return nd.st.Groups.Leave(g)
 }
 
 // GroupView returns the agreed set of sites hosting members of a group.
 func (nd *Node) GroupView(g GroupID) NodeSet {
-	if nd.grp == nil {
+	if nd.st.Groups == nil {
 		return can.EmptySet
 	}
-	return nd.grp.View(g)
+	return nd.st.Groups.View(g)
 }
 
 // OnGroupChange registers a group view change consumer.
 func (nd *Node) OnGroupChange(fn func(GroupChange)) {
-	if nd.grp == nil {
+	if nd.st.Groups == nil {
 		panic("canely: groups not enabled")
 	}
-	nd.grp.OnChange(fn)
+	nd.st.Groups.OnChange(fn)
 }
 
 // EnableOrderedBroadcast starts the TOTCAN-style totally ordered broadcast
 // service ([18]) with the given accept-deadline offset. Every node that
 // participates must enable it with the same delta.
 func (nd *Node) EnableOrderedBroadcast(delta time.Duration) error {
-	if nd.ordered != nil {
-		return fmt.Errorf("canely: ordered broadcast already enabled on %v", nd.id)
-	}
-	ord, err := edcan.NewOrdered(nd.net.sched, nd.layer, edcan.OrderedConfig{
-		Delta: delta,
-		J:     nd.net.cfg.J,
-	})
-	if err != nil {
-		return err
-	}
-	nd.ordered = ord
-	return nil
+	return nd.st.EnableOrdered(delta)
 }
 
 // OrderedBroadcast sends a payload (≤ 4 bytes) in network-wide total order.
 func (nd *Node) OrderedBroadcast(data []byte) error {
-	if nd.ordered == nil {
+	if nd.st.Ordered == nil {
 		return fmt.Errorf("canely: ordered broadcast not enabled on %v", nd.id)
 	}
-	_, err := nd.ordered.Broadcast(data)
+	_, err := nd.st.Ordered.Broadcast(data)
 	return err
 }
 
 // OnOrderedDeliver registers a total-order delivery consumer.
 func (nd *Node) OnOrderedDeliver(fn func(from NodeID, data []byte)) {
-	if nd.ordered == nil {
+	if nd.st.Ordered == nil {
 		panic("canely: ordered broadcast not enabled")
 	}
-	nd.ordered.Deliver(func(origin can.NodeID, _ uint8, data []byte) {
+	nd.st.Ordered.Deliver(func(origin can.NodeID, _ uint8, data []byte) {
 		fn(origin, data)
 	})
 }

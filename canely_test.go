@@ -159,7 +159,7 @@ func TestJoin(t *testing.T) {
 	net := NewNetwork(cfg, 4)
 	// Bootstrap only 0..2; node 3 joins later.
 	for i := 0; i < 3; i++ {
-		net.Node(NodeID(i)).msh.Bootstrap(MakeSet(0, 1, 2))
+		net.Node(NodeID(i)).Bootstrap(MakeSet(0, 1, 2))
 	}
 	net.Run(60 * time.Millisecond)
 
@@ -236,7 +236,7 @@ func TestMultipleSimultaneousJoins(t *testing.T) {
 	cfg := DefaultConfig()
 	net := NewNetwork(cfg, 6)
 	for i := 0; i < 3; i++ {
-		net.Node(NodeID(i)).msh.Bootstrap(MakeSet(0, 1, 2))
+		net.Node(NodeID(i)).Bootstrap(MakeSet(0, 1, 2))
 	}
 	net.Run(30 * time.Millisecond)
 	for i := 3; i < 6; i++ {
@@ -250,7 +250,7 @@ func TestSimultaneousJoinAndLeave(t *testing.T) {
 	cfg := DefaultConfig()
 	net := NewNetwork(cfg, 5)
 	for i := 0; i < 4; i++ {
-		net.Node(NodeID(i)).msh.Bootstrap(MakeSet(0, 1, 2, 3))
+		net.Node(NodeID(i)).Bootstrap(MakeSet(0, 1, 2, 3))
 	}
 	net.Run(30 * time.Millisecond)
 	net.Node(4).Join()

@@ -13,9 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
+	"canely"
 	"canely/internal/analysis"
 	"canely/internal/can"
 	"canely/internal/experiments"
@@ -28,6 +30,7 @@ type options struct {
 	churnTrials int
 	tmLo, tmHi  time.Duration
 	tmStep      time.Duration
+	substrate   canely.Substrate
 }
 
 // report renders the Figure 10 study.
@@ -54,23 +57,32 @@ func report(o options) string {
 		sb.WriteString("\nMeasured from full-stack simulation (vs extended-format analysis):\n")
 		cfg := experiments.DefaultFigure10Config()
 		cfg.Seed = o.seed
+		cfg.Substrate = o.substrate
 		sb.WriteString(experiments.FormatFigure10(experiments.MeasureFigure10(cfg, tms)))
 		fmt.Fprintf(&sb, "\nChurn sweep at Tm=50ms (footnote 11's marginal request cost, %d trials per point):\n",
 			o.churnTrials)
 		sb.WriteString(experiments.FormatChurn(
-			experiments.MeasureChurnSweep(nil, 50*time.Millisecond, o.churnTrials, o.seed)))
+			experiments.MeasureChurnSweep(o.substrate, nil, 50*time.Millisecond, o.churnTrials, o.seed)))
 	}
 	return sb.String()
 }
 
 func main() {
 	var o options
+	var substrate string
 	flag.BoolVar(&o.measured, "measured", false, "also measure from full-stack simulation")
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed for -measured")
 	flag.IntVar(&o.churnTrials, "churn-trials", 5, "seeded trials per churn point for -measured")
 	flag.DurationVar(&o.tmLo, "tm-min", 30*time.Millisecond, "smallest Tm")
 	flag.DurationVar(&o.tmHi, "tm-max", 90*time.Millisecond, "largest Tm")
 	flag.DurationVar(&o.tmStep, "tm-step", 10*time.Millisecond, "Tm increment")
+	flag.StringVar(&substrate, "substrate", "bit", "medium substrate for -measured: bit (bit-accurate) or fast (frame-level)")
 	flag.Parse()
+	sub, err := canely.ParseSubstrate(substrate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bandwidth:", err)
+		os.Exit(2)
+	}
+	o.substrate = sub
 	fmt.Print(report(o))
 }

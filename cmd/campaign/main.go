@@ -98,14 +98,22 @@ func parseGrid(spec string) ([]campaign.Axis, error) {
 }
 
 // benchReport is the BENCH_campaign.json artifact: the campaign engine's
-// throughput ladder plus the p99 detection latency of the measured runs —
-// the perf baseline future changes regress against.
+// throughput ladder on the default E10 grid, measured once per substrate —
+// the perf baseline future changes regress against. FastVsBitSpeedup is the
+// single-worker runs/sec ratio, the honest per-core comparison.
 type benchReport struct {
-	Benchmark      string       `json:"benchmark"`
-	Nodes          int          `json:"nodes"`
-	RunsPerLadder  int          `json:"runs_per_ladder"`
-	Workers        []benchPoint `json:"workers"`
-	P99DetectionMs float64      `json:"p99_detection_ms"`
+	Benchmark        string            `json:"benchmark"`
+	Nodes            int               `json:"nodes"`
+	Grid             string            `json:"grid"`
+	RunsPerLadder    int               `json:"runs_per_ladder"`
+	Substrates       []substrateSeries `json:"substrates"`
+	FastVsBitSpeedup float64           `json:"fast_vs_bit_speedup"`
+	P99DetectionMs   float64           `json:"p99_detection_ms"`
+}
+
+type substrateSeries struct {
+	Substrate string       `json:"substrate"`
+	Workers   []benchPoint `json:"workers"`
 }
 
 type benchPoint struct {
@@ -114,32 +122,59 @@ type benchPoint struct {
 	Speedup    float64 `json:"speedup_vs_1"`
 }
 
-// measureThroughput times a fixed crash-QoS campaign at each worker count.
-func measureThroughput(nodes, runs int) benchReport {
-	rep := benchReport{Benchmark: "campaign-throughput", Nodes: nodes, RunsPerLadder: runs}
+// measureThroughput times the crash-QoS campaign over the given grid at each
+// worker count, once per substrate. Each (substrate, workers) cell is timed
+// over the full grid × seeds run, best of reps to shed scheduler noise.
+func measureThroughput(grid string, nodes, seeds int) benchReport {
+	rep := benchReport{Benchmark: "campaign-throughput", Nodes: nodes, Grid: grid}
 	ladder := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
-	seen := map[int]bool{}
-	var base float64
-	for _, w := range ladder {
-		if seen[w] {
-			continue
+	const reps = 3
+	for _, sub := range []canely.Substrate{canely.SubstrateBitAccurate, canely.SubstrateFast} {
+		series := substrateSeries{Substrate: sub.String()}
+		seen := map[int]bool{}
+		var base float64
+		for _, w := range ladder {
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			var best float64
+			for attempt := 0; attempt < reps; attempt++ {
+				axes, err := parseGrid(grid)
+				if err != nil {
+					panic(err)
+				}
+				cfg := canely.DefaultConfig()
+				cfg.Substrate = sub
+				spec := experiments.CrashQoSSpec(cfg, nodes, axes,
+					campaign.SeedRange{Base: 1, N: seeds})
+				runner := campaign.Runner{Workers: w}
+				start := time.Now()
+				results, err := runner.Run(context.Background(), spec)
+				if err != nil {
+					panic(err)
+				}
+				if rps := float64(len(results)) / time.Since(start).Seconds(); rps > best {
+					best = rps
+				}
+				rep.RunsPerLadder = len(results)
+				if rep.P99DetectionMs == 0 {
+					rep.P99DetectionMs = campaign.MergeMetric(results, "detection_ms").Quantile(0.99)
+				}
+			}
+			if base == 0 {
+				base = best
+			}
+			series.Workers = append(series.Workers, benchPoint{Workers: w, RunsPerSec: best, Speedup: best / base})
 		}
-		seen[w] = true
-		spec := experiments.CrashQoSSpec(canely.DefaultConfig(), nodes, nil,
-			campaign.SeedRange{Base: 1, N: runs})
-		runner := campaign.Runner{Workers: w}
-		start := time.Now()
-		results, err := runner.Run(context.Background(), spec)
-		if err != nil {
-			panic(err)
-		}
-		rps := float64(len(results)) / time.Since(start).Seconds()
-		if base == 0 {
-			base = rps
-		}
-		rep.Workers = append(rep.Workers, benchPoint{Workers: w, RunsPerSec: rps, Speedup: rps / base})
-		if rep.P99DetectionMs == 0 {
-			rep.P99DetectionMs = campaign.MergeMetric(results, "detection_ms").Quantile(0.99)
+		rep.Substrates = append(rep.Substrates, series)
+	}
+	if len(rep.Substrates) == 2 &&
+		len(rep.Substrates[0].Workers) > 0 && len(rep.Substrates[1].Workers) > 0 {
+		bit := rep.Substrates[0].Workers[0].RunsPerSec
+		fast := rep.Substrates[1].Workers[0].RunsPerSec
+		if bit > 0 {
+			rep.FastVsBitSpeedup = fast / bit
 		}
 	}
 	return rep
@@ -155,15 +190,16 @@ func writeJSON(path string, v any) error {
 
 func main() {
 	var (
-		grid    = flag.String("grid", "tb=5ms,10ms,20ms,40ms", "parameter grid: \"key=v1,v2;key2=...\" over tb, tm, ttd, trha, tjoinwait, pcorrupt, pinconsistent, j, k")
-		nodes   = flag.Int("nodes", 8, "network size per run")
-		seeds   = flag.Int("seeds", 50, "seeded trials per grid point")
-		seed    = flag.Int64("seed", 1, "first seed of the sweep")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		out     = flag.String("o", "", "write the aggregate report as JSON to this path")
-		csvOut  = flag.String("csv", "", "write the aggregate report as CSV to this path")
-		bench   = flag.String("bench", "", "measure engine throughput at 1/2/4/max workers and write BENCH JSON to this path")
-		quiet   = flag.Bool("q", false, "suppress the progress meter")
+		grid      = flag.String("grid", "tb=5ms,10ms,20ms,40ms", "parameter grid: \"key=v1,v2;key2=...\" over tb, tm, ttd, trha, tjoinwait, pcorrupt, pinconsistent, j, k")
+		nodes     = flag.Int("nodes", 8, "network size per run")
+		seeds     = flag.Int("seeds", 50, "seeded trials per grid point")
+		seed      = flag.Int64("seed", 1, "first seed of the sweep")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		substrate = flag.String("substrate", "fast", "medium substrate: fast (frame-level) or bit (bit-accurate); both produce identical campaign results")
+		out       = flag.String("o", "", "write the aggregate report as JSON to this path")
+		csvOut    = flag.String("csv", "", "write the aggregate report as CSV to this path")
+		bench     = flag.String("bench", "", "measure per-substrate engine throughput at 1/2/4/max workers over the grid and write BENCH JSON to this path")
+		quiet     = flag.Bool("q", false, "suppress the progress meter")
 	)
 	flag.Parse()
 
@@ -176,8 +212,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "campaign: -nodes must be at least 2")
 		os.Exit(2)
 	}
-	spec := experiments.CrashQoSSpec(canely.DefaultConfig(), *nodes, axes,
+	// A campaign with no runs has no aggregates — reject it up front rather
+	// than emit a report of NaNs.
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "campaign: -seeds must be at least 1 (a zero-run campaign has no aggregates)")
+		os.Exit(2)
+	}
+	sub, err := canely.ParseSubstrate(*substrate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := canely.DefaultConfig()
+	cfg.Substrate = sub
+	spec := experiments.CrashQoSSpec(cfg, *nodes, axes,
 		campaign.SeedRange{Base: *seed, N: *seeds})
+	if spec.TotalRuns() == 0 {
+		fmt.Fprintln(os.Stderr, "campaign: the grid × seeds intersection is empty; nothing to run")
+		os.Exit(2)
+	}
 
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -235,15 +288,19 @@ func main() {
 		fmt.Printf("aggregate CSV written to %s\n", *csvOut)
 	}
 	if *bench != "" {
-		fmt.Printf("measuring engine throughput at 1/2/4/%d workers...\n", runtime.GOMAXPROCS(0))
-		br := measureThroughput(*nodes, 32)
+		fmt.Printf("measuring engine throughput per substrate at 1/2/4/%d workers...\n", runtime.GOMAXPROCS(0))
+		br := measureThroughput(*grid, *nodes, 16)
 		if err := writeJSON(*bench, br); err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: write %s: %v\n", *bench, err)
 			os.Exit(1)
 		}
-		for _, p := range br.Workers {
-			fmt.Printf("  workers=%-3d %8.1f runs/sec  %.2fx\n", p.Workers, p.RunsPerSec, p.Speedup)
+		for _, s := range br.Substrates {
+			for _, p := range s.Workers {
+				fmt.Printf("  substrate=%-5s workers=%-3d %8.1f runs/sec  %.2fx\n",
+					s.Substrate, p.Workers, p.RunsPerSec, p.Speedup)
+			}
 		}
+		fmt.Printf("fast vs bit speedup (workers=1): %.2fx\n", br.FastVsBitSpeedup)
 		fmt.Printf("bench JSON written to %s\n", *bench)
 	}
 }

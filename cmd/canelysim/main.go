@@ -63,10 +63,17 @@ func main() {
 		traffic  = flag.Duration("traffic", 0, "cyclic application traffic period (0 = none)")
 		dual     = flag.Bool("dualmedia", false, "replicated media with reception by selection")
 		showAll  = flag.Bool("trace", false, "dump the full event trace")
+		subFlag  = flag.String("substrate", "bit", "medium substrate: bit (bit-accurate, traced) or fast (frame-level, no trace)")
 	)
 	flag.Parse()
 
+	substrate, err := canely.ParseSubstrate(*subFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canelysim:", err)
+		os.Exit(2)
+	}
 	cfg := canely.DefaultConfig()
+	cfg.Substrate = substrate
 	cfg.Tm = *tm
 	cfg.Tb = *tb
 	cfg.Seed = *seed
@@ -135,6 +142,9 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Println("=== event summary ===")
+	if net.Trace() == nil {
+		fmt.Println("(tracing disabled under the fast substrate; rerun with -substrate bit)")
+	}
 	fmt.Print(net.Trace().Summary())
 	fmt.Println("\n=== final views ===")
 	for _, nd := range net.Nodes() {

@@ -8,12 +8,52 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"canely/internal/analysis"
 	"canely/internal/can"
 	"canely/internal/experiments"
 )
+
+// report renders the full comparison study: the Figure 1 and Figure 11
+// tables, the inaccessibility scenario enumerations and the response-time
+// analysis of the protocol traffic.
+func report(trials int, seed int64) string {
+	var b strings.Builder
+
+	fmt.Fprint(&b, analysis.Figure1())
+	b.WriteString("\n")
+
+	in := analysis.DefaultFigure11Inputs()
+	lat := experiments.MeasureMembershipLatency(trials, seed)
+	in.MembershipLatency = lat.Max()
+	fmt.Fprint(&b, analysis.Figure11(in))
+	b.WriteString("\n")
+
+	b.WriteString("Inaccessibility scenario enumeration (after [22]):\n\n")
+	b.WriteString("Native CAN:\n")
+	b.WriteString(analysis.CANInaccessibility().FormatScenarios())
+	b.WriteString("\n")
+	b.WriteString("CANELy (inaccessibility control bounds the retransmission burst):\n")
+	b.WriteString(analysis.CANELyInaccessibility().FormatScenarios())
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "Measured membership latency over %d crash trials: %v\n", trials, &lat)
+
+	b.WriteString("\n")
+	b.WriteString("MCAN4 response-time analysis of the protocol traffic (after [20]),\n")
+	b.WriteString("8 nodes, Tb=10ms, Tm=50ms, 1 Mbit/s, CANELy inaccessibility charged:\n")
+	_, hi := analysis.CANELyInaccessibility().Bounds()
+	res, err := analysis.ResponseTimes(
+		analysis.CANELyMessageSet(8, 10*time.Millisecond, 50*time.Millisecond),
+		can.Rate1Mbps, can.FormatExtended, can.Rate1Mbps.DurationOf(hi))
+	if err != nil {
+		fmt.Fprintf(&b, "analysis failed: %v\n", err)
+		return b.String()
+	}
+	b.WriteString(analysis.FormatResponseTimes(res))
+	return b.String()
+}
 
 func main() {
 	var (
@@ -22,35 +62,5 @@ func main() {
 	)
 	flag.Parse()
 
-	fmt.Print(analysis.Figure1())
-	fmt.Println()
-
-	in := analysis.DefaultFigure11Inputs()
-	lat := experiments.MeasureMembershipLatency(*trials, *seed)
-	in.MembershipLatency = lat.Max()
-	fmt.Print(analysis.Figure11(in))
-	fmt.Println()
-
-	fmt.Println("Inaccessibility scenario enumeration (after [22]):")
-	fmt.Println()
-	fmt.Println("Native CAN:")
-	fmt.Print(analysis.CANInaccessibility().FormatScenarios())
-	fmt.Println()
-	fmt.Println("CANELy (inaccessibility control bounds the retransmission burst):")
-	fmt.Print(analysis.CANELyInaccessibility().FormatScenarios())
-	fmt.Println()
-	fmt.Printf("Measured membership latency over %d crash trials: %v\n", *trials, &lat)
-
-	fmt.Println()
-	fmt.Println("MCAN4 response-time analysis of the protocol traffic (after [20]),")
-	fmt.Println("8 nodes, Tb=10ms, Tm=50ms, 1 Mbit/s, CANELy inaccessibility charged:")
-	_, hi := analysis.CANELyInaccessibility().Bounds()
-	res, err := analysis.ResponseTimes(
-		analysis.CANELyMessageSet(8, 10*time.Millisecond, 50*time.Millisecond),
-		can.Rate1Mbps, can.FormatExtended, can.Rate1Mbps.DurationOf(hi))
-	if err != nil {
-		fmt.Println("analysis failed:", err)
-		return
-	}
-	fmt.Print(analysis.FormatResponseTimes(res))
+	fmt.Print(report(*trials, *seed))
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReportSmoke runs the whole main path on a small trial count and
+// checks every section of the study is present.
+func TestReportSmoke(t *testing.T) {
+	out := report(2, 1)
+	if out == "" {
+		t.Fatal("empty report")
+	}
+	for _, want := range []string{
+		"Figure 1 - Comparison of TTP and CAN",
+		"Figure 11 - Comparison of TTP, CAN and CANELy",
+		"Membership service",
+		"Inaccessibility scenario enumeration",
+		"Native CAN:",
+		"error burst over 16 retransmissions",
+		"Measured membership latency over 2 crash trials",
+		"MCAN4 response-time analysis",
+		"FDA failure-sign",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%s", want, out)
+		}
+	}
+	// Parseability of the Figure 11 table: the CANELy membership cell must
+	// carry the measured latency figure.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Membership ") && strings.Contains(line, "latency") {
+			if !strings.Contains(line, "ms") {
+				t.Fatalf("membership row has no measured latency: %q", line)
+			}
+			return
+		}
+	}
+	t.Fatal("no measured membership latency row found")
+}

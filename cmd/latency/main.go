@@ -9,20 +9,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
+	"canely"
 	"canely/internal/analysis"
 	"canely/internal/experiments"
 )
 
 // options collects the flag values so the report is testable.
 type options struct {
-	nodes   int
-	trials  int
-	seed    int64
-	workers int
-	tb      time.Duration
+	nodes     int
+	trials    int
+	seed      int64
+	workers   int
+	tb        time.Duration
+	substrate canely.Substrate
 }
 
 // report renders the full study: measured comparison, analytical worst
@@ -34,6 +37,7 @@ func report(o options) string {
 	cfg.Seed = o.seed
 	cfg.Workers = o.workers
 	cfg.CANELy.Tb = o.tb
+	cfg.CANELy.Substrate = o.substrate
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Failure detection latency, %d nodes, %d trials per scheme\n\n", o.nodes, o.trials)
@@ -49,17 +53,25 @@ func report(o options) string {
 
 	sb.WriteString("\nLatency / bandwidth trade-off over the heartbeat period Tb:\n")
 	sb.WriteString(experiments.FormatTradeoff(
-		experiments.MeasureLatencyBandwidthTradeoff(nil, o.nodes, o.trials, o.seed)))
+		experiments.MeasureLatencyBandwidthTradeoff(o.substrate, nil, o.nodes, o.trials, o.seed)))
 	return sb.String()
 }
 
 func main() {
 	var o options
+	var substrate string
 	flag.IntVar(&o.nodes, "nodes", 8, "network size")
 	flag.IntVar(&o.trials, "trials", 10, "crash trials per scheme")
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
 	flag.IntVar(&o.workers, "workers", 0, "campaign workers (0 = GOMAXPROCS)")
 	flag.DurationVar(&o.tb, "tb", 10*time.Millisecond, "CANELy heartbeat period")
+	flag.StringVar(&substrate, "substrate", "bit", "CANELy medium substrate: bit (bit-accurate) or fast (frame-level)")
 	flag.Parse()
+	sub, err := canely.ParseSubstrate(substrate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latency:", err)
+		os.Exit(2)
+	}
+	o.substrate = sub
 	fmt.Print(report(o))
 }

@@ -19,12 +19,88 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"canely/internal/analysis"
 	"canely/internal/can"
 )
+
+// options collects the analysis parameterization (the command's flags).
+type options struct {
+	rate     int
+	extended bool
+	inacc    string
+	protocol bool
+	nodes    int
+	tb, tm   time.Duration
+}
+
+// report parses a message set and renders the response-time analysis. It
+// also returns how many messages are unschedulable (the process exit
+// status) and an error for malformed input or parameters.
+func report(in io.Reader, o options) (out string, unsched int, err error) {
+	app, err := analysis.ParseMessageSet(in)
+	if err != nil {
+		return "", 0, err
+	}
+
+	format := can.FormatStandard
+	if o.extended {
+		format = can.FormatExtended
+	}
+	var tina time.Duration
+	switch o.inacc {
+	case "none":
+	case "can":
+		_, bits := analysis.CANInaccessibility().Bounds()
+		tina = can.BitRate(o.rate).DurationOf(bits)
+	case "canely":
+		_, bits := analysis.CANELyInaccessibility().Bounds()
+		tina = can.BitRate(o.rate).DurationOf(bits)
+	default:
+		return "", 0, fmt.Errorf("unknown -inaccessibility %q", o.inacc)
+	}
+
+	set := app
+	if o.protocol {
+		// Protocol streams keep the top priorities; application priorities
+		// are shifted above them, mirroring the mid encoding.
+		set = analysis.CANELyMessageSet(o.nodes, o.tb, o.tm)
+		for _, m := range app {
+			m.Priority += 100
+			set = append(set, m)
+		}
+	}
+
+	results, err := analysis.ResponseTimes(set, can.BitRate(o.rate), format, tina)
+	if err != nil {
+		return "", 0, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "response-time analysis @ %d bit/s, %v frames, inaccessibility=%v\n\n",
+		o.rate, format, tina)
+	b.WriteString(analysis.FormatResponseTimes(results))
+
+	var worstProto time.Duration
+	for _, r := range results {
+		if !r.Schedulable {
+			unsched++
+		}
+		if o.protocol && r.Message.Priority < 100 && r.R > worstProto {
+			worstProto = r.R
+		}
+	}
+	if o.protocol {
+		fmt.Fprintf(&b, "\nderived Ttd (worst protocol response time): %v\n", worstProto)
+	}
+	if unsched > 0 {
+		fmt.Fprintf(&b, "\nWARNING: %d message(s) unschedulable\n", unsched)
+	}
+	return b.String(), unsched, nil
+}
 
 func main() {
 	var (
@@ -49,65 +125,21 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	app, err := analysis.ParseMessageSet(in)
+	out, unsched, err := report(in, options{
+		rate:     *rate,
+		extended: *extended,
+		inacc:    *inacc,
+		protocol: *protocol,
+		nodes:    *nodes,
+		tb:       *tb,
+		tm:       *tm,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	format := can.FormatStandard
-	if *extended {
-		format = can.FormatExtended
-	}
-	var tina time.Duration
-	switch *inacc {
-	case "none":
-	case "can":
-		_, bits := analysis.CANInaccessibility().Bounds()
-		tina = can.BitRate(*rate).DurationOf(bits)
-	case "canely":
-		_, bits := analysis.CANELyInaccessibility().Bounds()
-		tina = can.BitRate(*rate).DurationOf(bits)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -inaccessibility %q\n", *inacc)
-		os.Exit(2)
-	}
-
-	set := app
-	if *protocol {
-		// Protocol streams keep the top priorities; application priorities
-		// are shifted above them, mirroring the mid encoding.
-		set = analysis.CANELyMessageSet(*nodes, *tb, *tm)
-		for _, m := range app {
-			m.Priority += 100
-			set = append(set, m)
-		}
-	}
-
-	results, err := analysis.ResponseTimes(set, can.BitRate(*rate), format, tina)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	fmt.Printf("response-time analysis @ %d bit/s, %v frames, inaccessibility=%v\n\n",
-		*rate, format, tina)
-	fmt.Print(analysis.FormatResponseTimes(results))
-
-	unsched := 0
-	var worstProto time.Duration
-	for _, r := range results {
-		if !r.Schedulable {
-			unsched++
-		}
-		if *protocol && r.Message.Priority < 100 && r.R > worstProto {
-			worstProto = r.R
-		}
-	}
-	if *protocol {
-		fmt.Printf("\nderived Ttd (worst protocol response time): %v\n", worstProto)
-	}
+	fmt.Print(out)
 	if unsched > 0 {
-		fmt.Printf("\nWARNING: %d message(s) unschedulable\n", unsched)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func defaults() options {
+	return options{
+		rate:     1_000_000,
+		extended: true,
+		inacc:    "canely",
+		protocol: true,
+		nodes:    8,
+		tb:       10 * time.Millisecond,
+		tm:       50 * time.Millisecond,
+	}
+}
+
+const exampleSet = `
+engine-speed   10  5ms    4
+brake-status   11  10ms   2
+logging        50  100ms  8
+`
+
+// TestReportSmoke runs the whole main path on the doc-comment example set
+// with default flags and checks the analysis table is present and complete.
+func TestReportSmoke(t *testing.T) {
+	out, unsched, err := report(strings.NewReader(exampleSet), defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsched != 0 {
+		t.Fatalf("example set reported %d unschedulable messages:\n%s", unsched, out)
+	}
+	for _, want := range []string{
+		"response-time analysis @ 1000000 bit/s",
+		"message", "prio", "period",
+		"FDA failure-sign",
+		"ELS n07", // all 8 protocol ELS streams merged in
+		"engine-speed", "brake-status", "logging",
+		"derived Ttd",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%s", want, out)
+		}
+	}
+	// Every row of the example set must be schedulable ("yes" column).
+	for _, name := range []string{"engine-speed", "brake-status", "logging"} {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, name) && !strings.HasSuffix(strings.TrimSpace(line), "yes") {
+				t.Fatalf("%s row not schedulable: %q", name, line)
+			}
+		}
+	}
+}
+
+// TestReportBadInput: malformed message sets and unknown parameters must
+// surface as errors, not as partial tables.
+func TestReportBadInput(t *testing.T) {
+	if _, _, err := report(strings.NewReader("not a message line"), defaults()); err == nil {
+		t.Error("malformed set line did not error")
+	}
+	o := defaults()
+	o.inacc = "bogus"
+	if _, _, err := report(strings.NewReader(exampleSet), o); err == nil {
+		t.Error("unknown inaccessibility mode did not error")
+	}
+}

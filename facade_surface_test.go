@@ -67,7 +67,7 @@ func TestFacadeGroupLeave(t *testing.T) {
 		t.Fatalf("group changes = %d, want join+leave", len(changes))
 	}
 	// Leave without enable errors.
-	if err := net.Node(1).LeaveGroup(g); net.Node(1).grp == nil && err != nil {
+	if err := net.Node(1).LeaveGroup(g); net.Node(1).st.Groups == nil && err != nil {
 		// node 1 has groups enabled in this test; check a fresh network
 		net2 := NewNetwork(DefaultConfig(), 1)
 		if err := net2.Node(0).LeaveGroup(g); err == nil {

@@ -1,43 +1,31 @@
 package canely
 
-import (
-	"bytes"
-	"fmt"
-	"runtime"
-	"strconv"
-)
-
 // A Network is a single-goroutine object: the discrete-event simulation it
-// wraps has no internal locking, so sharing one Network across goroutines
-// (for instance handing the same instance to several campaign workers)
-// silently corrupts the event queue. NewNetwork records the creating
-// goroutine and the mutating entry points (Run, AddNode, BootstrapAll)
-// panic when called from any other one — each internal/campaign worker must
+// wraps has no internal locking, so entering one Network from two
+// goroutines at once (for instance handing the same instance to several
+// campaign workers) silently corrupts the event queue. The mutating entry
+// points (Run, AddNode, BootstrapAll) hold an atomic in-use flag and panic
+// when they observe an overlap — each internal/campaign worker must
 // construct its own Network inside its extractor. Callbacks fired during
-// Run execute on the owner goroutine, so re-entering the facade from a
-// membership or scheduler callback stays legal.
+// Run execute on the goroutine driving Run and never re-enter the guarded
+// entry points, so re-entering the facade from a membership or scheduler
+// callback stays legal.
+//
+// The flag costs a couple of nanoseconds per entry, so campaign extractors
+// — which cross the facade a handful of times per run — pay nothing for
+// the protection. (An earlier revision pinned the Network to its creating
+// goroutine by parsing runtime.Stack; that caught hand-offs that are
+// perfectly safe under a happens-before edge, and its ~10µs per check was
+// a measurable share of short campaign runs.)
 
-// goroutineID parses the current goroutine's id from its stack header
-// ("goroutine 123 [running]:"). It is only called on the facade's mutating
-// entry points, never per simulated event, so the ~µs cost is invisible.
-func goroutineID() int64 {
-	var buf [64]byte
-	n := runtime.Stack(buf[:], false)
-	header := bytes.TrimPrefix(buf[:n], []byte("goroutine "))
-	if i := bytes.IndexByte(header, ' '); i > 0 {
-		if id, err := strconv.ParseInt(string(header[:i]), 10, 64); err == nil {
-			return id
-		}
-	}
-	return -1
-}
-
-// checkOwner enforces the single-goroutine contract.
-func (n *Network) checkOwner() {
-	if id := goroutineID(); id != n.owner {
-		panic(fmt.Sprintf(
-			"canely: Network created on goroutine %d used from goroutine %d; "+
-				"a Network is single-goroutine — build one Network per campaign worker",
-			n.owner, id))
+// enter acquires the in-use flag. leave must be called (deferred) by every
+// caller that enters successfully.
+func (n *Network) enter() {
+	if !n.busy.CompareAndSwap(0, 1) {
+		panic("canely: concurrent use of a single-goroutine Network; " +
+			"build one Network per campaign worker")
 	}
 }
+
+// leave releases the in-use flag.
+func (n *Network) leave() { n.busy.Store(0) }

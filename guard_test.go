@@ -9,36 +9,40 @@ import (
 	"canely"
 )
 
-// TestNetworkSingleGoroutineGuard: a Network driven from a goroutine other
-// than its creator must panic loudly instead of corrupting the simulation —
-// the misuse a campaign worker pool would otherwise make easy.
-func TestNetworkSingleGoroutineGuard(t *testing.T) {
+// TestNetworkConcurrentUseGuard: entering a Network while another goroutine
+// is driving it must panic loudly instead of corrupting the simulation — the
+// misuse a campaign worker pool would otherwise make easy. The overlap is
+// made deterministic by blocking the driving goroutine inside a scheduled
+// callback until the intruding goroutine has observed its panic.
+func TestNetworkConcurrentUseGuard(t *testing.T) {
 	net := canely.NewNetwork(canely.DefaultConfig(), 2)
 	net.BootstrapAll()
 
-	recovered := make(chan any, 1)
-	go func() {
-		defer func() { recovered <- recover() }()
-		net.Run(time.Millisecond)
-	}()
-	r := <-recovered
-	if r == nil {
-		t.Fatal("cross-goroutine Run did not panic")
-	}
-	if msg := fmt.Sprint(r); !strings.Contains(msg, "single-goroutine") {
-		t.Fatalf("panic message %q does not explain the contract", msg)
-	}
-
-	// AddNode and BootstrapAll are guarded too.
-	go func() {
-		defer func() { recovered <- recover() }()
-		net.AddNode(5)
-	}()
-	if r := <-recovered; r == nil {
-		t.Fatal("cross-goroutine AddNode did not panic")
+	attempt := func(name string, call func()) {
+		recovered := make(chan any, 1)
+		go func() {
+			defer func() { recovered <- recover() }()
+			call()
+		}()
+		r := <-recovered
+		if r == nil {
+			t.Errorf("concurrent %s did not panic", name)
+			return
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "single-goroutine") {
+			t.Errorf("%s panic message %q does not explain the contract", name, msg)
+		}
 	}
 
-	// The owner goroutine is unaffected.
+	net.Scheduler().After(100*time.Microsecond, func() {
+		// Run is in progress on the test goroutine right now.
+		attempt("Run", func() { net.Run(time.Millisecond) })
+		attempt("AddNode", func() { net.AddNode(5) })
+		attempt("BootstrapAll", net.BootstrapAll)
+	})
+	net.Run(time.Millisecond)
+
+	// Sequential use afterwards is unaffected.
 	net.Run(time.Millisecond)
 }
 

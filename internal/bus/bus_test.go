@@ -337,7 +337,7 @@ func TestErrorPassiveTransition(t *testing.T) {
 		}
 	}
 	tec, _ := r.ports[0].Counters()
-	if tec < passiveLimit {
+	if tec < PassiveLimit {
 		t.Skipf("tec=%d; stepping did not reach passive yet", tec)
 	}
 	if r.ports[0].State() != ErrorPassive && r.ports[0].State() != BusOff {

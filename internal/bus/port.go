@@ -39,13 +39,14 @@ func (s ControllerState) String() string {
 }
 
 // Fault-confinement thresholds (ISO 11898 §8): counter deltas and the state
-// boundaries.
+// boundaries. Exported so the frame-level substrate (internal/fastbus) runs
+// the exact same confinement arithmetic.
 const (
-	tecOnError     = 8
-	recOnError     = 1
-	passiveLimit   = 128
-	busOffLimit    = 256
-	maxRecAfterFix = 120 // REC clamp after recovery, per the standard
+	TECOnError     = 8
+	RECOnError     = 1
+	PassiveLimit   = 128
+	BusOffLimit    = 256
+	MaxRECAfterFix = 120 // REC clamp after recovery, per the standard
 )
 
 // txReq is a queued transmit request.
@@ -218,8 +219,8 @@ func (p *Port) onTxSuccess() {
 func (p *Port) onRxSuccess() {
 	p.rxOK++
 	if p.rec > 0 {
-		if p.rec > passiveLimit {
-			p.rec = maxRecAfterFix
+		if p.rec > PassiveLimit {
+			p.rec = MaxRECAfterFix
 		} else {
 			p.rec--
 		}
@@ -228,18 +229,18 @@ func (p *Port) onRxSuccess() {
 }
 
 func (p *Port) onTxError() {
-	p.tec += tecOnError
+	p.tec += TECOnError
 	p.refreshState()
 }
 
 func (p *Port) onRxError() {
-	p.rec += recOnError
+	p.rec += RECOnError
 	p.refreshState()
 }
 
 func (p *Port) refreshState() {
 	switch {
-	case p.tec >= busOffLimit:
+	case p.tec >= BusOffLimit:
 		if p.state != BusOff {
 			p.state = BusOff
 			p.queue = nil
@@ -248,7 +249,7 @@ func (p *Port) refreshState() {
 				p.handler.OnBusOff()
 			}
 		}
-	case p.tec >= passiveLimit || p.rec >= passiveLimit:
+	case p.tec >= PassiveLimit || p.rec >= PassiveLimit:
 		p.state = ErrorPassive
 	default:
 		p.state = ErrorActive

@@ -42,10 +42,17 @@ func (c Config) DetectionLatency() time.Duration {
 
 // Detector is the node failure detection protocol entity at one node
 // (Figure 8). It monitors a configurable set of nodes through per-node
-// surveillance timers; node activity is observed implicitly from data
+// surveillance deadlines; node activity is observed implicitly from data
 // traffic (can-data.nty, own transmissions included) and explicitly from
-// life-sign (ELS) remote frames. Expiry of the local timer triggers an ELS
-// broadcast; expiry of a remote timer triggers the FDA micro-protocol.
+// life-sign (ELS) remote frames. Expiry of the local deadline triggers an
+// ELS broadcast; expiry of a remote deadline triggers the FDA
+// micro-protocol.
+//
+// Surveillance restarts on every delivered frame but almost never expires,
+// so the deadlines are plain array slots and a single scan event per
+// detector chases the earliest one: a restart is two stores, and the
+// scheduler carries one pending event per node instead of one per
+// (node, monitored node) pair.
 type Detector struct {
 	cfg   Config
 	sched *sim.Scheduler
@@ -53,8 +60,19 @@ type Detector struct {
 	fda   *FDA
 	tr    *trace.Trace
 
-	local  can.NodeID
-	timers map[can.NodeID]*sim.Timer
+	local can.NodeID
+	// deadlines is indexed by node id; armed is the set of ids under
+	// surveillance. A slot is meaningful only while its bit is set.
+	deadlines [can.MaxNodes]sim.Time
+	armed     can.NodeSet
+	// scanEv is the pending scan event; scanAt is its instant. Invariant:
+	// while any node is armed, scanEv is pending with
+	// scanAt <= min(deadlines of armed nodes).
+	scanEv *sim.Event
+	scanAt sim.Time
+	// scanFn is the pre-bound d.scan method value: binding at every re-arm
+	// would allocate a fresh closure each time.
+	scanFn func()
 	notify []func(failed can.NodeID)
 
 	// lifeSigns counts explicit life-sign broadcasts for the bandwidth
@@ -68,14 +86,14 @@ func NewDetector(sched *sim.Scheduler, layer *canlayer.Layer, fda *FDA, cfg Conf
 		return nil, err
 	}
 	d := &Detector{
-		cfg:    cfg,
-		sched:  sched,
-		layer:  layer,
-		fda:    fda,
-		tr:     tr,
-		local:  layer.NodeID(),
-		timers: make(map[can.NodeID]*sim.Timer),
+		cfg:   cfg,
+		sched: sched,
+		layer: layer,
+		fda:   fda,
+		tr:    tr,
+		local: layer.NodeID(),
 	}
+	d.scanFn = d.scan
 	layer.HandleDataNty(d.onDataNty)
 	layer.HandleRTRInd(d.onRTRInd)
 	fda.Notify(d.onFDANty)
@@ -96,16 +114,12 @@ func (d *Detector) Start(r can.NodeID) {
 
 // Stop ends surveillance of a node (fd-can.req(STOP,r), lines f17–f19).
 func (d *Detector) Stop(r can.NodeID) {
-	if t, ok := d.timers[r]; ok {
-		t.Stop()
-		delete(d.timers, r)
-	}
+	d.armed = d.armed.Remove(r)
 }
 
 // Monitoring reports whether node r is under surveillance.
 func (d *Detector) Monitoring(r can.NodeID) bool {
-	t, ok := d.timers[r]
-	return ok && t.Armed()
+	return d.armed.Contains(r)
 }
 
 // LifeSigns returns the number of explicit life-sign broadcasts requested.
@@ -114,16 +128,55 @@ func (d *Detector) LifeSigns() int { return d.lifeSigns }
 // alarmStart implements fd-alarm-start (lines a00–a06): the local timer
 // runs at Tb, remote surveillance at Tb+Ttd.
 func (d *Detector) alarmStart(r can.NodeID) {
-	t, ok := d.timers[r]
-	if !ok {
-		r := r
-		t = sim.NewTimer(d.sched, func() { d.expire(r) })
-		d.timers[r] = t
+	period := d.cfg.Tb
+	if r != d.local {
+		period += d.cfg.Ttd
 	}
-	if r == d.local {
-		t.Start(d.cfg.Tb)
-	} else {
-		t.Start(d.cfg.Tb + d.cfg.Ttd)
+	d.deadlines[r] = d.sched.Now().Add(period)
+	d.armed = d.armed.Add(r)
+	d.ensureScan(d.deadlines[r])
+}
+
+// ensureScan keeps the scan-event invariant: a pending event no later than
+// the given deadline. Deadlines almost always move forward, so the common
+// case is a no-op; the event "chases" the true minimum when it fires.
+func (d *Detector) ensureScan(at sim.Time) {
+	if d.scanEv != nil && d.scanEv.Pending() && d.scanAt <= at {
+		return
+	}
+	if d.scanEv != nil {
+		d.scanEv.Cancel()
+	}
+	d.scanAt = at
+	d.scanEv = d.sched.At(at, d.scanFn)
+}
+
+// scan fires expired surveillance deadlines and re-arms at the earliest
+// remaining one.
+func (d *Detector) scan() {
+	d.scanEv = nil
+	now := d.sched.Now()
+	var expired can.NodeSet
+	next := sim.Never
+	for s := d.armed; !s.Empty(); {
+		r := s.Lowest()
+		s = s.Remove(r)
+		if dl := d.deadlines[r]; dl <= now {
+			expired = expired.Add(r)
+		} else if dl < next {
+			next = dl
+		}
+	}
+	d.armed = d.armed.Diff(expired)
+	for s := expired; !s.Empty(); {
+		r := s.Lowest()
+		s = s.Remove(r)
+		d.expire(r)
+	}
+	// expire may have re-armed slots (the local ELS backstop) and advanced
+	// the invariant through ensureScan; cover the survivors too.
+	if next != sim.Never {
+		d.ensureScan(next)
 	}
 }
 
@@ -144,7 +197,10 @@ func (d *Detector) onRTRInd(mid can.MID) {
 }
 
 func (d *Detector) activity(r can.NodeID) {
-	if t, ok := d.timers[r]; ok && t.Armed() {
+	if !r.Valid() {
+		return
+	}
+	if d.armed.Contains(r) {
 		d.alarmStart(r)
 	}
 }
@@ -172,10 +228,7 @@ func (d *Detector) expire(r can.NodeID) {
 // failure-sign cancels the surveillance timer and delivers fd-can.nty to
 // the layer above.
 func (d *Detector) onFDANty(r can.NodeID) {
-	if t, ok := d.timers[r]; ok {
-		t.Stop()
-		delete(d.timers, r)
-	}
+	d.armed = d.armed.Remove(r)
 	d.tr.Emit(trace.KindFDANotify, int(d.local), "node %v failed", r)
 	for _, fn := range d.notify {
 		fn(r)

@@ -26,19 +26,16 @@ type FDA struct {
 	notify []func(failed can.NodeID)
 
 	// fsNdup counts failure-sign duplicates per failed node; fsNreq counts
-	// local transmit requests. Names follow Figure 6.
-	fsNdup map[can.NodeID]int
-	fsNreq map[can.NodeID]int
+	// local transmit requests. Names follow Figure 6. Indexed by node id:
+	// these counters sit on the remote-frame indication path.
+	fsNdup [can.MaxNodes]int
+	fsNreq [can.MaxNodes]int
 }
 
 // NewFDA creates the protocol entity and hooks it to the layer's remote
 // frame indications.
 func NewFDA(layer *canlayer.Layer) *FDA {
-	f := &FDA{
-		layer:  layer,
-		fsNdup: make(map[can.NodeID]int),
-		fsNreq: make(map[can.NodeID]int),
-	}
+	f := &FDA{layer: layer}
 	layer.HandleRTRInd(f.onRTRInd)
 	return f
 }
@@ -70,6 +67,9 @@ func (f *FDA) onRTRInd(mid can.MID) {
 		return
 	}
 	failed := can.NodeID(mid.Param)
+	if !failed.Valid() {
+		return
+	}
 	f.fsNdup[failed]++
 	if f.fsNdup[failed] != 1 {
 		return
@@ -93,6 +93,6 @@ func (f *FDA) Duplicates(failed can.NodeID) int { return f.fsNdup[failed] }
 // elapsed"; the membership layer calls Forget when that period is safely
 // over (at reintegration).
 func (f *FDA) Forget(failed can.NodeID) {
-	delete(f.fsNdup, failed)
-	delete(f.fsNreq, failed)
+	f.fsNdup[failed] = 0
+	f.fsNreq[failed] = 0
 }

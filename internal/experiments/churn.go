@@ -28,7 +28,7 @@ type ChurnPoint struct {
 // increase of ≈0.16% to the overall utilization"). The churn counts form a
 // campaign axis and every point is averaged over trials parallel seeded
 // runs.
-func MeasureChurnSweep(cs []int, tm time.Duration, trials int, seed int64) []ChurnPoint {
+func MeasureChurnSweep(sub canely.Substrate, cs []int, tm time.Duration, trials int, seed int64) []ChurnPoint {
 	if len(cs) == 0 {
 		cs = []int{0, 1, 5, 10, 20}
 	}
@@ -37,6 +37,7 @@ func MeasureChurnSweep(cs []int, tm time.Duration, trials int, seed int64) []Chu
 	}
 	const members = 32
 	base := canely.DefaultConfig()
+	base.Substrate = sub
 	base.Tm = tm
 	base.Tb = tm
 	base.TjoinWait = 3 * tm

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"canely"
 	"canely/internal/analysis"
 )
 
@@ -133,7 +134,10 @@ func TestMeasuredInaccessibilityWithinAnalyticalBound(t *testing.T) {
 }
 
 func TestChurnSweepMonotoneAndCalibrated(t *testing.T) {
-	points := MeasureChurnSweep([]int{0, 5, 10, 20}, 50*time.Millisecond, 2, 1)
+	// The fast substrate accounts frame bits identically to the bit-accurate
+	// one (see TestSubstrateEquivalence), so the calibration holds on both;
+	// running the sweep on fastbus keeps the test cheap and the fast path hot.
+	points := MeasureChurnSweep(canely.SubstrateFast, []int{0, 5, 10, 20}, 50*time.Millisecond, 2, 1)
 	for i := 1; i < len(points); i++ {
 		if points[i].Utilization <= points[i-1].Utilization {
 			t.Fatalf("utilization not monotone in churn: %+v", points)
@@ -152,7 +156,7 @@ func TestChurnSweepMonotoneAndCalibrated(t *testing.T) {
 }
 
 func TestLatencyBandwidthTradeoff(t *testing.T) {
-	points := MeasureLatencyBandwidthTradeoff(nil, 6, 4, 1)
+	points := MeasureLatencyBandwidthTradeoff(canely.SubstrateBitAccurate, nil, 6, 4, 1)
 	if len(points) != 4 {
 		t.Fatalf("points = %d", len(points))
 	}

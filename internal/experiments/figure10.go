@@ -36,6 +36,10 @@ type Figure10Config struct {
 	F, C int
 	// Seed drives the simulation.
 	Seed int64
+	// Substrate selects the medium implementation (bit-accurate by default).
+	// Utilization is computed from frame bit counts, which both substrates
+	// account identically, so the choice trades fidelity of nothing for speed.
+	Substrate canely.Substrate
 }
 
 // DefaultFigure10Config returns the paper's operating conditions.
@@ -49,6 +53,7 @@ func DefaultFigure10Config() Figure10Config {
 func (c Figure10Config) netConfig(tm time.Duration) canely.Config {
 	cfg := canely.DefaultConfig()
 	cfg.Seed = c.Seed
+	cfg.Substrate = c.Substrate
 	cfg.Tm = tm
 	cfg.Tb = tm
 	cfg.TjoinWait = 3 * tm

@@ -293,12 +293,13 @@ type TradeoffPoint struct {
 // node activity from implicit traffic wherever possible. The whole sweep is
 // one campaign: the Tb axis × (trials crash runs + one steady-state
 // bandwidth run) per point, all in parallel.
-func MeasureLatencyBandwidthTradeoff(tbs []time.Duration, n, trials int, seed int64) []TradeoffPoint {
+func MeasureLatencyBandwidthTradeoff(sub canely.Substrate, tbs []time.Duration, n, trials int, seed int64) []TradeoffPoint {
 	if len(tbs) == 0 {
 		tbs = []time.Duration{5 * time.Millisecond, 10 * time.Millisecond,
 			20 * time.Millisecond, 40 * time.Millisecond}
 	}
 	base := canely.DefaultConfig()
+	base.Substrate = sub
 	type cell struct {
 		at  sim.Time
 		d   time.Duration

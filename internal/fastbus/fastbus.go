@@ -1,80 +1,71 @@
-// Package bus simulates a single-channel CAN broadcast bus with the exact
-// properties the CANELy protocol suite is designed against (paper §4):
+// Package fastbus is the frame-level CAN substrate: the exact MAC/LLC
+// semantics of the bit-accurate internal/bus simulator — lowest-identifier
+// arbitration, wired-AND clustering of identical remote frames, exact frame
+// durations from the can.Timing worst-case stuffing math, end-of-frame
+// inconsistent-omission injection, TEC/REC fault confinement with the
+// error-passive suspend-transmission penalty — resolved analytically per
+// physical frame, with none of the diagnostic machinery.
 //
-//   - carrier sense with deterministic collision resolution: among all
-//     pending transmit requests, the frame with the numerically lowest
-//     identifier wins arbitration (MCAN property of the MAC sub-layer);
-//   - wired-AND clustering: identical remote frames transmitted
-//     simultaneously by several nodes merge into a single physical frame,
-//     and every clustered sender obtains a transmit confirmation;
-//   - broadcast with value-domain correctness: all correct nodes receiving
-//     an uncorrupted frame receive the same frame (MCAN1);
-//   - error detection and automatic retransmission: consistent corruptions
-//     are observed by every node, signalled with an error frame and masked
-//     by retransmission (MCAN2, LCAN1-3);
-//   - inconsistent omissions: an error in the last two bits of a frame can
-//     leave a subset of receivers without a frame the others accepted; the
-//     sender retransmits (duplicates) unless it crashes first (inconsistent
-//     message omission, LCAN4);
-//   - fault confinement: transmit/receive error counters drive the
-//     error-active / error-passive / bus-off controller states, enforcing
-//     weak-fail-silence of defective nodes.
+// Where internal/bus keeps a structured trace, per-message-type occupancy
+// maps and map-indexed ports, fastbus keeps dense arrays, plain counters and
+// zero per-frame allocations on the success path. A seeded simulation
+// delivers the same frame sequence, drives the same fault-injector decision
+// stream and reaches the same controller and membership states on either
+// substrate (asserted by the equivalence suite in the root package); fastbus
+// is simply an order of magnitude cheaper per run, which is what Monte-Carlo
+// campaigns care about.
 //
-// Timing is bit-accurate under worst-case stuffing: each transmission
-// occupies the bus for its frame length plus the interframe space, error
-// recovery adds error-frame overhead, and all of it is accounted in Stats
-// (total and per message type), from which the Figure 10 bandwidth
-// measurements are taken.
-package bus
+// The deliberate differences: no trace (diagnose on internal/bus), Stats()
+// is synthesized from counters on demand, and the per-frame overload /
+// error overhead arithmetic is shared via the exported internal/bus
+// constants rather than duplicated.
+package fastbus
 
 import (
 	"fmt"
 	"time"
 
+	"canely/internal/bus"
 	"canely/internal/can"
 	"canely/internal/fault"
 	"canely/internal/sim"
-	"canely/internal/trace"
 )
 
-// Handler receives controller indications. Implemented by the CAN standard
-// layer (internal/canlayer).
-type Handler interface {
-	// OnFrame signals the successful reception of a frame (the .ind
-	// service). own marks self-reception of the node's own transmission.
-	OnFrame(f can.Frame, own bool)
-	// OnConfirm signals the successful transmission of a frame (.cnf).
-	OnConfirm(f can.Frame)
-	// OnBusOff signals that fault confinement shut the controller down.
-	OnBusOff()
-}
-
-// Config parameterizes a simulated bus.
+// Config parameterizes a fastbus medium.
 type Config struct {
 	// Rate is the signalling rate; defaults to 1 Mbit/s.
 	Rate can.BitRate
 	// Injector decides per-transmission faults; defaults to fault.None.
 	Injector fault.Injector
-	// Trace receives bus events; nil discards them.
-	Trace *trace.Trace
 }
 
-// Bus is the simulated channel. Create one with New, attach Ports, then run
-// the scheduler.
+// Bus is the frame-level channel. Create one with New, attach Ports, then
+// run the scheduler.
 type Bus struct {
 	sched *sim.Scheduler
 	rate  can.BitRate
 	inj   fault.Injector
-	tr    *trace.Trace
 
-	ports map[can.NodeID]*Port
+	// ports is indexed by node id; order preserves attach order for the
+	// deterministic delivery sweep.
+	ports [can.MaxNodes]*Port
 	order []can.NodeID
+	// alive caches the operational set; crash and bus-off are one-way
+	// transitions, so incremental removal is exact.
+	alive can.NodeSet
 
 	busy         bool
 	arbScheduled bool
-	current      *transmission
+	current      transmission
+	onWire       bool // current is valid
 
-	stats Stats
+	// Pre-bound event callbacks: scheduling a method value allocates, so
+	// the three per-frame events reuse these.
+	arbitrateFn func()
+	completeFn  func()
+	unlockFn    func()
+
+	stats counters
 }
 
 // transmission is the frame currently on the wire.
@@ -84,10 +75,10 @@ type transmission struct {
 	attempt int
 }
 
-// New creates a bus on the given scheduler.
+// New creates a fastbus on the given scheduler.
 func New(sched *sim.Scheduler, cfg Config) *Bus {
 	if sched == nil {
-		panic("bus: nil scheduler")
+		panic("fastbus: nil scheduler")
 	}
 	if cfg.Rate == 0 {
 		cfg.Rate = can.Rate1Mbps
@@ -95,14 +86,11 @@ func New(sched *sim.Scheduler, cfg Config) *Bus {
 	if cfg.Injector == nil {
 		cfg.Injector = fault.None{}
 	}
-	return &Bus{
-		sched: sched,
-		rate:  cfg.Rate,
-		inj:   cfg.Injector,
-		tr:    cfg.Trace,
-		ports: make(map[can.NodeID]*Port),
-		stats: newStats(),
-	}
+	b := &Bus{sched: sched, rate: cfg.Rate, inj: cfg.Injector}
+	b.arbitrateFn = b.arbitrate
+	b.completeFn = b.complete
+	b.unlockFn = b.unlock
+	return b
 }
 
 // Rate returns the configured bit rate.
@@ -111,40 +99,48 @@ func (b *Bus) Rate() can.BitRate { return b.rate }
 // Scheduler returns the simulation scheduler the bus runs on.
 func (b *Bus) Scheduler() *sim.Scheduler { return b.sched }
 
-// Stats returns a snapshot of the accumulated bus statistics.
-func (b *Bus) Stats() Stats { return b.stats.clone() }
+// Stats synthesizes a bit-accurate-compatible statistics snapshot from the
+// counters.
+func (b *Bus) Stats() bus.Stats { return b.stats.snapshot() }
+
+// Elapsed returns the bus time base for utilization computations.
+func (b *Bus) Elapsed() time.Duration { return time.Duration(b.sched.Now()) }
 
 // Attach connects a new controller to the bus. Attaching the same node id
 // twice panics: node identity is a static configuration property.
 func (b *Bus) Attach(id can.NodeID) *Port {
 	if !id.Valid() {
-		panic(fmt.Sprintf("bus: invalid node id %d", id))
+		panic(fmt.Sprintf("fastbus: invalid node id %d", id))
 	}
-	if _, dup := b.ports[id]; dup {
-		panic(fmt.Sprintf("bus: node %v attached twice", id))
+	if b.ports[id] != nil {
+		panic(fmt.Sprintf("fastbus: node %v attached twice", id))
 	}
 	p := &Port{bus: b, id: id, alive: true}
 	b.ports[id] = p
 	b.order = append(b.order, id)
+	b.alive = b.alive.Add(id)
 	return p
 }
 
 // Port returns the attached port for a node id, or nil.
-func (b *Bus) Port(id can.NodeID) *Port { return b.ports[id] }
+func (b *Bus) Port(id can.NodeID) *Port {
+	if !id.Valid() {
+		return nil
+	}
+	return b.ports[id]
+}
 
 // AliveSet returns the set of nodes whose controllers are operational
 // (attached, not crashed, not bus-off).
-func (b *Bus) AliveSet() can.NodeSet {
-	var s can.NodeSet
-	for _, id := range b.order {
-		if p := b.ports[id]; p.operational() {
-			s = s.Add(id)
-		}
-	}
-	return s
-}
+func (b *Bus) AliveSet() can.NodeSet { return b.alive }
+
+// drop removes a node from the cached operational set (crash or bus-off).
+func (b *Bus) drop(id can.NodeID) { b.alive = b.alive.Remove(id) }
 
 // kick schedules an arbitration pass if the bus is idle and work is queued.
+// Arbitration runs as its own event at the current instant so that every
+// same-instant transmit request joins it — that is what clusters identical
+// remote frames requested simultaneously into one physical frame.
 func (b *Bus) kick() {
 	if b.busy || b.arbScheduled {
 		return
@@ -152,7 +148,7 @@ func (b *Bus) kick() {
 	for _, id := range b.order {
 		if p := b.ports[id]; p.operational() && len(p.queue) > 0 {
 			b.arbScheduled = true
-			b.sched.At(b.sched.Now(), b.arbitrate)
+			b.sched.At(b.sched.Now(), b.arbitrateFn)
 			return
 		}
 	}
@@ -201,7 +197,7 @@ func (b *Bus) arbitrate() {
 		if !p.operational() || len(p.queue) == 0 || p.suspendUntil > now {
 			continue
 		}
-		head := p.queue[0]
+		head := &p.queue[0]
 		switch {
 		case head.frame == frame || head.frame.SameWire(frame):
 			senders = senders.Add(id)
@@ -213,25 +209,24 @@ func (b *Bus) arbitrate() {
 			// Two distinct frames with one identifier would corrupt each
 			// other on a real bus; the CANELy mid scheme statically
 			// prevents it, so reaching here is a protocol bug.
-			panic(fmt.Sprintf("bus: identifier collision %#x between distinct frames", frame.ID))
+			panic(fmt.Sprintf("fastbus: identifier collision %#x between distinct frames", frame.ID))
 		}
 	}
 	if senders.Empty() {
-		panic("bus: arbitration winner has no sender")
+		panic("fastbus: arbitration winner has no sender")
 	}
 
 	b.busy = true
-	b.current = &transmission{frame: frame, senders: senders, attempt: attempt}
-	bits := can.FrameBits(frame)
-	b.tr.Emit(trace.KindTxStart, -1, "%v senders=%v attempt=%d", frame, senders, attempt)
-	b.sched.After(b.rate.DurationOf(bits), b.complete)
+	b.current = transmission{frame: frame, senders: senders, attempt: attempt}
+	b.onWire = true
+	b.sched.After(b.rate.DurationOf(can.FrameBits(frame)), b.completeFn)
 }
 
 // complete finishes the transmission on the wire, applying any injected
 // fault and dispatching indications/confirmations.
 func (b *Bus) complete() {
-	tx := b.current
-	receivers := b.AliveSet().Diff(tx.senders)
+	tx := &b.current
+	receivers := b.alive.Diff(tx.senders)
 	decision := b.inj.Decide(fault.TxContext{
 		Now:       b.sched.Now(),
 		Frame:     tx.frame,
@@ -244,7 +239,6 @@ func (b *Bus) complete() {
 	switch {
 	case decision.Corrupt:
 		b.stats.recordError(tx.frame, frameBits, b.rate)
-		b.tr.Emit(trace.KindTxError, -1, "%v attempt=%d", tx.frame, tx.attempt)
 		b.bumpErrorCounters(tx.senders, receivers)
 		// The frame plus the error frame plus intermission occupy the wire;
 		// the request stays queued at every sender for retransmission.
@@ -253,25 +247,27 @@ func (b *Bus) complete() {
 	case !decision.InconsistentVictims.Empty():
 		victims := decision.InconsistentVictims.Intersect(receivers)
 		accepted := receivers.Diff(victims)
-		b.stats.recordInconsistent(tx.frame, frameBits, b.rate)
-		b.tr.Emit(trace.KindTxIncons, -1, "%v victims=%v crash=%t", tx.frame, victims, decision.CrashSenders)
+		b.stats.recordInconsistent(tx.frame, frameBits)
 		// Nodes past the last-but-one bit accept the frame; the victims
 		// signal an error the senders observe, so the senders treat the
 		// attempt as failed and keep the request queued.
 		b.deliver(tx.frame, accepted, can.EmptySet)
 		b.bumpErrorCounters(tx.senders, victims)
 		if decision.CrashSenders {
-			for _, id := range tx.senders.IDs() {
+			for s := tx.senders; !s.Empty(); {
+				id := s.Lowest()
+				s = s.Remove(id)
 				b.ports[id].Crash()
 			}
 		}
 		b.finish(can.ErrorFrameMaxBits + can.InterframeBits)
 
 	default:
-		b.stats.recordSuccess(tx.frame, frameBits, b.rate)
-		b.tr.Emit(trace.KindTxSuccess, -1, "%v senders=%v", tx.frame, tx.senders)
+		b.stats.recordSuccess(tx.frame, frameBits)
 		b.deliver(tx.frame, receivers, tx.senders)
-		for _, id := range tx.senders.IDs() {
+		for s := tx.senders; !s.Empty(); {
+			id := s.Lowest()
+			s = s.Remove(id)
 			p := b.ports[id]
 			if !p.operational() {
 				// The sender crashed (or went bus-off) while its frame was
@@ -286,7 +282,9 @@ func (b *Bus) complete() {
 			}
 		}
 		if decision.CrashSenders {
-			for _, id := range tx.senders.IDs() {
+			for s := tx.senders; !s.Empty(); {
+				id := s.Lowest()
+				s = s.Remove(id)
 				b.ports[id].Crash()
 			}
 		}
@@ -323,43 +321,46 @@ func (b *Bus) deliver(f can.Frame, receivers, senders can.NodeSet) {
 // bumpErrorCounters applies the fault-confinement counter rules after a
 // failed transmission.
 func (b *Bus) bumpErrorCounters(senders, victims can.NodeSet) {
-	for _, id := range senders.IDs() {
+	for s := senders; !s.Empty(); {
+		id := s.Lowest()
+		s = s.Remove(id)
 		b.ports[id].onTxError()
 	}
-	for _, id := range victims.IDs() {
+	for s := victims; !s.Empty(); {
+		id := s.Lowest()
+		s = s.Remove(id)
 		b.ports[id].onRxError()
 	}
 }
-
-// SuspendTransmissionBits is the extra idle penalty an error-passive node
-// pays after transmitting (ISO 11898 §8.9). Exported for internal/fastbus.
-const SuspendTransmissionBits = 8
 
 // finish occupies the wire for the trailing overhead then frees the bus,
 // applying the suspend-transmission penalty to error-passive senders.
 func (b *Bus) finish(overheadBits int) {
 	senders := can.EmptySet
-	if b.current != nil {
+	if b.onWire {
 		senders = b.current.senders
 	}
 	busFree := b.sched.Now().Add(b.rate.DurationOf(overheadBits))
-	for _, id := range senders.IDs() {
-		if p := b.ports[id]; p.state == ErrorPassive {
-			p.suspendUntil = busFree.Add(b.rate.DurationOf(SuspendTransmissionBits))
+	for s := senders; !s.Empty(); {
+		id := s.Lowest()
+		s = s.Remove(id)
+		if p := b.ports[id]; p.state == bus.ErrorPassive {
+			p.suspendUntil = busFree.Add(b.rate.DurationOf(bus.SuspendTransmissionBits))
 		}
 	}
 	b.stats.recordOverhead(overheadBits, b.rate)
-	b.current = nil
-	b.sched.At(busFree, func() {
-		b.busy = false
-		b.kick()
-	})
+	b.onWire = false
+	b.sched.At(busFree, b.unlockFn)
 }
 
-// transmittingFrame reports whether the given identifier is on the wire now.
+// unlock frees the bus at the end of the trailing overhead and re-enters
+// arbitration if work is queued.
+func (b *Bus) unlock() {
+	b.busy = false
+	b.kick()
+}
+
+// transmitting reports whether the given identifier is on the wire now.
 func (b *Bus) transmitting(id uint32) bool {
-	return b.busy && b.current != nil && b.current.frame.ID == id
+	return b.busy && b.onWire && b.current.frame.ID == id
 }
-
-// Elapsed returns the bus time base for utilization computations.
-func (b *Bus) Elapsed() time.Duration { return time.Duration(b.sched.Now()) }

@@ -1,0 +1,210 @@
+package fastbus
+
+import (
+	"fmt"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/sim"
+)
+
+// txReq is a queued transmit request. Stored by value: the queue head is
+// read every arbitration pass, and pointer-free slices keep the whole queue
+// on one cache line for the typical one-or-two-entry case.
+type txReq struct {
+	frame    can.Frame
+	attempts int
+}
+
+// Port is a CAN controller attached to the fast bus: the same transmit
+// queue, receive path, abort and TEC/REC fault-confinement semantics as
+// bus.Port, without the trace emissions.
+type Port struct {
+	bus     *Bus
+	id      can.NodeID
+	handler bus.Handler
+	queue   []txReq
+
+	alive bool
+	tec   int
+	rec   int
+	state bus.ControllerState
+
+	// suspendUntil implements the error-passive suspend-transmission rule
+	// (ISO 11898 §8.9).
+	suspendUntil sim.Time
+
+	txOK int
+	rxOK int
+}
+
+// ID returns the node identity of this controller.
+func (p *Port) ID() can.NodeID { return p.id }
+
+// SetHandler installs the indication receiver.
+func (p *Port) SetHandler(h bus.Handler) { p.handler = h }
+
+// State returns the fault-confinement state.
+func (p *Port) State() bus.ControllerState { return p.state }
+
+// Counters returns (TEC, REC).
+func (p *Port) Counters() (tec, rec int) { return p.tec, p.rec }
+
+// Alive reports whether the node has not crashed.
+func (p *Port) Alive() bool { return p.alive }
+
+// Operational reports whether the controller exchanges traffic: alive and
+// not bus-off.
+func (p *Port) Operational() bool { return p.operational() }
+
+func (p *Port) operational() bool { return p.alive && p.state != bus.BusOff }
+
+// TxSuccesses returns the number of successfully transmitted frames.
+func (p *Port) TxSuccesses() int { return p.txOK }
+
+// RxSuccesses returns the number of successfully received frames.
+func (p *Port) RxSuccesses() int { return p.rxOK }
+
+// Request queues a frame for transmission with the mailbox semantics of
+// bus.Port: a pending request with the same identifier is replaced; the
+// queue is kept in identifier order, equal identifiers in request order.
+func (p *Port) Request(f can.Frame) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if !p.operational() {
+		return bus.ErrRequestRejected
+	}
+	for i := range p.queue {
+		if p.queue[i].frame.ID == f.ID && p.queue[i].frame.RTR == f.RTR {
+			p.queue[i].frame = f
+			p.queue[i].attempts = 0
+			p.bus.kick()
+			return nil
+		}
+	}
+	at := len(p.queue)
+	for i := range p.queue {
+		if p.queue[i].frame.ID > f.ID {
+			at = i
+			break
+		}
+	}
+	p.queue = append(p.queue, txReq{})
+	copy(p.queue[at+1:], p.queue[at:])
+	p.queue[at] = txReq{frame: f}
+	p.bus.kick()
+	return nil
+}
+
+// PendingEquivalent reports whether a transmit request indistinguishable on
+// the wire from f is queued.
+func (p *Port) PendingEquivalent(f can.Frame) bool {
+	for i := range p.queue {
+		if p.queue[i].frame.SameWire(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pending reports whether a request with the identifier is queued.
+func (p *Port) Pending(id uint32) bool {
+	for i := range p.queue {
+		if p.queue[i].frame.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// QueueLen returns the number of queued transmit requests.
+func (p *Port) QueueLen() int { return len(p.queue) }
+
+// Abort cancels a pending transmit request; a frame already on the wire is
+// not recalled.
+func (p *Port) Abort(id uint32) bool {
+	if p.bus.transmitting(id) && p.bus.current.senders.Contains(p.id) {
+		return false
+	}
+	for i := range p.queue {
+		if p.queue[i].frame.ID == id {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Crash fail-silences the node: the controller stops transmitting and
+// receiving immediately and its queue is discarded.
+func (p *Port) Crash() {
+	if !p.alive {
+		return
+	}
+	p.alive = false
+	p.queue = nil
+	p.bus.drop(p.id)
+}
+
+// dequeue removes the queued request matching a completed frame.
+func (p *Port) dequeue(f can.Frame) {
+	for i := range p.queue {
+		if p.queue[i].frame.ID == f.ID && p.queue[i].frame.RTR == f.RTR {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("fastbus: %v confirmed a frame it never queued: %v", p.id, f))
+}
+
+// Fault-confinement transitions — the exact arithmetic of bus.Port, via the
+// constants that package exports.
+
+func (p *Port) onTxSuccess() {
+	p.txOK++
+	if p.tec > 0 {
+		p.tec--
+	}
+	p.refreshState()
+}
+
+func (p *Port) onRxSuccess() {
+	p.rxOK++
+	if p.rec > 0 {
+		if p.rec > bus.PassiveLimit {
+			p.rec = bus.MaxRECAfterFix
+		} else {
+			p.rec--
+		}
+	}
+	p.refreshState()
+}
+
+func (p *Port) onTxError() {
+	p.tec += bus.TECOnError
+	p.refreshState()
+}
+
+func (p *Port) onRxError() {
+	p.rec += bus.RECOnError
+	p.refreshState()
+}
+
+func (p *Port) refreshState() {
+	switch {
+	case p.tec >= bus.BusOffLimit:
+		if p.state != bus.BusOff {
+			p.state = bus.BusOff
+			p.queue = nil
+			p.bus.drop(p.id)
+			if p.handler != nil {
+				p.handler.OnBusOff()
+			}
+		}
+	case p.tec >= bus.PassiveLimit || p.rec >= bus.PassiveLimit:
+		p.state = bus.ErrorPassive
+	default:
+		p.state = bus.ErrorActive
+	}
+}

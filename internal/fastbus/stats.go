@@ -1,0 +1,90 @@
+package fastbus
+
+import (
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+)
+
+// counters is the flat-array replacement for the bit-accurate substrate's
+// map-backed Stats: every per-frame update is an integer bump, and the
+// bus.Stats shape is synthesized only when a snapshot is requested.
+type counters struct {
+	framesOK           int
+	framesError        int
+	framesInconsistent int
+
+	bitsBusy  int64
+	errorBits int64
+	inaccess  time.Duration
+
+	// bitsByType is indexed by can.MsgType (1..11; slot 0 collects frames
+	// with undecodable identifiers, matching the bit-accurate substrate).
+	bitsByType [16]int64
+	lastType   can.MsgType
+}
+
+func typeOf(f can.Frame) can.MsgType {
+	mid, err := can.DecodeMID(f.ID)
+	if err != nil {
+		return 0
+	}
+	return mid.Type
+}
+
+func (c *counters) recordSuccess(f can.Frame, bits int) {
+	c.framesOK++
+	c.bitsBusy += int64(bits)
+	c.lastType = typeOf(f)
+	c.bitsByType[c.lastType] += int64(bits)
+}
+
+func (c *counters) recordError(f can.Frame, bits int, r can.BitRate) {
+	c.framesError++
+	c.bitsBusy += int64(bits)
+	c.errorBits += int64(bits)
+	c.lastType = typeOf(f)
+	c.bitsByType[c.lastType] += int64(bits)
+	c.inaccess += r.DurationOf(bits)
+}
+
+func (c *counters) recordInconsistent(f can.Frame, bits int) {
+	c.framesInconsistent++
+	c.bitsBusy += int64(bits)
+	c.lastType = typeOf(f)
+	c.bitsByType[c.lastType] += int64(bits)
+}
+
+// recordOverhead accounts trailing wire occupancy against the type of the
+// frame that caused it; bits beyond the interframe space are error
+// signalling and count toward inaccessibility.
+func (c *counters) recordOverhead(bits int, r can.BitRate) {
+	c.bitsBusy += int64(bits)
+	c.bitsByType[c.lastType] += int64(bits)
+	if bits > can.InterframeBits {
+		err := bits - can.InterframeBits
+		c.errorBits += int64(err)
+		c.inaccess += r.DurationOf(err)
+	}
+}
+
+// snapshot builds a bus.Stats view of the counters, with the same field
+// semantics as the bit-accurate substrate's Stats.
+func (c *counters) snapshot() bus.Stats {
+	s := bus.Stats{
+		FramesOK:           c.framesOK,
+		FramesError:        c.framesError,
+		FramesInconsistent: c.framesInconsistent,
+		BitsBusy:           c.bitsBusy,
+		ErrorBits:          c.errorBits,
+		Inaccessibility:    c.inaccess,
+		BitsByType:         make(map[can.MsgType]int64),
+	}
+	for t, v := range c.bitsByType {
+		if v != 0 {
+			s.BitsByType[can.MsgType(t)] = v
+		}
+	}
+	return s
+}

@@ -28,7 +28,7 @@ import (
 // runs over it unchanged.
 type DualPort struct {
 	sched *sim.Scheduler
-	ports [2]*bus.Port
+	ports [2]Port
 	// Grace is how long a standby delivery waits for the active medium to
 	// match before triggering failover (default: one worst-case frame).
 	grace time.Duration
@@ -59,9 +59,20 @@ func keyOf(f can.Frame, cnf bool) frameKey {
 	return frameKey{id: f.ID, rtr: f.RTR, data: f.Data, dlc: f.DLC, cnf: cnf}
 }
 
+// Port is the single-medium controller surface a DualPort replicates over:
+// the exposed controller interface plus the liveness the selection unit
+// monitors. Satisfied by *bus.Port and by the fastbus substrate's ports.
+type Port interface {
+	canlayer.Controller
+	Crash()
+	Operational() bool
+}
+
+var _ Port = (*bus.Port)(nil)
+
 // NewDualPort attaches the node to both media. The two ports must carry
 // the same node identity.
-func NewDualPort(sched *sim.Scheduler, a, b *bus.Port, grace time.Duration) *DualPort {
+func NewDualPort(sched *sim.Scheduler, a, b Port, grace time.Duration) *DualPort {
 	if a.ID() != b.ID() {
 		panic(fmt.Sprintf("redundancy: port identities differ: %v vs %v", a.ID(), b.ID()))
 	}
@@ -70,7 +81,7 @@ func NewDualPort(sched *sim.Scheduler, a, b *bus.Port, grace time.Duration) *Dua
 	}
 	d := &DualPort{
 		sched:   sched,
-		ports:   [2]*bus.Port{a, b},
+		ports:   [2]Port{a, b},
 		grace:   grace,
 		waiting: make(map[frameKey]*sim.Event),
 	}

@@ -9,6 +9,11 @@ import (
 // each derives its own via Split, so adding a consumer of randomness in one
 // module cannot perturb the draws seen by another (runs stay comparable
 // across code changes).
+//
+// Seeding is lazy: math/rand source initialization costs tens of
+// microseconds, which dominates network construction in campaign runs that
+// never draw (no stochastic faults, no jittered traffic). The draw sequence
+// for a given seed is unchanged.
 type RNG struct {
 	r    *rand.Rand
 	seed int64
@@ -16,7 +21,15 @@ type RNG struct {
 
 // NewRNG returns a stream seeded with the given value.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed)), seed: seed}
+	return &RNG{seed: seed}
+}
+
+// src seeds the underlying source on first use.
+func (g *RNG) src() *rand.Rand {
+	if g.r == nil {
+		g.r = rand.New(rand.NewSource(g.seed))
+	}
+	return g.r
 }
 
 // Seed returns the seed this stream was created with.
@@ -36,13 +49,13 @@ func (g *RNG) Split(name string) *RNG {
 }
 
 // Float64 returns a uniform draw in [0,1).
-func (g *RNG) Float64() float64 { return g.r.Float64() }
+func (g *RNG) Float64() float64 { return g.src().Float64() }
 
 // Intn returns a uniform draw in [0,n). It panics if n <= 0.
-func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+func (g *RNG) Intn(n int) int { return g.src().Intn(n) }
 
 // Int63 returns a non-negative uniform 63-bit draw.
-func (g *RNG) Int63() int64 { return g.r.Int63() }
+func (g *RNG) Int63() int64 { return g.src().Int63() }
 
 // Bool returns true with probability p.
 func (g *RNG) Bool(p float64) bool {
@@ -52,7 +65,7 @@ func (g *RNG) Bool(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return g.r.Float64() < p
+	return g.src().Float64() < p
 }
 
 // Duration returns a uniform draw in [0, d).
@@ -60,18 +73,18 @@ func (g *RNG) Duration(d Duration) Duration {
 	if d <= 0 {
 		return 0
 	}
-	return Duration(g.r.Int63n(int64(d)))
+	return Duration(g.src().Int63n(int64(d)))
 }
 
 // Perm returns a random permutation of [0,n).
-func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+func (g *RNG) Perm(n int) []int { return g.src().Perm(n) }
 
 // Pick returns a uniformly chosen element index of a non-empty length.
 func (g *RNG) Pick(n int) int {
 	if n <= 0 {
 		panic("sim: Pick from empty range")
 	}
-	return g.r.Intn(n)
+	return g.src().Intn(n)
 }
 
 // Subset returns a uniformly random subset of [0,n) of the given size.
@@ -79,7 +92,7 @@ func (g *RNG) Subset(n, size int) []int {
 	if size < 0 || size > n {
 		panic("sim: Subset size out of range")
 	}
-	perm := g.r.Perm(n)
+	perm := g.src().Perm(n)
 	out := append([]int(nil), perm[:size]...)
 	return out
 }

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -54,78 +53,106 @@ func (t Time) String() string {
 	return Duration(t).String()
 }
 
-// event is a scheduled callback. Events with equal deadlines fire in
-// scheduling order (seq), which keeps runs deterministic.
-type event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	fired  bool
-	gone   bool // cancelled
-	heapIx int
-}
-
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].heapIx = i
-	q[j].heapIx = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.heapIx = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	ev.heapIx = -1
-	return ev
-}
-
-// Event is a handle to a scheduled callback, usable to cancel it.
+// Event is a scheduled callback and the handle to cancel it: the heap node
+// itself is handed back to the scheduler's callers, so scheduling costs one
+// allocation, not two. Events with equal deadlines fire in scheduling order
+// (seq), which keeps runs deterministic.
 type Event struct {
-	s  *Scheduler
-	ev *event
+	at    Time
+	seq   uint64
+	fn    func()
+	fired bool
+	gone  bool // cancelled
 }
 
 // Cancel prevents the event from firing. It is a no-op if the event already
 // fired or was already cancelled. It reports whether the event was live.
 func (e *Event) Cancel() bool {
-	if e == nil || e.ev == nil || e.ev.fired || e.ev.gone {
+	if e == nil || e.fired || e.gone {
 		return false
 	}
-	e.ev.gone = true
+	e.gone = true
 	return true
 }
 
 // Pending reports whether the event is still scheduled to fire.
 func (e *Event) Pending() bool {
-	return e != nil && e.ev != nil && !e.ev.fired && !e.ev.gone
+	return e != nil && !e.fired && !e.gone
 }
 
 // When returns the instant the event fires (or fired).
 func (e *Event) When() Time {
-	if e == nil || e.ev == nil {
+	if e == nil {
 		return Never
 	}
-	return e.ev.at
+	return e.at
+}
+
+// eventQueue is a hand-rolled 4-ary min-heap of events ordered by (at, seq).
+// The ordering key is total (seq is unique), so the pop order is independent
+// of the heap shape; the concrete sift code exists purely to keep the
+// scheduler's hottest operations free of interface dispatch and boxing. The
+// wide fan-out halves the sift-up depth against a binary heap, which is
+// where the scheduler spends its comparisons: pushes outnumber pops'
+// sift-down work on the shallow queues the simulations carry.
+type eventQueue []*Event
+
+// before reports whether event a fires before event b.
+func before(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) push(ev *Event) {
+	h := append(*q, ev)
+	*q = h
+	// Sift up.
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !before(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. The queue must be non-empty.
+func (q *eventQueue) pop() *Event {
+	h := *q
+	n := len(h) - 1
+	min := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		j := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if before(h[c], h[j]) {
+				j = c
+			}
+		}
+		if !before(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return min
 }
 
 // Scheduler is a deterministic discrete-event scheduler. The zero value is
@@ -137,13 +164,16 @@ type Scheduler struct {
 	running bool
 	stopped bool
 	fired   uint64
+	// slab is the tail of the current event allocation chunk. Carving events
+	// out of chunks instead of allocating one object per At call takes the
+	// allocator off the scheduler's hot path; chunks are never reused, so
+	// event handles stay unique for the scheduler's lifetime.
+	slab []Event
 }
 
 // NewScheduler returns a scheduler positioned at virtual time zero.
 func NewScheduler() *Scheduler {
-	s := &Scheduler{}
-	heap.Init(&s.queue)
-	return s
+	return &Scheduler{}
 }
 
 // Now returns the current virtual time.
@@ -173,10 +203,15 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	if len(s.slab) == 0 {
+		s.slab = make([]Event, 128)
+	}
+	ev := &s.slab[0]
+	s.slab = s.slab[1:]
+	ev.at, ev.seq, ev.fn = t, s.seq, fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Event{s: s, ev: ev}
+	s.queue.push(ev)
+	return ev
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -190,15 +225,17 @@ func (s *Scheduler) After(d Duration, fn func()) *Event {
 // Step executes the next pending event, advancing virtual time to its
 // deadline. It reports whether an event was executed.
 func (s *Scheduler) Step() bool {
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
+	for len(s.queue) > 0 {
+		ev := s.queue.pop()
 		if ev.gone {
 			continue
 		}
 		s.now = ev.at
 		ev.fired = true
 		s.fired++
-		ev.fn()
+		fn := ev.fn
+		ev.fn = nil // release the closure; fired events live until their chunk dies
+		fn()
 		return true
 	}
 	return false
@@ -242,10 +279,10 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // peek returns the deadline of the next live event.
 func (s *Scheduler) peek() (Time, bool) {
-	for s.queue.Len() > 0 {
+	for len(s.queue) > 0 {
 		ev := s.queue[0]
 		if ev.gone {
-			heap.Pop(&s.queue)
+			s.queue.pop()
 			continue
 		}
 		return ev.at, true

@@ -6,11 +6,24 @@ package sim
 //
 // Unlike time.Timer there is no channel: expiry invokes a callback inline on
 // the simulation event loop, which is single-threaded and deterministic.
+//
+// Restarting is lazy: the surveillance timers of the failure-detection layer
+// are restarted on every delivered frame but almost never expire, so Start
+// only records the new deadline when an already-scheduled placeholder event
+// fires early enough. The placeholder re-arms itself to the real deadline
+// when it fires, which turns the per-frame restart from two heap operations
+// into a field write.
 type Timer struct {
-	s      *Scheduler
-	fn     func()
-	ev     *Event
-	period Duration
+	s  *Scheduler
+	fn func()
+	// expireFn is the pre-bound method value: a `t.expire` expression at
+	// every (re)schedule would allocate a fresh closure each time.
+	expireFn func()
+	ev       *Event
+	period   Duration
+	deadline Time
+	armed    bool
+	started  bool
 }
 
 // NewTimer creates a stopped timer that runs fn on expiry.
@@ -21,48 +34,70 @@ func NewTimer(s *Scheduler, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil callback")
 	}
-	return &Timer{s: s, fn: fn}
+	t := &Timer{s: s, fn: fn}
+	t.expireFn = t.expire
+	return t
 }
 
 // Start arms the timer to expire d from now, cancelling any earlier arming.
 func (t *Timer) Start(d Duration) {
-	t.Stop()
+	if d < 0 {
+		panic("sim: Timer.Start with negative duration")
+	}
 	t.period = d
-	t.ev = t.s.After(d, t.expire)
+	t.started = true
+	t.armed = true
+	t.deadline = t.s.Now().Add(d)
+	// Invariant while armed: ev is pending and ev.When() <= deadline, so the
+	// placeholder always fires at or before the real deadline and can re-arm.
+	if t.ev != nil && t.ev.Pending() && t.ev.When() <= t.deadline {
+		return
+	}
+	t.ev.Cancel()
+	t.ev = t.s.At(t.deadline, t.expireFn)
 }
 
 // Restart re-arms the timer with its previous duration. It panics if the
 // timer was never started.
 func (t *Timer) Restart() {
-	if t.period == 0 && t.ev == nil {
+	if !t.started {
 		panic("sim: Restart of a never-started timer")
 	}
 	t.Start(t.period)
 }
 
 // Stop disarms the timer. It reports whether the timer was armed.
+// The placeholder event, if any, is left queued and fires as a no-op (or is
+// reused by a later Start), which keeps Stop O(1).
 func (t *Timer) Stop() bool {
-	if t.ev == nil {
-		return false
-	}
-	live := t.ev.Cancel()
-	t.ev = nil
-	return live
+	was := t.armed
+	t.armed = false
+	return was
 }
 
 // Armed reports whether the timer is currently counting down.
-func (t *Timer) Armed() bool { return t.ev != nil && t.ev.Pending() }
+func (t *Timer) Armed() bool { return t.armed }
 
 // Deadline returns the expiry instant, or Never when disarmed.
 func (t *Timer) Deadline() Time {
-	if !t.Armed() {
+	if !t.armed {
 		return Never
 	}
-	return t.ev.When()
+	return t.deadline
 }
 
 func (t *Timer) expire() {
 	t.ev = nil
+	if !t.armed {
+		return // stopped after the placeholder was scheduled
+	}
+	if t.deadline > t.s.Now() {
+		// The deadline moved later since this placeholder was scheduled;
+		// chase it.
+		t.ev = t.s.At(t.deadline, t.expireFn)
+		return
+	}
+	t.armed = false
 	t.fn()
 }
 
@@ -71,6 +106,7 @@ func (t *Timer) expire() {
 type Ticker struct {
 	s      *Scheduler
 	fn     func()
+	tickFn func() // pre-bound t.tick, see Timer.expireFn
 	period Duration
 	ev     *Event
 }
@@ -83,7 +119,9 @@ func NewTicker(s *Scheduler, fn func()) *Ticker {
 	if fn == nil {
 		panic("sim: NewTicker with nil callback")
 	}
-	return &Ticker{s: s, fn: fn}
+	t := &Ticker{s: s, fn: fn}
+	t.tickFn = t.tick
+	return t
 }
 
 // Start begins ticking every period, with the first tick one period from
@@ -94,7 +132,7 @@ func (t *Ticker) Start(period Duration) {
 	}
 	t.Stop()
 	t.period = period
-	t.ev = t.s.After(period, t.tick)
+	t.ev = t.s.After(period, t.tickFn)
 }
 
 // StartAt begins ticking every period with the first tick at the given
@@ -109,7 +147,7 @@ func (t *Ticker) StartAt(first, period Duration) {
 	}
 	t.Stop()
 	t.period = period
-	t.ev = t.s.After(first, t.tick)
+	t.ev = t.s.After(first, t.tickFn)
 }
 
 // Stop halts the ticker.
@@ -126,6 +164,6 @@ func (t *Ticker) Running() bool { return t.ev != nil && t.ev.Pending() }
 func (t *Ticker) tick() {
 	// Re-arm before invoking the callback so the callback may Stop the
 	// ticker and observe Running() == false afterwards.
-	t.ev = t.s.After(t.period, t.tick)
+	t.ev = t.s.After(t.period, t.tickFn)
 	t.fn()
 }

@@ -1,0 +1,340 @@
+// Package stack makes the per-node layer architecture of the paper's
+// Figure 5 explicit: a Medium abstraction over the simulated channel, a
+// Port per (node, medium) attachment, and a Stack that composes the
+// exposed controller interface, the CAN standard layer (with can-data.nty),
+// the FDA and failure-detection entities, the RHA/site-membership protocol
+// and the optional companion services (process groups over RELCAN, totally
+// ordered broadcast, clock synchronization).
+//
+// Two substrates implement Medium: the bit-time-accurate internal/bus
+// simulator (full trace and per-type wire accounting — the diagnostic
+// substrate) and internal/fastbus, a frame-level discrete-event substrate
+// with identical MAC/LLC semantics but none of the diagnostic overhead —
+// the Monte-Carlo campaign workhorse. Both resolve arbitration, wired-AND
+// remote-frame clustering, exact frame durations and end-of-frame
+// inconsistent omissions; a seeded run delivers the same frame sequence and
+// reaches the same membership views on either.
+//
+// Every layer boundary carries a uniform hook point (Hooks) for trace
+// events and fault injection, so experiments can observe or perturb the
+// stack without reaching into protocol internals.
+package stack
+
+import (
+	"fmt"
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/canlayer"
+	"canely/internal/clocksync"
+	"canely/internal/core/fd"
+	"canely/internal/core/groups"
+	"canely/internal/core/membership"
+	"canely/internal/edcan"
+	"canely/internal/redundancy"
+	"canely/internal/sim"
+	"canely/internal/trace"
+)
+
+// Port is the per-node endpoint a Medium exposes: the exposed controller
+// interface of Figure 4 (transmit request, abort, pending probes, the
+// indication callback registration) plus the crash/fault-confinement
+// surface the facade and the redundancy layer observe.
+type Port interface {
+	canlayer.Controller
+	// Crash fail-silences the node on this medium.
+	Crash()
+	// Alive reports whether the node has not crashed.
+	Alive() bool
+	// Operational reports whether the controller exchanges traffic (alive
+	// and not bus-off).
+	Operational() bool
+	// State returns the fault-confinement state.
+	State() bus.ControllerState
+	// Counters returns (TEC, REC).
+	Counters() (tec, rec int)
+	// TxSuccesses returns the number of successfully transmitted frames.
+	TxSuccesses() int
+	// RxSuccesses returns the number of successfully received frames.
+	RxSuccesses() int
+}
+
+// Medium is one simulated channel: nodes attach Ports to it, and it answers
+// the timing and accounting queries the experiments take their measurements
+// from. Delivery and confirmation flow through the bus.Handler each Port's
+// SetHandler installs.
+type Medium interface {
+	// Attach connects a new controller for the node. Attaching an id twice
+	// panics.
+	Attach(id can.NodeID) Port
+	// Rate returns the signalling rate.
+	Rate() can.BitRate
+	// AliveSet returns the set of operational nodes.
+	AliveSet() can.NodeSet
+	// Stats returns a snapshot of the accumulated wire statistics.
+	Stats() bus.Stats
+	// Elapsed returns the medium's time base for utilization computations.
+	Elapsed() time.Duration
+}
+
+// Hooks is the uniform observation and fault-injection surface at the
+// stack's layer boundaries. Every field is optional; a nil Hooks (or any
+// nil field) costs nothing. Hook callbacks observe after the protocol
+// entities at the same boundary, except FilterIndication, which runs first
+// and may suppress the event entirely.
+type Hooks struct {
+	// FilterIndication runs at the controller -> standard-layer boundary
+	// before any protocol entity sees the frame; returning false drops the
+	// indication at this node only — targeted receive-omission injection.
+	FilterIndication func(node can.NodeID, f can.Frame, own bool) bool
+	// OnIndication observes every frame indication entering the standard
+	// layer (own transmissions included).
+	OnIndication func(node can.NodeID, f can.Frame, own bool)
+	// OnConfirm observes transmit confirmations at the same boundary.
+	OnConfirm func(node can.NodeID, f can.Frame)
+	// OnBusOff observes fault-confinement shutdown at the same boundary.
+	OnBusOff func(node can.NodeID)
+	// OnDataNty observes the can-data.nty primitive at the standard-layer ->
+	// failure-detection boundary.
+	OnDataNty func(node can.NodeID, mid can.MID)
+	// OnFDANotify observes fda-can.nty (FDA -> detector boundary).
+	OnFDANotify func(node, failed can.NodeID)
+	// OnFDNotify observes fd-can.nty (detector -> membership boundary).
+	OnFDNotify func(node, failed can.NodeID)
+	// OnViewChange observes msh-can.nty (membership -> application
+	// boundary).
+	OnViewChange func(node can.NodeID, ch membership.Change)
+}
+
+// Config parameterizes one node's stack.
+type Config struct {
+	// FD parameterizes the failure-detection layer (Tb, Ttd).
+	FD fd.Config
+	// Membership parameterizes the RHA/site-membership layer.
+	Membership membership.Config
+	// J is the inconsistent omission degree bound shared by the
+	// EDCAN-family broadcast services the stack can enable.
+	J int
+	// DualGrace is the media-redundancy selection grace window (zero picks
+	// the redundancy layer's default).
+	DualGrace time.Duration
+}
+
+// Stack is one node's protocol stack, assembled bottom-up over one or two
+// media. Fields are exported in layer order; the zero value is not usable —
+// build one with New.
+type Stack struct {
+	sched *sim.Scheduler
+	cfg   Config
+	tr    *trace.Trace
+	id    can.NodeID
+
+	// Ports holds the per-medium attachments in medium order.
+	Ports []Port
+	// Dual is the media-redundancy selection unit (nil single-medium).
+	Dual *redundancy.DualPort
+	// Ctrl is the exposed controller interface the standard layer drives:
+	// Ports[0], the DualPort, or the hook interposer.
+	Ctrl canlayer.Controller
+	// Layer is the CAN standard layer with the can-data.nty extension.
+	Layer *canlayer.Layer
+	// FDA is the failure detection agreement micro-protocol entity.
+	FDA *fd.FDA
+	// Det is the node failure detection protocol entity.
+	Det *fd.Detector
+	// Msh is the RHA/site membership protocol entity.
+	Msh *membership.Protocol
+
+	// Optional companion services, nil until enabled.
+	Groups  *groups.Service
+	Ordered *edcan.Ordered
+	Sync    *clocksync.Synchronizer
+}
+
+// New assembles a node's stack on the given media (one, or two for media
+// redundancy). hooks may be nil.
+func New(sched *sim.Scheduler, media []Medium, id can.NodeID, cfg Config, tr *trace.Trace, hooks *Hooks) (*Stack, error) {
+	switch len(media) {
+	case 1, 2:
+	default:
+		return nil, fmt.Errorf("stack: need one or two media, got %d", len(media))
+	}
+	st := &Stack{sched: sched, cfg: cfg, tr: tr, id: id}
+	for _, m := range media {
+		st.Ports = append(st.Ports, m.Attach(id))
+	}
+	var ctrl canlayer.Controller = st.Ports[0]
+	if len(media) == 2 {
+		st.Dual = redundancy.NewDualPort(sched, st.Ports[0], st.Ports[1], cfg.DualGrace)
+		ctrl = st.Dual
+	}
+	if hooks != nil {
+		ctrl = &hookedController{Controller: ctrl, node: id, hooks: hooks}
+	}
+	st.Ctrl = ctrl
+	st.Layer = canlayer.New(ctrl)
+	st.FDA = fd.NewFDA(st.Layer)
+	det, err := fd.NewDetector(sched, st.Layer, st.FDA, cfg.FD, tr)
+	if err != nil {
+		return nil, err
+	}
+	st.Det = det
+	msh, err := membership.New(sched, st.Layer, det, cfg.Membership, tr)
+	if err != nil {
+		return nil, err
+	}
+	st.Msh = msh
+	if hooks != nil {
+		st.registerUpperHooks(hooks)
+	}
+	return st, nil
+}
+
+// registerUpperHooks attaches the upper-boundary observers after the real
+// consumers, so hook observation never reorders protocol processing.
+func (st *Stack) registerUpperHooks(h *Hooks) {
+	id := st.id
+	if fn := h.OnDataNty; fn != nil {
+		st.Layer.HandleDataNty(func(mid can.MID) { fn(id, mid) })
+	}
+	if fn := h.OnFDANotify; fn != nil {
+		st.FDA.Notify(func(failed can.NodeID) { fn(id, failed) })
+	}
+	if fn := h.OnFDNotify; fn != nil {
+		st.Det.Notify(func(failed can.NodeID) { fn(id, failed) })
+	}
+	if fn := h.OnViewChange; fn != nil {
+		st.Msh.OnChange(func(ch membership.Change) { fn(id, ch) })
+	}
+}
+
+// ID returns the node identity.
+func (st *Stack) ID() can.NodeID { return st.id }
+
+// Crash fail-silences the node on every attached medium.
+func (st *Stack) Crash() {
+	if st.Dual != nil {
+		st.Dual.Crash()
+		return
+	}
+	st.Ports[0].Crash()
+}
+
+// Alive reports whether the node is operational on at least one medium.
+func (st *Stack) Alive() bool {
+	if st.Dual != nil {
+		return st.Dual.Operational()
+	}
+	return st.Ports[0].Operational()
+}
+
+// ActiveMedium returns the index of the medium the node currently receives
+// from (always 0 single-medium).
+func (st *Stack) ActiveMedium() int {
+	if st.Dual == nil {
+		return 0
+	}
+	return st.Dual.Active()
+}
+
+// EnableGroups starts the process-group membership service: registrations
+// travel over a RELCAN reliable broadcast and group views are pruned by the
+// site membership service.
+func (st *Stack) EnableGroups() error {
+	if st.Groups != nil {
+		return fmt.Errorf("stack: groups already enabled on %v", st.id)
+	}
+	rel, err := edcan.NewRELCAN(st.sched, st.Layer, edcan.RELCANConfig{
+		Timeout: 2 * st.cfg.FD.Ttd,
+		J:       st.cfg.J,
+	})
+	if err != nil {
+		return err
+	}
+	st.Groups = groups.New(rel, st.Msh, st.id)
+	return nil
+}
+
+// EnableOrdered starts the TOTCAN-style totally ordered broadcast service
+// with the given accept-deadline offset.
+func (st *Stack) EnableOrdered(delta time.Duration) error {
+	if st.Ordered != nil {
+		return fmt.Errorf("stack: ordered broadcast already enabled on %v", st.id)
+	}
+	ord, err := edcan.NewOrdered(st.sched, st.Layer, edcan.OrderedConfig{
+		Delta: delta,
+		J:     st.cfg.J,
+	})
+	if err != nil {
+		return err
+	}
+	st.Ordered = ord
+	return nil
+}
+
+// EnableClockSync starts the clock synchronization service. The master is
+// the lowest node in the agreed membership view, so a master crash is
+// healed by the membership service with no extra election.
+func (st *Stack) EnableClockSync(drift float64, period time.Duration) error {
+	if st.Sync != nil {
+		return fmt.Errorf("stack: clock sync already enabled on %v", st.id)
+	}
+	clock := clocksync.NewClock(st.sched, drift, time.Microsecond)
+	master := func() can.NodeID {
+		ids := st.Msh.View().IDs()
+		if len(ids) == 0 {
+			return st.id // not yet integrated: act alone
+		}
+		return ids[0]
+	}
+	s, err := clocksync.New(st.sched, st.Layer, clock, master, clocksync.Config{Period: period})
+	if err != nil {
+		return err
+	}
+	st.Sync = s
+	s.Start()
+	return nil
+}
+
+// hookedController interposes the controller -> standard-layer boundary.
+type hookedController struct {
+	canlayer.Controller
+	node  can.NodeID
+	hooks *Hooks
+}
+
+// SetHandler wraps the layer's handler with the boundary hooks.
+func (hc *hookedController) SetHandler(h bus.Handler) {
+	hc.Controller.SetHandler(&hookHandler{inner: h, node: hc.node, hooks: hc.hooks})
+}
+
+type hookHandler struct {
+	inner bus.Handler
+	node  can.NodeID
+	hooks *Hooks
+}
+
+func (h *hookHandler) OnFrame(f can.Frame, own bool) {
+	if flt := h.hooks.FilterIndication; flt != nil && !flt(h.node, f, own) {
+		return
+	}
+	if fn := h.hooks.OnIndication; fn != nil {
+		fn(h.node, f, own)
+	}
+	h.inner.OnFrame(f, own)
+}
+
+func (h *hookHandler) OnConfirm(f can.Frame) {
+	if fn := h.hooks.OnConfirm; fn != nil {
+		fn(h.node, f)
+	}
+	h.inner.OnConfirm(f)
+}
+
+func (h *hookHandler) OnBusOff() {
+	if fn := h.hooks.OnBusOff; fn != nil {
+		fn(h.node)
+	}
+	h.inner.OnBusOff()
+}
