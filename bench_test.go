@@ -32,6 +32,7 @@ import (
 	"canely/internal/can"
 	"canely/internal/canlayer"
 	"canely/internal/core/fd"
+	"canely/internal/core/proto"
 	"canely/internal/edcan"
 	"canely/internal/experiments"
 	"canely/internal/sim"
@@ -137,6 +138,39 @@ func BenchmarkRelatedWorkLatency(b *testing.B) {
 	}
 }
 
+// fdaAgent binds a bare FDA core to a CAN layer — the minimal runtime
+// needed to benchmark the diffusion protocol in isolation.
+type fdaAgent struct {
+	layer *canlayer.Layer
+	core  *fd.FDA
+}
+
+func newFDAAgent(layer *canlayer.Layer) *fdaAgent {
+	a := &fdaAgent{layer: layer, core: fd.NewFDA()}
+	layer.HandleRTRInd(func(mid can.MID) {
+		a.exec(a.core.Step(proto.Event{Kind: proto.EvRTRInd, MID: mid}))
+	})
+	return a
+}
+
+func (a *fdaAgent) Request(failed can.NodeID) {
+	a.exec(a.core.Step(proto.Event{Kind: proto.EvFDARequest, Node: failed}))
+}
+
+func (a *fdaAgent) exec(cmds []proto.Command) {
+	for _, c := range cmds {
+		switch c.Kind {
+		case proto.CmdSendRTR:
+			if c.UnlessPending && a.layer.PendingEquivalentRTR(c.MID) {
+				continue
+			}
+			_ = a.layer.RTRReq(c.MID)
+		case proto.CmdAbort:
+			a.layer.AbortReq(c.MID)
+		}
+	}
+}
+
 // BenchmarkFDADiffusion measures the wire cost of one complete FDA
 // failure-sign agreement across 32 nodes: the paper's design target is two
 // physical frames thanks to remote-frame clustering.
@@ -146,12 +180,9 @@ func BenchmarkFDADiffusion(b *testing.B) {
 		sched := sim.NewScheduler()
 		bs := bus.New(sched, bus.Config{})
 		for n := 0; n < 32; n++ {
-			layer := canlayer.New(bs.Attach(can.NodeID(n)))
-			fd.NewFDA(layer)
+			newFDAAgent(canlayer.New(bs.Attach(can.NodeID(n))))
 		}
-		// Rebuild the first node's FDA to keep a handle.
-		layer := canlayer.New(bs.Attach(can.NodeID(32)))
-		agent := fd.NewFDA(layer)
+		agent := newFDAAgent(canlayer.New(bs.Attach(can.NodeID(32))))
 		agent.Request(63)
 		sched.Run()
 		frames = bs.Stats().FramesOK
@@ -280,9 +311,9 @@ func BenchmarkAblationClustering(b *testing.B) {
 		// FDA over remote frames.
 		sched := sim.NewScheduler()
 		bs := bus.New(sched, bus.Config{})
-		var agents []*fd.FDA
+		var agents []*fdaAgent
 		for n := 0; n < nodes; n++ {
-			agents = append(agents, fd.NewFDA(canlayer.New(bs.Attach(can.NodeID(n)))))
+			agents = append(agents, newFDAAgent(canlayer.New(bs.Attach(can.NodeID(n)))))
 		}
 		agents[0].Request(63)
 		sched.Run()

@@ -47,6 +47,7 @@ import (
 	"canely/internal/core/groups"
 	"canely/internal/core/membership"
 	"canely/internal/fault"
+	"canely/internal/replay"
 	"canely/internal/sim"
 	"canely/internal/stack"
 	"canely/internal/trace"
@@ -147,6 +148,12 @@ type Config struct {
 	// (skipping RHA when no join/leave is pending). Ablation knob only.
 	RHAEveryCycle bool
 
+	// Record enables capture of every node's core event/command streams
+	// into an event log retrievable with Network.EventLog — the input to
+	// deterministic replay verification (internal/replay, canelysim
+	// -record/-replay).
+	Record bool
+
 	// DualMedia enables the CANELy media redundancy scheme ([17]): every
 	// node drives two replicated buses through a selection unit, so a
 	// single-medium partition or jam never partitions the network. Script
@@ -226,6 +233,7 @@ type Network struct {
 	rng     *sim.RNG
 	nodes   map[NodeID]*Node
 	order   []NodeID
+	log     *replay.Log  // non-nil when cfg.Record
 	busy    atomic.Int32 // concurrent-use guard (see guard.go)
 }
 
@@ -263,6 +271,9 @@ func NewNetwork(cfg Config, n int) *Network {
 		rng:   rng,
 		nodes: make(map[NodeID]*Node),
 	}
+	if cfg.Record {
+		net.log = replay.New()
+	}
 	if cfg.DualMedia {
 		injB := fault.Injector(fault.None{})
 		if cfg.MediumBScript != nil {
@@ -292,7 +303,9 @@ func (n *Network) addNode(id NodeID) *Node {
 	if n.mediumB != nil {
 		media = append(media, n.mediumB)
 	}
-	st, err := stack.New(n.sched, media, id, n.cfg.stackConfig(), n.tr, n.cfg.Hooks)
+	scfg := n.cfg.stackConfig()
+	scfg.Recorder = n.log
+	st, err := stack.New(n.sched, media, id, scfg, n.tr, n.cfg.Hooks)
 	if err != nil {
 		panic(fmt.Sprintf("canely: %v", err))
 	}
@@ -324,7 +337,7 @@ func (n *Network) BootstrapAll() {
 		view = view.Add(id)
 	}
 	for _, id := range n.order {
-		n.nodes[id].st.Msh.Bootstrap(view)
+		n.nodes[id].st.Bootstrap(view)
 	}
 }
 
@@ -346,6 +359,11 @@ func (n *Network) Stats() BusStats { return n.medium.Stats() }
 // SubstrateFast, which never traces; all trace.Trace methods are
 // nil-receiver safe, so reading an absent trace yields empty results.
 func (n *Network) Trace() *trace.Trace { return n.tr }
+
+// EventLog returns the recorded core event/command log, or nil unless
+// Config.Record was set. The log grows as the simulation runs; verify or
+// save it when driving is done.
+func (n *Network) EventLog() *replay.Log { return n.log }
 
 // Scheduler exposes the simulation scheduler for advanced scripting
 // (scheduling application events at virtual instants).
@@ -377,16 +395,16 @@ func (nd *Node) Member() bool { return nd.st.Msh.Member() }
 // Bootstrap installs a pre-agreed initial view at this node and starts its
 // protocol machinery. All initial members must be bootstrapped with the
 // same view.
-func (nd *Node) Bootstrap(view NodeSet) { nd.st.Msh.Bootstrap(view) }
+func (nd *Node) Bootstrap(view NodeSet) { nd.st.Bootstrap(view) }
 
 // Join requests integration into the set of active sites.
-func (nd *Node) Join() { nd.st.Msh.Join() }
+func (nd *Node) Join() { nd.st.Join() }
 
 // Leave requests withdrawal from the site membership view.
-func (nd *Node) Leave() { nd.st.Msh.Leave() }
+func (nd *Node) Leave() { nd.st.Leave() }
 
 // OnChange registers a membership change consumer (msh-can.nty).
-func (nd *Node) OnChange(fn func(Change)) { nd.st.Msh.OnChange(fn) }
+func (nd *Node) OnChange(fn func(Change)) { nd.st.OnChange(fn) }
 
 // Crash fail-silences the node immediately (on both media under
 // DualMedia).

@@ -6,6 +6,11 @@
 //	canelysim -nodes 5 -duration 500ms -crash 2@100ms -join 5@200ms
 //
 // crashes node 2 at t=100ms and has a sixth node join at t=200ms.
+//
+// With -record FILE the run additionally captures every protocol core's
+// event/command stream to FILE (JSON); -replay FILE re-executes such a
+// capture against fresh cores and verifies command-for-command equality —
+// no simulation is run.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"canely"
+	"canely/internal/replay"
 )
 
 type event struct {
@@ -64,8 +70,18 @@ func main() {
 		dual     = flag.Bool("dualmedia", false, "replicated media with reception by selection")
 		showAll  = flag.Bool("trace", false, "dump the full event trace")
 		subFlag  = flag.String("substrate", "bit", "medium substrate: bit (bit-accurate, traced) or fast (frame-level, no trace)")
+		record   = flag.String("record", "", "save the per-node core event/command streams to this file (JSON)")
+		replayF  = flag.String("replay", "", "verify a recorded event log instead of simulating")
 	)
 	flag.Parse()
+
+	if *replayF != "" {
+		if err := verifyReplay(*replayF); err != nil {
+			fmt.Fprintln(os.Stderr, "canelysim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	substrate, err := canely.ParseSubstrate(*subFlag)
 	if err != nil {
@@ -80,6 +96,7 @@ func main() {
 	cfg.PCorrupt = *pCorrupt
 	cfg.PInconsistent = *pIncons
 	cfg.DualMedia = *dual
+	cfg.Record = *record != ""
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "invalid configuration:", err)
 		os.Exit(2)
@@ -161,4 +178,45 @@ func main() {
 	fmt.Print(net.Stats())
 	u := net.Stats().Utilization(net.Rate(), net.Now())
 	fmt.Printf("overall bus utilization: %.2f%% over %v\n", 100*u, net.Now())
+
+	if *record != "" {
+		if err := saveLog(net.EventLog(), *record); err != nil {
+			fmt.Fprintln(os.Stderr, "canelysim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrecorded %d core events to %s\n", len(net.EventLog().Records), *record)
+	}
+}
+
+// saveLog writes a recorded event log to path.
+func saveLog(log *replay.Log, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := log.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// verifyReplay loads a recorded log and re-executes it on fresh cores,
+// checking command-for-command equality.
+func verifyReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := replay.Load(f)
+	if err != nil {
+		return err
+	}
+	if err := log.Verify(); err != nil {
+		return err
+	}
+	fmt.Printf("replay OK: %d records over %d nodes reproduced exactly\n",
+		len(log.Records), len(log.Nodes))
+	return nil
 }

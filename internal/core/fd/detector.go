@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"canely/internal/can"
-	"canely/internal/canlayer"
+	"canely/internal/core/proto"
 	"canely/internal/sim"
 	"canely/internal/trace"
 )
@@ -40,7 +40,7 @@ func (c Config) DetectionLatency() time.Duration {
 	return c.Tb + 2*c.Ttd
 }
 
-// Detector is the node failure detection protocol entity at one node
+// Detector is the node failure detection protocol core at one node
 // (Figure 8). It monitors a configurable set of nodes through per-node
 // surveillance deadlines; node activity is observed implicitly from data
 // traffic (can-data.nty, own transmissions included) and explicitly from
@@ -49,72 +49,77 @@ func (c Config) DetectionLatency() time.Duration {
 // micro-protocol.
 //
 // Surveillance restarts on every delivered frame but almost never expires,
-// so the deadlines are plain array slots and a single scan event per
-// detector chases the earliest one: a restart is two stores, and the
-// scheduler carries one pending event per node instead of one per
-// (node, monitored node) pair.
+// so the deadlines are plain array slots and a single logical scan timer
+// (proto.TimerFDScan) chases the earliest one: a restart is two stores and
+// usually no command, and the scheduler behind the binding carries one
+// pending event per node instead of one per (node, monitored node) pair.
 type Detector struct {
 	cfg   Config
-	sched *sim.Scheduler
-	layer *canlayer.Layer
-	fda   *FDA
-	tr    *trace.Trace
-
 	local can.NodeID
+
 	// deadlines is indexed by node id; armed is the set of ids under
 	// surveillance. A slot is meaningful only while its bit is set.
 	deadlines [can.MaxNodes]sim.Time
 	armed     can.NodeSet
-	// scanEv is the pending scan event; scanAt is its instant. Invariant:
-	// while any node is armed, scanEv is pending with
+	// scanAt is the instant of the pending scan timer. Invariant: while any
+	// node is armed, the timer is pending with
 	// scanAt <= min(deadlines of armed nodes).
-	scanEv *sim.Event
-	scanAt sim.Time
-	// scanFn is the pre-bound d.scan method value: binding at every re-arm
-	// would allocate a fresh closure each time.
-	scanFn func()
-	notify []func(failed can.NodeID)
+	scanAt      sim.Time
+	scanPending bool
+
+	// fdaInFlight tracks remote nodes whose silence this detector reported
+	// to the FDA micro-protocol and whose failure-sign has not yet been
+	// agreed. suppress marks nodes whose surveillance was stopped while
+	// such a report was in flight: a late fda-can.nty for them is stale
+	// and must not surface as a failure (fd.Detector.Stop contract).
+	fdaInFlight can.NodeSet
+	suppress    can.NodeSet
 
 	// lifeSigns counts explicit life-sign broadcasts for the bandwidth
 	// experiments.
 	lifeSigns int
 }
 
-// NewDetector wires a detector to the layer and its FDA companion.
-func NewDetector(sched *sim.Scheduler, layer *canlayer.Layer, fda *FDA, cfg Config, tr *trace.Trace) (*Detector, error) {
+// NewDetector creates the protocol core for the given node.
+func NewDetector(local can.NodeID, cfg Config) (*Detector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d := &Detector{
-		cfg:   cfg,
-		sched: sched,
-		layer: layer,
-		fda:   fda,
-		tr:    tr,
-		local: layer.NodeID(),
+	if !local.Valid() {
+		return nil, fmt.Errorf("fd: invalid local node id %d", local)
 	}
-	d.scanFn = d.scan
-	layer.HandleDataNty(d.onDataNty)
-	layer.HandleRTRInd(d.onRTRInd)
-	fda.Notify(d.onFDANty)
-	return d, nil
+	return &Detector{cfg: cfg, local: local}, nil
 }
 
-// Notify registers an fd-can.nty consumer — in the CANELy stack, the
-// companion site membership protocol.
-func (d *Detector) Notify(fn func(failed can.NodeID)) {
-	d.notify = append(d.notify, fn)
-}
-
-// Start begins surveillance of a node (fd-can.req(START,r), lines f00–f02).
-// Starting an already-monitored node restarts its timer.
-func (d *Detector) Start(r can.NodeID) {
-	d.alarmStart(r)
-}
-
-// Stop ends surveillance of a node (fd-can.req(STOP,r), lines f17–f19).
-func (d *Detector) Stop(r can.NodeID) {
-	d.armed = d.armed.Remove(r)
+// Step consumes one event. It returns a fresh command slice (nil when the
+// event produced no action — the common case for traffic activity).
+func (d *Detector) Step(ev proto.Event) []proto.Command {
+	switch ev.Kind {
+	case proto.EvDataNty:
+		// Implicit node activity: every data frame (own transmissions
+		// included) restarts the transmitter's surveillance timer
+		// (lines f03–f05).
+		return d.activity(ev.MID.Src, ev.At)
+	case proto.EvRTRInd:
+		// Explicit life-signs (lines f03–f05). Only ELS remote frames
+		// carry a node identity usable as an activity signal; other
+		// remote frames are clustered and do not identify their
+		// transmitter.
+		if ev.MID.Type == can.TypeELS {
+			return d.activity(can.NodeID(ev.MID.Param), ev.At)
+		}
+	case proto.EvTimerFired:
+		if ev.Timer == proto.TimerFDScan {
+			return d.scan(ev.At)
+		}
+	case proto.EvFDStart:
+		return d.start(ev.Node, ev.At)
+	case proto.EvFDStop:
+		return d.stop(ev.Node)
+	case proto.EvFDANty:
+		return d.onFDANty(ev.Node)
+	}
+	return nil
 }
 
 // Monitoring reports whether node r is under surveillance.
@@ -125,37 +130,62 @@ func (d *Detector) Monitoring(r can.NodeID) bool {
 // LifeSigns returns the number of explicit life-sign broadcasts requested.
 func (d *Detector) LifeSigns() int { return d.lifeSigns }
 
+// start begins surveillance of a node (fd-can.req(START,r), lines f00–f02).
+// Starting an already-monitored node restarts its timer. A fresh start also
+// clears any stale-notification suppression left by a Stop.
+func (d *Detector) start(r can.NodeID, at sim.Time) []proto.Command {
+	if !r.Valid() {
+		return nil
+	}
+	d.suppress = d.suppress.Remove(r)
+	d.fdaInFlight = d.fdaInFlight.Remove(r)
+	return d.alarmStart(r, at)
+}
+
+// stop ends surveillance of a node (fd-can.req(STOP,r), lines f17–f19). If
+// this detector has an unagreed failure-sign request in flight for the
+// node, the request is retracted and any late agreement is suppressed, so
+// a stale expiry cannot surface after surveillance was disabled.
+func (d *Detector) stop(r can.NodeID) []proto.Command {
+	if !r.Valid() {
+		return nil
+	}
+	d.armed = d.armed.Remove(r)
+	if d.fdaInFlight.Contains(r) {
+		d.suppress = d.suppress.Add(r)
+		return []proto.Command{proto.FDACancel(r)}
+	}
+	return nil
+}
+
 // alarmStart implements fd-alarm-start (lines a00–a06): the local timer
 // runs at Tb, remote surveillance at Tb+Ttd.
-func (d *Detector) alarmStart(r can.NodeID) {
+func (d *Detector) alarmStart(r can.NodeID, at sim.Time) []proto.Command {
 	period := d.cfg.Tb
 	if r != d.local {
 		period += d.cfg.Ttd
 	}
-	d.deadlines[r] = d.sched.Now().Add(period)
+	d.deadlines[r] = at.Add(period)
 	d.armed = d.armed.Add(r)
-	d.ensureScan(d.deadlines[r])
+	return d.ensureScan(d.deadlines[r], at)
 }
 
-// ensureScan keeps the scan-event invariant: a pending event no later than
+// ensureScan keeps the scan-timer invariant: a pending timer no later than
 // the given deadline. Deadlines almost always move forward, so the common
-// case is a no-op; the event "chases" the true minimum when it fires.
-func (d *Detector) ensureScan(at sim.Time) {
-	if d.scanEv != nil && d.scanEv.Pending() && d.scanAt <= at {
-		return
-	}
-	if d.scanEv != nil {
-		d.scanEv.Cancel()
+// case is a no-op; the timer "chases" the true minimum when it fires.
+func (d *Detector) ensureScan(at, now sim.Time) []proto.Command {
+	if d.scanPending && d.scanAt <= at {
+		return nil
 	}
 	d.scanAt = at
-	d.scanEv = d.sched.At(at, d.scanFn)
+	d.scanPending = true
+	return []proto.Command{proto.SetTimer(proto.TimerFDScan, at.Sub(now))}
 }
 
 // scan fires expired surveillance deadlines and re-arms at the earliest
 // remaining one.
-func (d *Detector) scan() {
-	d.scanEv = nil
-	now := d.sched.Now()
+func (d *Detector) scan(now sim.Time) []proto.Command {
+	d.scanPending = false
 	var expired can.NodeSet
 	next := sim.Never
 	for s := d.armed; !s.Empty(); {
@@ -168,69 +198,68 @@ func (d *Detector) scan() {
 		}
 	}
 	d.armed = d.armed.Diff(expired)
+	var out []proto.Command
 	for s := expired; !s.Empty(); {
 		r := s.Lowest()
 		s = s.Remove(r)
-		d.expire(r)
+		out = append(out, d.expire(r, now)...)
 	}
 	// expire may have re-armed slots (the local ELS backstop) and advanced
 	// the invariant through ensureScan; cover the survivors too.
 	if next != sim.Never {
-		d.ensureScan(next)
+		out = append(out, d.ensureScan(next, now)...)
 	}
+	return out
 }
 
-// onDataNty observes implicit node activity: every data frame (own
-// transmissions included) restarts the transmitter's surveillance timer
-// (lines f03–f05).
-func (d *Detector) onDataNty(mid can.MID) {
-	d.activity(mid.Src)
-}
-
-// onRTRInd observes explicit life-signs (lines f03–f05). Only ELS remote
-// frames carry a node identity usable as an activity signal; other remote
-// frames are clustered and do not identify their transmitter.
-func (d *Detector) onRTRInd(mid can.MID) {
-	if mid.Type == can.TypeELS {
-		d.activity(can.NodeID(mid.Param))
-	}
-}
-
-func (d *Detector) activity(r can.NodeID) {
+func (d *Detector) activity(r can.NodeID, at sim.Time) []proto.Command {
 	if !r.Valid() {
-		return
+		return nil
 	}
 	if d.armed.Contains(r) {
-		d.alarmStart(r)
+		return d.alarmStart(r, at)
 	}
+	return nil
 }
 
 // expire handles surveillance timer expiry (lines f06–f12): the local node
 // broadcasts an explicit life-sign; a silent remote node is reported to
 // the FDA micro-protocol.
-func (d *Detector) expire(r can.NodeID) {
+func (d *Detector) expire(r can.NodeID, now sim.Time) []proto.Command {
 	if r == d.local {
 		d.lifeSigns++
-		d.tr.Emit(trace.KindELS, int(d.local), "explicit life-sign")
-		_ = d.layer.RTRReq(can.ELSSign(d.local))
+		out := []proto.Command{
+			proto.Trace(trace.KindELS, "explicit life-sign"),
+			proto.SendRTR(can.ELSSign(d.local)),
+		}
 		// The timer restarts on the self-reception of the ELS (f03); if the
 		// bus is congested the re-arm happens only when the frame makes it
 		// out, exactly like the hardware behaves. Re-arm here as a backstop
 		// so a lost ELS does not silence the node forever.
-		d.alarmStart(r)
-		return
+		return append(out, d.alarmStart(r, now)...)
 	}
-	d.tr.Emit(trace.KindFDNotify, int(d.local), "timer expired for %v", r)
-	d.fda.Request(r)
+	d.fdaInFlight = d.fdaInFlight.Add(r)
+	return []proto.Command{
+		proto.Tracef(trace.KindFDNotify, "timer expired for %v", r),
+		proto.FDARequest(r),
+	}
 }
 
 // onFDANty completes the protocol (lines f13–f16): a consistent
 // failure-sign cancels the surveillance timer and delivers fd-can.nty to
-// the layer above.
-func (d *Detector) onFDANty(r can.NodeID) {
+// the layer above — unless surveillance of the node was stopped while this
+// detector's own report was in flight, in which case the agreement is
+// stale and dropped locally.
+func (d *Detector) onFDANty(r can.NodeID) []proto.Command {
+	if d.suppress.Contains(r) {
+		d.suppress = d.suppress.Remove(r)
+		d.fdaInFlight = d.fdaInFlight.Remove(r)
+		return nil
+	}
 	d.armed = d.armed.Remove(r)
-	d.tr.Emit(trace.KindFDANotify, int(d.local), "node %v failed", r)
-	for _, fn := range d.notify {
-		fn(r)
+	d.fdaInFlight = d.fdaInFlight.Remove(r)
+	return []proto.Command{
+		proto.Tracef(trace.KindFDANotify, "node %v failed", r),
+		proto.FDNty(r),
 	}
 }

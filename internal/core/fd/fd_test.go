@@ -1,59 +1,76 @@
-package fd
+package fd_test
 
 import (
 	"testing"
 	"time"
 
-	"canely/internal/bus"
 	"canely/internal/can"
-	"canely/internal/canlayer"
+	"canely/internal/core/fd"
+	"canely/internal/core/membership"
 	"canely/internal/fault"
 	"canely/internal/sim"
+	"canely/internal/stack"
 )
 
+// The integration rig binds full per-node stacks to one bit-accurate
+// medium; failure-detection notices are observed through the boundary
+// hooks. Only the fd entities are driven (nothing bootstraps membership).
 type node struct {
-	port  *bus.Port
-	layer *canlayer.Layer
-	fda   *FDA
-	det   *Detector
+	st *stack.Stack
 
 	fdaNotices []can.NodeID
 	fdNotices  []can.NodeID
+	fdTimes    []sim.Time
 }
 
 type rig struct {
-	sched *sim.Scheduler
-	bus   *bus.Bus
-	nodes []*node
+	sched  *sim.Scheduler
+	medium stack.Medium
+	nodes  []*node
 }
 
-var testCfg = Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}
+var testCfg = fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}
+
+func stackCfg() stack.Config {
+	return stack.Config{
+		FD: testCfg,
+		Membership: membership.Config{
+			Tm:        50 * time.Millisecond,
+			TjoinWait: 120 * time.Millisecond,
+			RHA:       membership.RHAConfig{Trha: 5 * time.Millisecond, J: 2},
+		},
+		J: 2,
+	}
+}
 
 func newRig(t *testing.T, n int, inj fault.Injector) *rig {
 	t.Helper()
 	s := sim.NewScheduler()
-	b := bus.New(s, bus.Config{Injector: inj})
-	r := &rig{sched: s, bus: b}
+	r := &rig{sched: s, medium: stack.NewMedium(s, stack.MediumConfig{Injector: inj})}
+	hooks := &stack.Hooks{
+		OnFDANotify: func(id, failed can.NodeID) {
+			nd := r.nodes[id]
+			nd.fdaNotices = append(nd.fdaNotices, failed)
+		},
+		OnFDNotify: func(id, failed can.NodeID) {
+			nd := r.nodes[id]
+			nd.fdNotices = append(nd.fdNotices, failed)
+			nd.fdTimes = append(nd.fdTimes, s.Now())
+		},
+	}
 	for i := 0; i < n; i++ {
-		nd := &node{}
-		nd.port = b.Attach(can.NodeID(i))
-		nd.layer = canlayer.New(nd.port)
-		nd.fda = NewFDA(nd.layer)
-		det, err := NewDetector(s, nd.layer, nd.fda, testCfg, nil)
+		st, err := stack.New(s, []stack.Medium{r.medium}, can.NodeID(i), stackCfg(), nil, hooks)
 		if err != nil {
 			t.Fatal(err)
 		}
-		nd.det = det
-		nd.fda.Notify(func(f can.NodeID) { nd.fdaNotices = append(nd.fdaNotices, f) })
-		nd.det.Notify(func(f can.NodeID) { nd.fdNotices = append(nd.fdNotices, f) })
-		r.nodes = append(r.nodes, nd)
+		r.nodes = append(r.nodes, &node{st: st})
 	}
 	return r
 }
 
 func TestFDASingleRequestDiffusesEverywhere(t *testing.T) {
 	r := newRig(t, 4, nil)
-	r.nodes[0].fda.Request(9)
+	r.nodes[0].st.FDARequest(9)
 	r.sched.Run()
 	for i, nd := range r.nodes {
 		if len(nd.fdaNotices) != 1 || nd.fdaNotices[0] != 9 {
@@ -66,8 +83,8 @@ func TestFDADeliversExactlyOnceDespiteDuplicates(t *testing.T) {
 	r := newRig(t, 4, nil)
 	// Several detectors request concurrently (clustered) and recipients
 	// re-diffuse: upper layers must still see one notification.
-	r.nodes[0].fda.Request(9)
-	r.nodes[1].fda.Request(9)
+	r.nodes[0].st.FDARequest(9)
+	r.nodes[1].st.FDARequest(9)
 	r.sched.Run()
 	for i, nd := range r.nodes {
 		if len(nd.fdaNotices) != 1 {
@@ -79,11 +96,11 @@ func TestFDADeliversExactlyOnceDespiteDuplicates(t *testing.T) {
 func TestFDAClusteringKeepsFrameCountLow(t *testing.T) {
 	r := newRig(t, 8, nil)
 	for i := 0; i < 4; i++ {
-		r.nodes[i].fda.Request(30)
+		r.nodes[i].st.FDARequest(30)
 	}
 	r.sched.Run()
 	// Original (4 clustered) + one clustered re-diffusion wave = 2 frames.
-	if got := r.bus.Stats().FramesOK; got != 2 {
+	if got := r.medium.Stats().FramesOK; got != 2 {
 		t.Fatalf("physical frames = %d, want 2 (clustering)", got)
 	}
 }
@@ -100,7 +117,7 @@ func TestFDAInconsistentOmissionWithSenderCrash(t *testing.T) {
 		},
 	})
 	r := newRig(t, 4, script)
-	r.nodes[0].fda.Request(9)
+	r.nodes[0].st.FDARequest(9)
 	r.sched.Run()
 	if !script.Exhausted() {
 		t.Fatalf("scenario did not trigger: %s", script.PendingRules())
@@ -114,8 +131,8 @@ func TestFDAInconsistentOmissionWithSenderCrash(t *testing.T) {
 
 func TestFDAIndependentInstances(t *testing.T) {
 	r := newRig(t, 3, nil)
-	r.nodes[0].fda.Request(7)
-	r.nodes[1].fda.Request(8)
+	r.nodes[0].st.FDARequest(7)
+	r.nodes[1].st.FDARequest(8)
 	r.sched.Run()
 	for i, nd := range r.nodes {
 		if len(nd.fdaNotices) != 2 {
@@ -126,12 +143,12 @@ func TestFDAIndependentInstances(t *testing.T) {
 
 func TestFDAForgetAllowsReuse(t *testing.T) {
 	r := newRig(t, 2, nil)
-	r.nodes[0].fda.Request(5)
+	r.nodes[0].st.FDARequest(5)
 	r.sched.Run()
 	for _, nd := range r.nodes {
-		nd.fda.Forget(5)
+		nd.st.FDA.Forget(5)
 	}
-	r.nodes[1].fda.Request(5)
+	r.nodes[1].st.FDARequest(5)
 	r.sched.Run()
 	if len(r.nodes[0].fdaNotices) != 2 {
 		t.Fatalf("after Forget, second failure not notified: %v", r.nodes[0].fdaNotices)
@@ -140,9 +157,9 @@ func TestFDAForgetAllowsReuse(t *testing.T) {
 
 func TestDetectorLocalTimerEmitsELS(t *testing.T) {
 	r := newRig(t, 2, nil)
-	r.nodes[0].det.Start(0)
+	r.nodes[0].st.FDStart(0)
 	r.sched.RunUntil(sim.Time(35 * time.Millisecond))
-	if got := r.nodes[0].det.LifeSigns(); got != 3 {
+	if got := r.nodes[0].st.Det.LifeSigns(); got != 3 {
 		t.Fatalf("life-signs = %d, want 3 over 35ms at Tb=10ms", got)
 	}
 }
@@ -150,14 +167,14 @@ func TestDetectorLocalTimerEmitsELS(t *testing.T) {
 func TestDetectorRemoteSilenceTriggersFDA(t *testing.T) {
 	r := newRig(t, 3, nil)
 	// Nodes 1,2 monitor node 0; node 0 never signs.
-	r.nodes[1].det.Start(0)
-	r.nodes[2].det.Start(0)
+	r.nodes[1].st.FDStart(0)
+	r.nodes[2].st.FDStart(0)
 	r.sched.RunUntil(sim.Time(testCfg.DetectionLatency() + 5*time.Millisecond))
 	for i := 1; i <= 2; i++ {
 		if len(r.nodes[i].fdNotices) != 1 || r.nodes[i].fdNotices[0] != 0 {
 			t.Fatalf("node %d fd notices = %v", i, r.nodes[i].fdNotices)
 		}
-		if r.nodes[i].det.Monitoring(0) {
+		if r.nodes[i].st.Det.Monitoring(0) {
 			t.Fatalf("node %d still monitoring the failed node", i)
 		}
 	}
@@ -168,7 +185,7 @@ func TestDetectorELSKeepsNodeAlive(t *testing.T) {
 	// Full surveillance mesh: everyone monitors everyone incl. self.
 	for _, nd := range r.nodes {
 		for j := 0; j < 3; j++ {
-			nd.det.Start(can.NodeID(j))
+			nd.st.FDStart(can.NodeID(j))
 		}
 	}
 	r.sched.RunUntil(sim.Time(500 * time.Millisecond))
@@ -182,16 +199,16 @@ func TestDetectorELSKeepsNodeAlive(t *testing.T) {
 func TestDetectorImplicitHeartbeatFromData(t *testing.T) {
 	r := newRig(t, 3, nil)
 	for _, nd := range r.nodes {
-		nd.det.Start(0)
+		nd.st.FDStart(0)
 	}
-	r.nodes[0].det.Start(0)
+	r.nodes[0].st.FDStart(0)
 	// Node 0 sends application data every 4 ms: no ELS should ever fire.
 	tick := sim.NewTicker(r.sched, func() {
-		_ = r.nodes[0].layer.DataReq(can.DataSign(0, 0, 0), []byte{1})
+		_ = r.nodes[0].st.Layer.DataReq(can.DataSign(0, 0, 0), []byte{1})
 	})
 	tick.Start(4 * time.Millisecond)
 	r.sched.RunUntil(sim.Time(300 * time.Millisecond))
-	if got := r.nodes[0].det.LifeSigns(); got != 0 {
+	if got := r.nodes[0].st.Det.LifeSigns(); got != 0 {
 		t.Fatalf("life-signs = %d with fast implicit traffic", got)
 	}
 	for i := 1; i < 3; i++ {
@@ -203,11 +220,37 @@ func TestDetectorImplicitHeartbeatFromData(t *testing.T) {
 
 func TestDetectorStopCancelsSurveillance(t *testing.T) {
 	r := newRig(t, 2, nil)
-	r.nodes[1].det.Start(0)
-	r.nodes[1].det.Stop(0)
+	r.nodes[1].st.FDStart(0)
+	r.nodes[1].st.FDStop(0)
 	r.sched.RunUntil(sim.Time(100 * time.Millisecond))
 	if len(r.nodes[1].fdNotices) != 0 {
 		t.Fatal("stopped surveillance still detected a failure")
+	}
+}
+
+// TestDetectorStopRetractsInFlightFDA stops surveillance in the window
+// between the surveillance expiry (failure-sign requested, frame still on
+// the wire) and the agreement: the stopping node must not deliver the
+// stale notification, while other nodes still monitoring do.
+func TestDetectorStopRetractsInFlightFDA(t *testing.T) {
+	r := newRig(t, 3, nil)
+	// Nodes 1,2 monitor silent node 0; both expire at Tb+Ttd = 12ms.
+	r.nodes[1].st.FDStart(0)
+	r.nodes[2].st.FDStart(0)
+	expiry := sim.Time(testCfg.Tb + testCfg.Ttd)
+	// Run just past the expiry: the failure-sign frames are queued (and
+	// clustered) but the agreement has not completed yet.
+	r.sched.RunUntil(expiry.Add(time.Microsecond))
+	if len(r.nodes[1].fdNotices) != 0 {
+		t.Fatal("agreement completed before the frame could have transmitted")
+	}
+	r.nodes[1].st.FDStop(0)
+	r.sched.RunUntil(expiry.Add(50 * time.Millisecond))
+	if len(r.nodes[1].fdNotices) != 0 {
+		t.Fatalf("node 1 delivered a stale failure after Stop: %v", r.nodes[1].fdNotices)
+	}
+	if len(r.nodes[2].fdNotices) != 1 || r.nodes[2].fdNotices[0] != 0 {
+		t.Fatalf("node 2 (still monitoring) notices = %v", r.nodes[2].fdNotices)
 	}
 }
 
@@ -215,22 +258,24 @@ func TestDetectorCrashDetectionLatencyBound(t *testing.T) {
 	r := newRig(t, 3, nil)
 	for _, nd := range r.nodes {
 		for j := 0; j < 3; j++ {
-			nd.det.Start(can.NodeID(j))
+			nd.st.FDStart(can.NodeID(j))
 		}
 	}
 	r.sched.RunUntil(sim.Time(40 * time.Millisecond))
 	crashAt := r.sched.Now()
-	r.nodes[0].port.Crash()
-	var detectedAt sim.Time
-	done := false
-	r.nodes[1].det.Notify(func(f can.NodeID) {
-		if f == 0 && !done {
-			detectedAt = r.sched.Now()
-			done = true
-		}
-	})
+	r.nodes[0].st.Ports[0].Crash()
 	r.sched.RunUntil(crashAt.Add(testCfg.DetectionLatency() + 10*time.Millisecond))
-	if !done {
+	nd := r.nodes[1]
+	var detectedAt sim.Time
+	found := false
+	for i, f := range nd.fdNotices {
+		if f == 0 && nd.fdTimes[i] > crashAt {
+			detectedAt = nd.fdTimes[i]
+			found = true
+			break
+		}
+	}
+	if !found {
 		t.Fatal("crash never detected")
 	}
 	latency := detectedAt.Sub(crashAt)
@@ -246,9 +291,9 @@ func TestDetectorCrashDetectionLatencyBound(t *testing.T) {
 
 func TestDetectorRestartOnStartWhileRunning(t *testing.T) {
 	r := newRig(t, 2, nil)
-	r.nodes[1].det.Start(0)
+	r.nodes[1].st.FDStart(0)
 	r.sched.RunUntil(sim.Time(8 * time.Millisecond))
-	r.nodes[1].det.Start(0) // restart pushes the deadline
+	r.nodes[1].st.FDStart(0) // restart pushes the deadline
 	r.sched.RunUntil(sim.Time(14 * time.Millisecond))
 	if len(r.nodes[1].fdNotices) != 0 {
 		t.Fatal("restarted timer fired at the original deadline")
@@ -256,13 +301,13 @@ func TestDetectorRestartOnStartWhileRunning(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if (Config{Tb: 0, Ttd: time.Millisecond}).Validate() == nil {
+	if (fd.Config{Tb: 0, Ttd: time.Millisecond}).Validate() == nil {
 		t.Fatal("zero Tb accepted")
 	}
-	if (Config{Tb: time.Millisecond, Ttd: 0}).Validate() == nil {
+	if (fd.Config{Tb: time.Millisecond, Ttd: 0}).Validate() == nil {
 		t.Fatal("zero Ttd accepted")
 	}
-	c := Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}
+	c := fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}
 	if c.DetectionLatency() != 14*time.Millisecond {
 		t.Fatalf("DetectionLatency = %v", c.DetectionLatency())
 	}
@@ -270,11 +315,11 @@ func TestConfigValidation(t *testing.T) {
 
 func TestFDADuplicatesCounter(t *testing.T) {
 	r := newRig(t, 3, nil)
-	r.nodes[0].fda.Request(4)
+	r.nodes[0].st.FDARequest(4)
 	r.sched.Run()
 	// Original frame + clustered re-diffusion: every node saw 2 copies.
 	for i, nd := range r.nodes {
-		if got := nd.fda.Duplicates(4); got != 2 {
+		if got := nd.st.FDA.Duplicates(4); got != 2 {
 			t.Fatalf("node %d duplicates = %d, want 2", i, got)
 		}
 	}

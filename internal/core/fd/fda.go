@@ -13,18 +13,20 @@
 // guarantees that even if the original transmission was inconsistently
 // omitted at some nodes and the detector crashed, every correct node still
 // delivers the failure notification.
+//
+// Both entities are sans-I/O state machines: they consume proto.Events and
+// emit proto.Commands, and hold no scheduler, layer or trace handles. The
+// runtime binding (internal/stack) executes the commands; the composite
+// core (internal/core) routes the inter-core kinds.
 package fd
 
 import (
 	"canely/internal/can"
-	"canely/internal/canlayer"
+	"canely/internal/core/proto"
 )
 
-// FDA is the failure detection agreement micro-protocol entity at one node.
+// FDA is the failure detection agreement micro-protocol core at one node.
 type FDA struct {
-	layer  *canlayer.Layer
-	notify []func(failed can.NodeID)
-
 	// fsNdup counts failure-sign duplicates per failed node; fsNreq counts
 	// local transmit requests. Names follow Figure 6. Indexed by node id:
 	// these counters sit on the remote-frame indication path.
@@ -32,29 +34,49 @@ type FDA struct {
 	fsNreq [can.MaxNodes]int
 }
 
-// NewFDA creates the protocol entity and hooks it to the layer's remote
-// frame indications.
-func NewFDA(layer *canlayer.Layer) *FDA {
-	f := &FDA{layer: layer}
-	layer.HandleRTRInd(f.onRTRInd)
-	return f
+// NewFDA creates the protocol core.
+func NewFDA() *FDA { return &FDA{} }
+
+// Step consumes one event. It returns a fresh command slice (nil when the
+// event produced no action).
+func (f *FDA) Step(ev proto.Event) []proto.Command {
+	switch ev.Kind {
+	case proto.EvFDARequest:
+		return f.request(ev.Node)
+	case proto.EvFDACancel:
+		return f.cancel(ev.Node)
+	case proto.EvRTRInd:
+		return f.onRTRInd(ev.MID)
+	}
+	return nil
 }
 
-// Notify registers an fda-can.nty consumer: the consistent notification
-// that a node failed.
-func (f *FDA) Notify(fn func(failed can.NodeID)) {
-	f.notify = append(f.notify, fn)
-}
-
-// Request invokes the protocol for a failed node (fda-can.req, Figure 6
+// request invokes the protocol for a failed node (fda-can.req, Figure 6
 // lines s00–s05): a single transmit request for the failure-sign message.
-func (f *FDA) Request(failed can.NodeID) {
+func (f *FDA) request(failed can.NodeID) []proto.Command {
+	if !failed.Valid() {
+		return nil
+	}
 	f.fsNreq[failed]++
 	if f.fsNreq[failed] == 1 {
-		// Request errors mean the local controller is dead (crashed or
-		// bus-off); a dead node has no obligations.
-		_ = f.layer.RTRReq(can.FDASign(failed))
+		return []proto.Command{proto.SendRTR(can.FDASign(failed))}
 	}
+	return nil
+}
+
+// cancel retracts the local failure-sign request for a node whose
+// surveillance was stopped before any copy of the sign was observed. Once
+// a copy has circulated the sign is public knowledge and must diffuse; the
+// retraction then has no effect.
+func (f *FDA) cancel(failed can.NodeID) []proto.Command {
+	if !failed.Valid() {
+		return nil
+	}
+	if f.fsNreq[failed] == 0 || f.fsNdup[failed] != 0 {
+		return nil
+	}
+	f.fsNreq[failed] = 0
+	return []proto.Command{proto.Abort(can.FDASign(failed))}
 }
 
 // onRTRInd handles failure-sign arrivals (Figure 6 lines r00–r09). The
@@ -62,25 +84,24 @@ func (f *FDA) Request(failed can.NodeID) {
 // equivalent transmit request is already pending (own included — the
 // can-rtr.ind covers own transmissions, so the original sender counts its
 // own frame as the first duplicate and does not re-request).
-func (f *FDA) onRTRInd(mid can.MID) {
+func (f *FDA) onRTRInd(mid can.MID) []proto.Command {
 	if mid.Type != can.TypeFDA {
-		return
+		return nil
 	}
 	failed := can.NodeID(mid.Param)
 	if !failed.Valid() {
-		return
+		return nil
 	}
 	f.fsNdup[failed]++
 	if f.fsNdup[failed] != 1 {
-		return
+		return nil
 	}
-	for _, fn := range f.notify {
-		fn(failed)
-	}
+	out := []proto.Command{proto.FDANty(failed)}
 	f.fsNreq[failed]++
-	if f.fsNreq[failed] == 1 && !f.layer.PendingEquivalentRTR(mid) {
-		_ = f.layer.RTRReq(can.FDASign(failed))
+	if f.fsNreq[failed] == 1 {
+		out = append(out, proto.SendRTRUnlessPending(mid))
 	}
+	return out
 }
 
 // Duplicates returns how many failure-sign copies were observed for a node

@@ -40,11 +40,19 @@ type Change struct {
 	Sites can.NodeSet
 }
 
+// SiteView is the slice of the site membership service the group layer
+// depends on: the current view and change notifications. The stack's
+// runtime binding implements it over the membership core.
+type SiteView interface {
+	View() can.NodeSet
+	OnChange(fn func(membership.Change))
+}
+
 // Service is the process-group layer at one site.
 type Service struct {
 	local can.NodeID
 	rel   *edcan.RELCAN
-	site  *membership.Protocol
+	site  SiteView
 
 	// registered[g] is the agreed set of sites registered in group g.
 	registered map[GroupID]can.NodeSet
@@ -54,7 +62,7 @@ type Service struct {
 // New builds the service on an existing RELCAN broadcaster and site
 // membership protocol. The RELCAN instance may be shared with the
 // application; group announcements use a reserved payload prefix.
-func New(rel *edcan.RELCAN, site *membership.Protocol, local can.NodeID) *Service {
+func New(rel *edcan.RELCAN, site SiteView, local can.NodeID) *Service {
 	s := &Service{
 		local:      local,
 		rel:        rel,

@@ -1,85 +1,73 @@
-package groups
+package groups_test
 
 import (
 	"testing"
 	"time"
 
-	"canely/internal/bus"
 	"canely/internal/can"
-	"canely/internal/canlayer"
 	"canely/internal/core/fd"
+	"canely/internal/core/groups"
 	"canely/internal/core/membership"
-	"canely/internal/edcan"
 	"canely/internal/fault"
 	"canely/internal/sim"
+	"canely/internal/stack"
 )
 
 type node struct {
-	port    *bus.Port
-	layer   *canlayer.Layer
-	msh     *membership.Protocol
-	svc     *Service
-	changes []Change
+	st      *stack.Stack
+	changes []groups.Change
 }
 
 type rig struct {
 	sched *sim.Scheduler
-	bus   *bus.Bus
 	nodes []*node
 }
 
 func newRig(t *testing.T, n int, inj fault.Injector) *rig {
 	t.Helper()
 	s := sim.NewScheduler()
-	b := bus.New(s, bus.Config{Injector: inj})
-	r := &rig{sched: s, bus: b}
-	mshCfg := membership.Config{
-		Tm:        50 * time.Millisecond,
-		TjoinWait: 120 * time.Millisecond,
-		RHA:       membership.RHAConfig{Trha: 5 * time.Millisecond, J: 2},
+	medium := stack.NewMedium(s, stack.MediumConfig{Injector: inj})
+	r := &rig{sched: s}
+	cfg := stack.Config{
+		FD: fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond},
+		Membership: membership.Config{
+			Tm:        50 * time.Millisecond,
+			TjoinWait: 120 * time.Millisecond,
+			RHA:       membership.RHAConfig{Trha: 5 * time.Millisecond, J: 2},
+		},
+		J: 2,
 	}
-	fdCfg := fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}
 	for i := 0; i < n; i++ {
-		nd := &node{}
-		nd.port = b.Attach(can.NodeID(i))
-		nd.layer = canlayer.New(nd.port)
-		fda := fd.NewFDA(nd.layer)
-		det, err := fd.NewDetector(s, nd.layer, fda, fdCfg, nil)
+		st, err := stack.New(s, []stack.Medium{medium}, can.NodeID(i), cfg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		msh, err := membership.New(s, nd.layer, det, mshCfg, nil)
-		if err != nil {
+		if err := st.EnableGroups(); err != nil {
 			t.Fatal(err)
 		}
-		nd.msh = msh
-		rel, err := edcan.NewRELCAN(s, nd.layer, edcan.RELCANConfig{Timeout: 2 * time.Millisecond, J: 2})
-		if err != nil {
-			t.Fatal(err)
-		}
-		nd.svc = New(rel, msh, can.NodeID(i))
-		nd.svc.OnChange(func(c Change) { nd.changes = append(nd.changes, c) })
+		nd := &node{st: st}
+		st.Groups.OnChange(func(c groups.Change) { nd.changes = append(nd.changes, c) })
 		r.nodes = append(r.nodes, nd)
 	}
 	view := can.RangeSet(0, can.NodeID(n))
 	for _, nd := range r.nodes {
-		nd.msh.Bootstrap(view)
+		nd.st.Bootstrap(view)
 	}
 	return r
 }
 
-const gCtrl = GroupID(7)
+const gCtrl = groups.GroupID(7)
 
 func TestGroupJoinVisibleEverywhere(t *testing.T) {
 	r := newRig(t, 4, nil)
 	r.sched.RunFor(10 * time.Millisecond)
-	r.nodes[1].svc.Join(gCtrl)
-	r.nodes[3].svc.Join(gCtrl)
+	r.nodes[1].st.Groups.Join(gCtrl)
+	r.nodes[3].st.Groups.Join(gCtrl)
 	r.sched.RunFor(20 * time.Millisecond)
 	want := can.MakeSet(1, 3)
 	for i, nd := range r.nodes {
-		if nd.svc.View(gCtrl) != want {
-			t.Fatalf("node %d group view = %v, want %v", i, nd.svc.View(gCtrl), want)
+		if nd.st.Groups.View(gCtrl) != want {
+			t.Fatalf("node %d group view = %v, want %v", i, nd.st.Groups.View(gCtrl), want)
 		}
 	}
 	if len(r.nodes[0].changes) != 2 {
@@ -90,14 +78,14 @@ func TestGroupJoinVisibleEverywhere(t *testing.T) {
 func TestGroupLeave(t *testing.T) {
 	r := newRig(t, 3, nil)
 	r.sched.RunFor(10 * time.Millisecond)
-	r.nodes[0].svc.Join(gCtrl)
-	r.nodes[1].svc.Join(gCtrl)
+	r.nodes[0].st.Groups.Join(gCtrl)
+	r.nodes[1].st.Groups.Join(gCtrl)
 	r.sched.RunFor(20 * time.Millisecond)
-	r.nodes[0].svc.Leave(gCtrl)
+	r.nodes[0].st.Groups.Leave(gCtrl)
 	r.sched.RunFor(20 * time.Millisecond)
 	for i, nd := range r.nodes {
-		if nd.svc.View(gCtrl) != can.MakeSet(1) {
-			t.Fatalf("node %d group view = %v", i, nd.svc.View(gCtrl))
+		if nd.st.Groups.View(gCtrl) != can.MakeSet(1) {
+			t.Fatalf("node %d group view = %v", i, nd.st.Groups.View(gCtrl))
 		}
 	}
 }
@@ -106,15 +94,15 @@ func TestSiteCrashPrunesGroupViews(t *testing.T) {
 	r := newRig(t, 4, nil)
 	r.sched.RunFor(10 * time.Millisecond)
 	for _, i := range []int{1, 2} {
-		r.nodes[i].svc.Join(gCtrl)
+		r.nodes[i].st.Groups.Join(gCtrl)
 	}
 	r.sched.RunFor(20 * time.Millisecond)
-	r.nodes[2].port.Crash()
+	r.nodes[2].st.Ports[0].Crash()
 	// Tb + Ttd detection + a cycle for the view update.
 	r.sched.RunFor(100 * time.Millisecond)
 	want := can.MakeSet(1)
 	for _, i := range []int{0, 1, 3} {
-		if got := r.nodes[i].svc.View(gCtrl); got != want {
+		if got := r.nodes[i].st.Groups.View(gCtrl); got != want {
 			t.Fatalf("node %d group view = %v, want %v (crashed site pruned)", i, got, want)
 		}
 	}
@@ -129,7 +117,7 @@ func TestGroupViewsAgreeUnderInconsistentAnnouncement(t *testing.T) {
 	})
 	r := newRig(t, 4, script)
 	r.sched.RunFor(10 * time.Millisecond)
-	r.nodes[1].svc.Join(gCtrl)
+	r.nodes[1].st.Groups.Join(gCtrl)
 	r.sched.RunFor(200 * time.Millisecond)
 	if !script.Exhausted() {
 		t.Fatalf("scenario did not fire: %s", script.PendingRules())
@@ -137,7 +125,7 @@ func TestGroupViewsAgreeUnderInconsistentAnnouncement(t *testing.T) {
 	// Node 1 (the announcer) crashed with the scenario; its site is
 	// expelled, so the group ends empty — *identically* everywhere.
 	for _, i := range []int{0, 2, 3} {
-		if got := r.nodes[i].svc.View(gCtrl); !got.Empty() {
+		if got := r.nodes[i].st.Groups.View(gCtrl); !got.Empty() {
 			t.Fatalf("node %d group view = %v, want empty (site expelled)", i, got)
 		}
 	}
@@ -146,15 +134,16 @@ func TestGroupViewsAgreeUnderInconsistentAnnouncement(t *testing.T) {
 func TestMultipleGroupsIndependent(t *testing.T) {
 	r := newRig(t, 3, nil)
 	r.sched.RunFor(10 * time.Millisecond)
-	r.nodes[0].svc.Join(GroupID(1))
-	r.nodes[1].svc.Join(GroupID(2))
+	r.nodes[0].st.Groups.Join(groups.GroupID(1))
+	r.nodes[1].st.Groups.Join(groups.GroupID(2))
 	r.sched.RunFor(20 * time.Millisecond)
 	for i, nd := range r.nodes {
-		if nd.svc.View(GroupID(1)) != can.MakeSet(0) || nd.svc.View(GroupID(2)) != can.MakeSet(1) {
-			t.Fatalf("node %d views: g1=%v g2=%v", i, nd.svc.View(GroupID(1)), nd.svc.View(GroupID(2)))
+		g1, g2 := nd.st.Groups.View(groups.GroupID(1)), nd.st.Groups.View(groups.GroupID(2))
+		if g1 != can.MakeSet(0) || g2 != can.MakeSet(1) {
+			t.Fatalf("node %d views: g1=%v g2=%v", i, g1, g2)
 		}
 	}
-	gs := r.nodes[0].svc.Groups()
+	gs := r.nodes[0].st.Groups.Groups()
 	if len(gs) != 2 {
 		t.Fatalf("groups = %v", gs)
 	}
@@ -163,12 +152,12 @@ func TestMultipleGroupsIndependent(t *testing.T) {
 func TestRejoinAfterSitePrune(t *testing.T) {
 	r := newRig(t, 3, nil)
 	r.sched.RunFor(10 * time.Millisecond)
-	r.nodes[1].svc.Join(gCtrl)
+	r.nodes[1].st.Groups.Join(gCtrl)
 	r.sched.RunFor(20 * time.Millisecond)
-	r.nodes[1].msh.Leave()
+	r.nodes[1].st.Leave()
 	r.sched.RunFor(150 * time.Millisecond)
 	for _, i := range []int{0, 2} {
-		if !r.nodes[i].svc.View(gCtrl).Empty() {
+		if !r.nodes[i].st.Groups.View(gCtrl).Empty() {
 			t.Fatalf("node %d still sees the withdrawn site in the group", i)
 		}
 	}

@@ -5,9 +5,7 @@ import (
 	"time"
 
 	"canely/internal/can"
-	"canely/internal/canlayer"
-	"canely/internal/core/fd"
-	"canely/internal/sim"
+	"canely/internal/core/proto"
 	"canely/internal/trace"
 )
 
@@ -53,20 +51,19 @@ type Change struct {
 	Left bool
 }
 
-// Protocol is the site membership protocol entity at one node. It
+// Protocol is the site membership protocol core at one node. It
 // consistently maintains Rf, the site membership view, across node crash
 // failures (folded in from the companion failure detection service) and
 // node join/leave events (agreed through the RHA micro-protocol).
+//
+// The core is sans-I/O: it consumes proto.Events and emits proto.Commands.
+// Interactions with the companion cores travel as command kinds — CmdFDStart
+// and CmdFDStop toward the failure detector, CmdRHARequest toward the RHA —
+// routed by the composite core (internal/core) at their position in the
+// command stream.
 type Protocol struct {
 	cfg   Config
-	sched *sim.Scheduler
-	layer *canlayer.Layer
-	det   *fd.Detector
-	rha   *RHA
-	tr    *trace.Trace
 	local can.NodeID
-
-	tid *sim.Timer
 
 	// Protocol data sets (Figure 9 line i01).
 	rf     can.NodeSet // site membership view
@@ -74,8 +71,6 @@ type Protocol struct {
 	rjPrev can.NodeSet // joiners carried from the previous cycle (footnote 10)
 	rl     can.NodeSet // nodes requesting withdrawal
 	fset   can.NodeSet // crash failures detected this cycle
-
-	onChange []func(Change)
 
 	// Cycles counts membership cycle completions (diagnostics).
 	Cycles int
@@ -92,43 +87,27 @@ type Protocol struct {
 	sawActivity bool
 }
 
-// New wires the membership protocol to the layer, the failure detection
-// service and a fresh RHA instance sharing its node sets.
-func New(sched *sim.Scheduler, layer *canlayer.Layer, det *fd.Detector, cfg Config, tr *trace.Trace) (*Protocol, error) {
+// New creates the membership protocol core for the given node.
+func New(local can.NodeID, cfg Config) (*Protocol, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Protocol{
-		cfg:   cfg,
-		sched: sched,
-		layer: layer,
-		det:   det,
-		tr:    tr,
-		local: layer.NodeID(),
+	if !local.Valid() {
+		return nil, fmt.Errorf("membership: invalid local node id %d", local)
 	}
-	var err error
-	p.rha, err = newRHA(sched, layer, p, cfg.RHA, tr)
-	if err != nil {
-		return nil, err
-	}
-	p.tid = sim.NewTimer(sched, p.onTimer)
-	layer.HandleRTRInd(p.onRTRInd)
-	layer.HandleDataNty(p.onDataNty)
-	det.Notify(p.onFDNty)
-	p.rha.NotifyInit(p.onRHAInit)
-	p.rha.NotifyEnd(p.onRHAEnd)
-	return p, nil
+	return &Protocol{cfg: cfg, local: local}, nil
 }
 
-// rhaEnv: the shared sets of Figure 7 line i04.
-func (p *Protocol) fullMembers() can.NodeSet { return p.rf }
-func (p *Protocol) joining() can.NodeSet     { return p.rj }
-func (p *Protocol) leaving() can.NodeSet     { return p.rl }
+// SharedSets: the sets of Figure 7 line i04 the RHA core reads live.
+func (p *Protocol) FullMembers() can.NodeSet { return p.rf }
 
-var _ rhaEnv = (*Protocol)(nil)
+// Joining returns Rj (see SharedSets).
+func (p *Protocol) Joining() can.NodeSet { return p.rj }
 
-// RHA exposes the companion micro-protocol (diagnostics and tests).
-func (p *Protocol) RHA() *RHA { return p.rha }
+// Leaving returns Rl (see SharedSets).
+func (p *Protocol) Leaving() can.NodeSet { return p.rl }
+
+var _ SharedSets = (*Protocol)(nil)
 
 // View returns Rf, the current site membership view.
 func (p *Protocol) View() can.NodeSet { return p.rf }
@@ -136,46 +115,81 @@ func (p *Protocol) View() can.NodeSet { return p.rf }
 // Member reports whether the local node is currently a full member.
 func (p *Protocol) Member() bool { return p.rf.Contains(p.local) }
 
-// OnChange registers an msh-can.nty consumer.
-func (p *Protocol) OnChange(fn func(Change)) { p.onChange = append(p.onChange, fn) }
+// Step consumes one event. It returns a fresh command slice (nil when the
+// event produced no action).
+func (p *Protocol) Step(ev proto.Event) []proto.Command {
+	switch ev.Kind {
+	case proto.EvBootstrap:
+		return p.bootstrap(ev.View)
+	case proto.EvJoin:
+		return p.join()
+	case proto.EvLeave:
+		return p.leave()
+	case proto.EvRTRInd:
+		p.onRTRInd(ev.MID)
+	case proto.EvDataNty:
+		p.onDataNty(ev.MID)
+	case proto.EvFDNty:
+		return p.onFDNty(ev.Node)
+	case proto.EvTimerFired:
+		if ev.Timer == proto.TimerMshCycle {
+			return p.cycle(true)
+		}
+	case proto.EvRHAInit:
+		// Resynchronize the membership cycle when an execution of the RHA
+		// micro-protocol starts (line s17, first disjunct).
+		if !p.rf.Contains(p.local) {
+			p.sawActivity = true
+		}
+		return p.cycle(false)
+	case proto.EvRHAEnd:
+		return p.onRHAEnd(ev.View)
+	}
+	return nil
+}
 
-// Bootstrap installs a pre-agreed initial view, starts the membership cycle
+// bootstrap installs a pre-agreed initial view, starts the membership cycle
 // and begins failure-detection surveillance of every member. The paper
 // describes steady-state operation; bootstrapping with a static initial
 // configuration is the standard way such systems come up (the alternative —
 // concurrent joins onto an empty bus — also works, via Join).
-func (p *Protocol) Bootstrap(view can.NodeSet) {
+func (p *Protocol) bootstrap(view can.NodeSet) []proto.Command {
 	if !view.Contains(p.local) {
 		panic(fmt.Sprintf("membership: bootstrap view %v omits local node %v", view, p.local))
 	}
 	p.rf = view
-	p.tid.Start(p.cfg.Tm)
+	out := []proto.Command{proto.SetTimer(proto.TimerMshCycle, p.cfg.Tm)}
 	for _, s := range view.IDs() {
-		p.det.Start(s)
+		out = append(out, proto.FDStart(s))
 	}
+	return out
 }
 
-// Join requests integration of the local node into the set of active sites
+// join requests integration of the local node into the set of active sites
 // (msh-can.req(JOIN), lines s00–s03).
-func (p *Protocol) Join() {
+func (p *Protocol) join() []proto.Command {
 	if p.rf.Contains(p.local) {
-		return
+		return nil
 	}
 	p.left = false
 	p.sawActivity = false
-	p.tid.Start(p.cfg.TjoinWait)
-	_ = p.layer.RTRReq(can.JoinSign(p.local))
-	p.tr.Emit(trace.KindJoinRequest, int(p.local), "join requested")
+	return []proto.Command{
+		proto.SetTimer(proto.TimerMshCycle, p.cfg.TjoinWait),
+		proto.SendRTR(can.JoinSign(p.local)),
+		proto.Trace(trace.KindJoinRequest, "join requested"),
+	}
 }
 
-// Leave requests withdrawal of the local node from the site membership
+// leave requests withdrawal of the local node from the site membership
 // view (msh-can.req(LEAVE), lines s07–s09).
-func (p *Protocol) Leave() {
+func (p *Protocol) leave() []proto.Command {
 	if !p.rf.Contains(p.local) {
-		return
+		return nil
 	}
-	_ = p.layer.RTRReq(can.LeaveSign(p.local))
-	p.tr.Emit(trace.KindLeaveRequest, int(p.local), "leave requested")
+	return []proto.Command{
+		proto.SendRTR(can.LeaveSign(p.local)),
+		proto.Trace(trace.KindLeaveRequest, "leave requested"),
+	}
 }
 
 // onRTRInd collects join/leave requests (lines s04–s06, s10–s12). Local
@@ -206,28 +220,19 @@ func (p *Protocol) onDataNty(mid can.MID) {
 // onFDNty folds a consistently-signalled node crash into the protocol
 // (lines s13–s16): the failure is accumulated for the cycle's view update
 // and a membership change is notified immediately.
-func (p *Protocol) onFDNty(r can.NodeID) {
-	p.fset = p.fset.Add(r)
-	p.changeNty(p.rf.Diff(p.fset), can.MakeSet(r))
-}
-
-// onRHAInit resynchronizes the membership cycle when an execution of the
-// RHA micro-protocol starts (line s17, first disjunct).
-func (p *Protocol) onRHAInit() {
-	if !p.rf.Contains(p.local) {
-		p.sawActivity = true
+func (p *Protocol) onFDNty(r can.NodeID) []proto.Command {
+	if !r.Valid() {
+		return nil
 	}
-	p.cycle(false)
+	p.fset = p.fset.Add(r)
+	return p.changeNty(p.rf.Diff(p.fset), can.MakeSet(r))
 }
 
-// onTimer handles expiry of the membership cycle timer — or, at a node
-// still joining, of the join wait timer (line s17, second disjunct).
-func (p *Protocol) onTimer() { p.cycle(true) }
-
-// cycle implements lines s17–s27.
-func (p *Protocol) cycle(timerExpired bool) {
+// cycle implements lines s17–s27; timerExpired distinguishes the cycle
+// timer disjunct of line s17 from the RHA-init disjunct.
+func (p *Protocol) cycle(timerExpired bool) []proto.Command {
 	if p.left {
-		return
+		return nil
 	}
 	if timerExpired && !p.rf.Contains(p.local) {
 		if p.sawActivity {
@@ -237,62 +242,66 @@ func (p *Protocol) cycle(timerExpired bool) {
 			// failure): retry the join rather than bootstrapping a
 			// spurious parallel view.
 			p.sawActivity = false
-			p.tid.Start(p.cfg.TjoinWait)
-			_ = p.layer.RTRReq(can.JoinSign(p.local))
-			p.tr.Emit(trace.KindJoinRequest, int(p.local), "join retried")
-			return
+			return []proto.Command{
+				proto.SetTimer(proto.TimerMshCycle, p.cfg.TjoinWait),
+				proto.SendRTR(can.JoinSign(p.local)),
+				proto.Trace(trace.KindJoinRequest, "join retried"),
+			}
 		}
 		// The join wait elapsed with no full member active: the joiners
 		// bootstrap the view among themselves (lines s18–s20).
 		p.rf = p.rj
 	}
-	p.tid.Start(p.cfg.Tm)
+	out := []proto.Command{proto.SetTimer(proto.TimerMshCycle, p.cfg.Tm)}
 	p.Cycles++
 	if !p.rj.Empty() || !p.rl.Empty() || p.cfg.RHAEveryCycle {
-		p.rha.Request()
+		out = append(out, proto.RHARequest())
 	} else {
-		p.viewProc(p.rf)
+		out = append(out, p.viewProc(p.rf)...)
 	}
+	return out
 }
 
 // onRHAEnd applies the agreed reception history vector (lines s28–s34).
-func (p *Protocol) onRHAEnd(rhv can.NodeSet) {
+func (p *Protocol) onRHAEnd(rhv can.NodeSet) []proto.Command {
 	wasMember := p.rf.Contains(p.local)
-	p.viewProc(rhv)
+	out := p.viewProc(rhv)
 	joinersIn := !p.rj.Intersect(p.rf).Empty()
 	leaversOut := !p.rl.Diff(p.rf).Empty()
 	if joinersIn || leaversOut {
-		p.changeNty(p.rf, can.EmptySet)
+		out = append(out, p.changeNty(p.rf, can.EmptySet)...)
 	}
-	p.dataProc(wasMember)
+	return append(out, p.dataProc(wasMember)...)
 }
 
 // viewProc implements msh-view-proc (lines a00–a02): the new view is the
 // agreed set minus the failures detected during the cycle.
-func (p *Protocol) viewProc(rw can.NodeSet) {
+func (p *Protocol) viewProc(rw can.NodeSet) []proto.Command {
 	old := p.rf
 	p.rf = rw.Diff(p.fset)
 	p.fset = can.EmptySet
 	if p.rf != old {
-		p.tr.Emit(trace.KindViewChange, int(p.local), "view %v -> %v", old, p.rf)
+		return []proto.Command{proto.Tracef(trace.KindViewChange, "view %v -> %v", old, p.rf)}
 	}
+	return nil
 }
 
 // dataProc implements msh-data-proc (lines a03–a09): start failure
 // detection for integrated joiners, expire stale join requests after two
 // cycles (footnote 10), stop surveillance of withdrawn nodes.
-func (p *Protocol) dataProc(wasMember bool) {
+func (p *Protocol) dataProc(wasMember bool) []proto.Command {
+	var out []proto.Command
 	justJoined := p.rj.Intersect(p.rf)
 	if !wasMember && p.rf.Contains(p.local) {
 		// The local node just became a member: begin surveillance of the
 		// entire view (the paper omits this detail; existing members
 		// already monitor each other, the newcomer must catch up).
 		for _, s := range p.rf.IDs() {
-			p.det.Start(s)
+			out = append(out, proto.FDStart(s))
 		}
 	} else {
 		for _, s := range justJoined.IDs() {
-			p.det.Start(s)
+			out = append(out, proto.FDStart(s))
 		}
 	}
 	// A join request that failed to integrate (inconsistent reception of
@@ -302,30 +311,28 @@ func (p *Protocol) dataProc(wasMember bool) {
 	p.rjPrev = p.rj
 	gone := p.rl.Diff(p.rf)
 	for _, s := range gone.IDs() {
-		p.det.Stop(s)
+		out = append(out, proto.FDStop(s))
 	}
 	p.rl = p.rl.Intersect(p.rf)
+	return out
 }
 
 // changeNty implements msh-chg-nty (lines a10–a18): full members receive
 // the change; a node whose withdrawal completed receives its final
 // notification and stops cycling.
-func (p *Protocol) changeNty(rw, fw can.NodeSet) {
+func (p *Protocol) changeNty(rw, fw can.NodeSet) []proto.Command {
 	switch {
 	case p.rf.Contains(p.local):
-		p.emit(Change{Active: rw, Failed: fw})
+		return []proto.Command{proto.NotifyView(rw, fw, false)}
 	case p.rl.Contains(p.local):
-		p.tid.Stop()
 		p.left = true
-		// The node is out: stop signalling activity (the local ELS
-		// generator) and deliver the final notification.
-		p.det.Stop(p.local)
-		p.emit(Change{Active: p.rf, Failed: can.MakeSet(p.local), Left: true})
+		// The node is out: stop cycling, stop signalling activity (the
+		// local ELS generator) and deliver the final notification.
+		return []proto.Command{
+			proto.CancelTimer(proto.TimerMshCycle),
+			proto.FDStop(p.local),
+			proto.NotifyView(p.rf, can.MakeSet(p.local), true),
+		}
 	}
-}
-
-func (p *Protocol) emit(c Change) {
-	for _, fn := range p.onChange {
-		fn(c)
-	}
+	return nil
 }

@@ -1,64 +1,58 @@
-package membership
+package membership_test
 
 import (
 	"testing"
 	"testing/quick"
 	"time"
 
-	"canely/internal/bus"
 	"canely/internal/can"
-	"canely/internal/canlayer"
 	"canely/internal/core/fd"
+	"canely/internal/core/membership"
 	"canely/internal/fault"
 	"canely/internal/sim"
+	"canely/internal/stack"
 )
 
 type node struct {
-	port    *bus.Port
-	layer   *canlayer.Layer
-	fda     *fd.FDA
-	det     *fd.Detector
-	msh     *Protocol
-	changes []Change
+	st      *stack.Stack
+	changes []membership.Change
 }
 
 type rig struct {
-	sched *sim.Scheduler
-	bus   *bus.Bus
-	nodes []*node
-	cfg   Config
+	sched  *sim.Scheduler
+	medium stack.Medium
+	nodes  []*node
+	cfg    membership.Config
 }
 
-func testConfig() Config {
-	return Config{
+func testConfig() membership.Config {
+	return membership.Config{
 		Tm:        50 * time.Millisecond,
 		TjoinWait: 120 * time.Millisecond,
-		RHA:       RHAConfig{Trha: 5 * time.Millisecond, J: 2},
+		RHA:       membership.RHAConfig{Trha: 5 * time.Millisecond, J: 2},
 	}
 }
 
 func newRig(t *testing.T, n int, inj fault.Injector) *rig {
+	return newRigCfg(t, n, inj, testConfig())
+}
+
+func newRigCfg(t *testing.T, n int, inj fault.Injector, cfg membership.Config) *rig {
 	t.Helper()
 	s := sim.NewScheduler()
-	b := bus.New(s, bus.Config{Injector: inj})
-	r := &rig{sched: s, bus: b, cfg: testConfig()}
-	fdCfg := fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}
+	r := &rig{sched: s, medium: stack.NewMedium(s, stack.MediumConfig{Injector: inj}), cfg: cfg}
+	scfg := stack.Config{
+		FD:         fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond},
+		Membership: cfg,
+		J:          cfg.RHA.J,
+	}
 	for i := 0; i < n; i++ {
-		nd := &node{}
-		nd.port = b.Attach(can.NodeID(i))
-		nd.layer = canlayer.New(nd.port)
-		nd.fda = fd.NewFDA(nd.layer)
-		det, err := fd.NewDetector(s, nd.layer, nd.fda, fdCfg, nil)
+		st, err := stack.New(s, []stack.Medium{r.medium}, can.NodeID(i), scfg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		nd.det = det
-		msh, err := New(s, nd.layer, det, r.cfg, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		nd.msh = msh
-		msh.OnChange(func(c Change) { nd.changes = append(nd.changes, c) })
+		nd := &node{st: st}
+		st.OnChange(func(c membership.Change) { nd.changes = append(nd.changes, c) })
 		r.nodes = append(r.nodes, nd)
 	}
 	return r
@@ -66,8 +60,8 @@ func newRig(t *testing.T, n int, inj fault.Injector) *rig {
 
 func (r *rig) bootstrap(view can.NodeSet) {
 	for _, nd := range r.nodes {
-		if view.Contains(nd.port.ID()) {
-			nd.msh.Bootstrap(view)
+		if view.Contains(nd.st.ID()) {
+			nd.st.Bootstrap(view)
 		}
 	}
 }
@@ -77,11 +71,11 @@ func (r *rig) run(d time.Duration) { r.sched.RunFor(d) }
 func (r *rig) requireViews(t *testing.T, want can.NodeSet) {
 	t.Helper()
 	for i, nd := range r.nodes {
-		if !nd.port.Alive() || !nd.msh.Member() {
+		if !nd.st.Alive() || !nd.st.Msh.Member() {
 			continue
 		}
-		if nd.msh.View() != want {
-			t.Fatalf("node %d view = %v, want %v", i, nd.msh.View(), want)
+		if nd.st.Msh.View() != want {
+			t.Fatalf("node %d view = %v, want %v", i, nd.st.Msh.View(), want)
 		}
 	}
 }
@@ -92,7 +86,7 @@ func TestBootstrapViewInstalled(t *testing.T) {
 	r.run(200 * time.Millisecond)
 	r.requireViews(t, can.MakeSet(0, 1, 2))
 	for i, nd := range r.nodes {
-		if nd.msh.Cycles == 0 {
+		if nd.st.Msh.Cycles == 0 {
 			t.Fatalf("node %d never cycled", i)
 		}
 		if len(nd.changes) != 0 {
@@ -108,17 +102,17 @@ func TestBootstrapRequiresLocal(t *testing.T) {
 			t.Fatal("bootstrap without local node should panic")
 		}
 	}()
-	r.nodes[0].msh.Bootstrap(can.MakeSet(1))
+	r.nodes[0].st.Bootstrap(can.MakeSet(1))
 }
 
 func TestJoinIntegration(t *testing.T) {
 	r := newRig(t, 4, nil)
 	r.bootstrap(can.MakeSet(0, 1, 2))
 	r.run(30 * time.Millisecond)
-	r.nodes[3].msh.Join()
+	r.nodes[3].st.Join()
 	r.run(2*r.cfg.Tm + 20*time.Millisecond)
 	r.requireViews(t, can.MakeSet(0, 1, 2, 3))
-	if !r.nodes[3].msh.Member() {
+	if !r.nodes[3].st.Msh.Member() {
 		t.Fatal("joiner not integrated")
 	}
 	// Every member (incl. the joiner) received exactly one join change.
@@ -133,7 +127,7 @@ func TestJoinIdempotentWhenMember(t *testing.T) {
 	r := newRig(t, 2, nil)
 	r.bootstrap(can.MakeSet(0, 1))
 	r.run(10 * time.Millisecond)
-	r.nodes[0].msh.Join() // already a member: no-op
+	r.nodes[0].st.Join() // already a member: no-op
 	r.run(3 * r.cfg.Tm)
 	for _, nd := range r.nodes {
 		if len(nd.changes) != 0 {
@@ -146,14 +140,14 @@ func TestLeaveWithdrawal(t *testing.T) {
 	r := newRig(t, 3, nil)
 	r.bootstrap(can.MakeSet(0, 1, 2))
 	r.run(20 * time.Millisecond)
-	r.nodes[2].msh.Leave()
+	r.nodes[2].st.Leave()
 	r.run(2*r.cfg.Tm + 20*time.Millisecond)
 	r.requireViews(t, can.MakeSet(0, 1))
 	last := r.nodes[2].changes[len(r.nodes[2].changes)-1]
 	if !last.Left {
 		t.Fatalf("leaver's final change = %+v, want Left", last)
 	}
-	if r.nodes[2].msh.Member() {
+	if r.nodes[2].st.Msh.Member() {
 		t.Fatal("leaver still a member")
 	}
 }
@@ -161,10 +155,10 @@ func TestLeaveWithdrawal(t *testing.T) {
 func TestLeaveOfNonMemberIgnored(t *testing.T) {
 	r := newRig(t, 2, nil)
 	r.bootstrap(can.MakeSet(0))
-	r.nodes[1].msh.Leave()
+	r.nodes[1].st.Leave()
 	r.run(3 * r.cfg.Tm)
-	if r.nodes[0].msh.View() != can.MakeSet(0) {
-		t.Fatalf("view = %v", r.nodes[0].msh.View())
+	if r.nodes[0].st.Msh.View() != can.MakeSet(0) {
+		t.Fatalf("view = %v", r.nodes[0].st.Msh.View())
 	}
 }
 
@@ -172,7 +166,7 @@ func TestFailureFoldedIntoView(t *testing.T) {
 	r := newRig(t, 3, nil)
 	r.bootstrap(can.MakeSet(0, 1, 2))
 	r.run(30 * time.Millisecond)
-	r.nodes[1].port.Crash()
+	r.nodes[1].st.Ports[0].Crash()
 	r.run(200 * time.Millisecond)
 	r.requireViews(t, can.MakeSet(0, 2))
 	// Immediate failure notification carried (view-F, {failed}).
@@ -194,9 +188,9 @@ func TestRHASkippedWithoutPendingRequests(t *testing.T) {
 	r.bootstrap(can.MakeSet(0, 1, 2))
 	r.run(500 * time.Millisecond)
 	for i, nd := range r.nodes {
-		if nd.msh.RHA().Executions != 0 {
+		if nd.st.RHA.Executions != 0 {
 			t.Fatalf("node %d ran RHA %d times with no pending join/leave",
-				i, nd.msh.RHA().Executions)
+				i, nd.st.RHA.Executions)
 		}
 	}
 }
@@ -213,7 +207,7 @@ func TestRHAConvergesOnInconsistentJoinDelivery(t *testing.T) {
 	r := newRig(t, 4, script)
 	r.bootstrap(can.MakeSet(0, 1, 2))
 	r.run(30 * time.Millisecond)
-	r.nodes[3].msh.Join()
+	r.nodes[3].st.Join()
 	r.run(4*r.cfg.Tm + 40*time.Millisecond)
 	if !script.Exhausted() {
 		t.Fatalf("scenario did not trigger: %s", script.PendingRules())
@@ -222,7 +216,7 @@ func TestRHAConvergesOnInconsistentJoinDelivery(t *testing.T) {
 	// the CAN retry of its join (the retry-join path).
 	views := map[can.NodeSet]int{}
 	for i := 0; i < 3; i++ {
-		views[r.nodes[i].msh.View()]++
+		views[r.nodes[i].st.Msh.View()]++
 	}
 	if len(views) != 1 {
 		t.Fatalf("members disagree: %v", views)
@@ -241,10 +235,10 @@ func TestJoinRetryAfterMissedIntegration(t *testing.T) {
 	r := newRig(t, 4, script)
 	r.bootstrap(can.MakeSet(0, 1, 2))
 	r.run(30 * time.Millisecond)
-	r.nodes[3].msh.Join()
+	r.nodes[3].st.Join()
 	r.run(2 * r.cfg.TjoinWait)
-	if !r.nodes[3].msh.Member() {
-		t.Fatalf("joiner never integrated; view=%v", r.nodes[3].msh.View())
+	if !r.nodes[3].st.Msh.Member() {
+		t.Fatalf("joiner never integrated; view=%v", r.nodes[3].st.Msh.View())
 	}
 	r.requireViews(t, can.MakeSet(0, 1, 2, 3))
 }
@@ -252,12 +246,12 @@ func TestJoinRetryAfterMissedIntegration(t *testing.T) {
 func TestColdStartBootstrap(t *testing.T) {
 	r := newRig(t, 3, nil)
 	for _, nd := range r.nodes {
-		nd.msh.Join()
+		nd.st.Join()
 	}
 	r.run(r.cfg.TjoinWait + 3*r.cfg.Tm)
 	r.requireViews(t, can.MakeSet(0, 1, 2))
 	for i, nd := range r.nodes {
-		if !nd.msh.Member() {
+		if !nd.st.Msh.Member() {
 			t.Fatalf("node %d not integrated on cold start", i)
 		}
 	}
@@ -265,11 +259,11 @@ func TestColdStartBootstrap(t *testing.T) {
 
 func TestStaggeredColdStart(t *testing.T) {
 	r := newRig(t, 3, nil)
-	r.nodes[0].msh.Join()
+	r.nodes[0].st.Join()
 	r.sched.RunFor(5 * time.Millisecond)
-	r.nodes[1].msh.Join()
+	r.nodes[1].st.Join()
 	r.sched.RunFor(5 * time.Millisecond)
-	r.nodes[2].msh.Join()
+	r.nodes[2].st.Join()
 	r.run(r.cfg.TjoinWait + 4*r.cfg.Tm)
 	r.requireViews(t, can.MakeSet(0, 1, 2))
 }
@@ -277,10 +271,10 @@ func TestStaggeredColdStart(t *testing.T) {
 func TestLateJoinerAfterColdStart(t *testing.T) {
 	r := newRig(t, 4, nil)
 	for i := 0; i < 3; i++ {
-		r.nodes[i].msh.Join()
+		r.nodes[i].st.Join()
 	}
 	r.run(r.cfg.TjoinWait + 3*r.cfg.Tm)
-	r.nodes[3].msh.Join()
+	r.nodes[3].st.Join()
 	r.run(2*r.cfg.Tm + 20*time.Millisecond)
 	r.requireViews(t, can.MakeSet(0, 1, 2, 3))
 }
@@ -291,18 +285,18 @@ func TestStaleJoinRequestExpiresAfterTwoCycles(t *testing.T) {
 	r := newRig(t, 3, nil)
 	r.bootstrap(can.MakeSet(0, 1))
 	r.run(20 * time.Millisecond)
-	r.nodes[2].msh.Join()
+	r.nodes[2].st.Join()
 	r.run(time.Millisecond)
-	r.nodes[2].port.Crash()
+	r.nodes[2].st.Ports[0].Crash()
 	r.run(5 * r.cfg.Tm)
 	// The dead joiner integrated briefly (its JOIN was agreed) or not at
 	// all; either way the members must converge on {0,1} once its silence
 	// is detected, and Rj must be empty so RHA stops running.
 	r.requireViews(t, can.MakeSet(0, 1))
-	beforeExecs := []int{r.nodes[0].msh.RHA().Executions, r.nodes[1].msh.RHA().Executions}
+	beforeExecs := []int{r.nodes[0].st.RHA.Executions, r.nodes[1].st.RHA.Executions}
 	r.run(4 * r.cfg.Tm)
 	for i := 0; i < 2; i++ {
-		if r.nodes[i].msh.RHA().Executions != beforeExecs[i] {
+		if r.nodes[i].st.RHA.Executions != beforeExecs[i] {
 			t.Fatalf("node %d still running RHA for a stale join", i)
 		}
 	}
@@ -312,7 +306,7 @@ func TestChangeNotificationOnlyWhenCompositionChanges(t *testing.T) {
 	r := newRig(t, 3, nil)
 	r.bootstrap(can.MakeSet(0, 1, 2))
 	r.run(20 * time.Millisecond)
-	r.nodes[2].msh.Leave()
+	r.nodes[2].st.Leave()
 	r.run(6 * r.cfg.Tm)
 	for _, i := range []int{0, 1} {
 		if len(r.nodes[i].changes) != 1 {
@@ -325,8 +319,8 @@ func TestConcurrentLeaves(t *testing.T) {
 	r := newRig(t, 4, nil)
 	r.bootstrap(can.MakeSet(0, 1, 2, 3))
 	r.run(20 * time.Millisecond)
-	r.nodes[2].msh.Leave()
-	r.nodes[3].msh.Leave()
+	r.nodes[2].st.Leave()
+	r.nodes[3].st.Leave()
 	r.run(2*r.cfg.Tm + 20*time.Millisecond)
 	r.requireViews(t, can.MakeSet(0, 1))
 }
@@ -338,9 +332,9 @@ func TestMassChurn(t *testing.T) {
 	r.bootstrap(can.MakeSet(0, 1, 2, 3))
 	r.run(20 * time.Millisecond)
 	for i := 4; i < 8; i++ {
-		r.nodes[i].msh.Join()
+		r.nodes[i].st.Join()
 	}
-	r.nodes[0].msh.Leave()
+	r.nodes[0].st.Leave()
 	r.run(2*r.cfg.Tm + 40*time.Millisecond)
 	r.requireViews(t, can.MakeSet(1, 2, 3, 4, 5, 6, 7))
 }
@@ -371,14 +365,12 @@ func TestConfigValidation(t *testing.T) {
 func TestRHADuplicateSuppressionBound(t *testing.T) {
 	// With J=0 the RHA must still converge — the duplicate-suppression
 	// abort is an optimization, not a correctness requirement.
-	r := newRig(t, 3, nil)
-	for i := range r.nodes {
-		r.nodes[i].msh.cfg.RHA.J = 0
-		r.nodes[i].msh.rha.cfg.J = 0
-	}
+	cfg := testConfig()
+	cfg.RHA.J = 0
+	r := newRigCfg(t, 3, nil, cfg)
 	r.bootstrap(can.MakeSet(0, 1))
 	r.run(20 * time.Millisecond)
-	r.nodes[2].msh.Join()
+	r.nodes[2].st.Join()
 	r.run(2*r.cfg.Tm + 20*time.Millisecond)
 	r.requireViews(t, can.MakeSet(0, 1, 2))
 }
@@ -440,13 +432,13 @@ func TestRHAStragglerRHVTriggersBenignReexecution(t *testing.T) {
 	r.run(20 * time.Millisecond)
 	// Inject a synthetic RHV broadcast from node 0 outside any execution.
 	rhv := can.MakeSet(0, 1, 2)
-	if err := r.nodes[0].layer.DataReq(can.RHASign(rhv.Count(), 0), rhv.Bytes()); err != nil {
+	if err := r.nodes[0].st.Layer.DataReq(can.RHASign(rhv.Count(), 0), rhv.Bytes()); err != nil {
 		t.Fatal(err)
 	}
 	r.run(3 * r.cfg.Tm)
 	r.requireViews(t, can.MakeSet(0, 1, 2))
 	for i, nd := range r.nodes {
-		if nd.msh.RHA().Executions == 0 {
+		if nd.st.RHA.Executions == 0 {
 			t.Fatalf("node %d never executed RHA for the straggler", i)
 		}
 	}
@@ -459,13 +451,13 @@ func TestRHANonMemberAdoptsReceivedVector(t *testing.T) {
 	r.bootstrap(can.MakeSet(0, 1, 2)) // node 3 not bootstrapped, not joined
 	r.run(20 * time.Millisecond)
 	// Members run an RHA (triggered by a join of node 3).
-	r.nodes[3].msh.Join()
+	r.nodes[3].st.Join()
 	r.run(2*r.cfg.Tm + 20*time.Millisecond)
-	if !r.nodes[3].msh.Member() {
-		t.Fatalf("non-member never integrated: view=%v", r.nodes[3].msh.View())
+	if !r.nodes[3].st.Msh.Member() {
+		t.Fatalf("non-member never integrated: view=%v", r.nodes[3].st.Msh.View())
 	}
-	if r.nodes[3].msh.View() != can.MakeSet(0, 1, 2, 3) {
-		t.Fatalf("adopted view = %v", r.nodes[3].msh.View())
+	if r.nodes[3].st.Msh.View() != can.MakeSet(0, 1, 2, 3) {
+		t.Fatalf("adopted view = %v", r.nodes[3].st.Msh.View())
 	}
 }
 
@@ -475,11 +467,11 @@ func TestMembershipLeaveDuringJoinCycle(t *testing.T) {
 	r := newRig(t, 4, nil)
 	r.bootstrap(can.MakeSet(0, 1, 2))
 	r.run(20 * time.Millisecond)
-	r.nodes[3].msh.Join()
-	r.nodes[1].msh.Leave()
+	r.nodes[3].st.Join()
+	r.nodes[1].st.Leave()
 	r.run(2*r.cfg.Tm + 20*time.Millisecond)
 	r.requireViews(t, can.MakeSet(0, 2, 3))
-	execs := r.nodes[0].msh.RHA().Executions
+	execs := r.nodes[0].st.RHA.Executions
 	if execs == 0 || execs > 2 {
 		t.Fatalf("RHA executions = %d, want 1-2 for a combined cycle", execs)
 	}

@@ -1,6 +1,12 @@
 // Package membership implements the site membership half of the CANELy
 // protocol suite: the Reception History Agreement (RHA) micro-protocol of
 // Figure 7 and the site membership protocol of Figure 9.
+//
+// Both entities are sans-I/O state machines: they consume proto.Events and
+// emit proto.Commands, and hold no scheduler, layer or trace handles. The
+// runtime binding (internal/stack) executes the commands; the composite
+// core (internal/core) routes the inter-core kinds (CmdRHARequest,
+// CmdRHAInit, CmdRHAEnd, CmdFDStart, CmdFDStop, CmdFDNty).
 package membership
 
 import (
@@ -8,8 +14,7 @@ import (
 	"time"
 
 	"canely/internal/can"
-	"canely/internal/canlayer"
-	"canely/internal/sim"
+	"canely/internal/core/proto"
 	"canely/internal/trace"
 )
 
@@ -37,120 +42,111 @@ func (c RHAConfig) Validate() error {
 	return nil
 }
 
-// rhaEnv is what RHA shares with the site membership protocol (Figure 7,
-// line i04: the full-member, joining and leaving node sets).
-type rhaEnv interface {
-	fullMembers() can.NodeSet // Rf
-	joining() can.NodeSet     // Rj
-	leaving() can.NodeSet     // Rl
+// SharedSets is what RHA shares with the site membership protocol
+// (Figure 7, line i04: the full-member, joining and leaving node sets).
+// The RHA core reads them live — the sets evolve between executions and a
+// snapshot would go stale.
+type SharedSets interface {
+	FullMembers() can.NodeSet // Rf
+	Joining() can.NodeSet     // Rj
+	Leaving() can.NodeSet     // Rl
 }
 
-// RHA is the reception history agreement protocol entity at one node. Each
+// RHA is the reception history agreement protocol core at one node. Each
 // member proposes a reception history vector (RHV); executions converge, by
 // pairwise intersection of circulating vectors, on a value delivered
 // identically at all correct nodes within Trha.
 type RHA struct {
 	cfg   RHAConfig
-	sched *sim.Scheduler
-	layer *canlayer.Layer
-	env   rhaEnv
-	tr    *trace.Trace
+	env   SharedSets
 	local can.NodeID
 
-	tid     *sim.Timer
 	running bool
 	rhv     can.NodeSet
 	ndup    map[can.NodeSet]int
 	pending can.MID
 	hasPend bool
 
-	onInit []func()
-	onEnd  []func(rhv can.NodeSet)
-
 	// Executions counts completed protocol runs (diagnostics).
 	Executions int
 }
 
-// newRHA wires the protocol entity; package-internal because RHA shares
-// state with the membership protocol that creates it.
-func newRHA(sched *sim.Scheduler, layer *canlayer.Layer, env rhaEnv, cfg RHAConfig, tr *trace.Trace) (*RHA, error) {
+// NewRHA creates the protocol core. The env is typically the membership
+// Protocol of the same node (which implements SharedSets).
+func NewRHA(local can.NodeID, cfg RHAConfig, env SharedSets) (*RHA, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := &RHA{
-		cfg:   cfg,
-		sched: sched,
-		layer: layer,
-		env:   env,
-		tr:    tr,
-		local: layer.NodeID(),
-		ndup:  make(map[can.NodeSet]int),
+	if !local.Valid() {
+		return nil, fmt.Errorf("membership: invalid local node id %d", local)
 	}
-	r.tid = sim.NewTimer(sched, r.expire)
-	layer.HandleDataInd(r.onDataInd)
-	return r, nil
+	return &RHA{cfg: cfg, env: env, local: local, ndup: make(map[can.NodeSet]int)}, nil
 }
-
-// NotifyInit registers an rha-can.nty(INIT) consumer: protocol execution
-// has started (the membership protocol resynchronizes its cycle timer).
-func (r *RHA) NotifyInit(fn func()) { r.onInit = append(r.onInit, fn) }
-
-// NotifyEnd registers an rha-can.nty(END, RHV) consumer: protocol execution
-// finished with the agreed vector.
-func (r *RHA) NotifyEnd(fn func(rhv can.NodeSet)) { r.onEnd = append(r.onEnd, fn) }
 
 // Running reports whether an execution is in progress.
 func (r *RHA) Running() bool { return r.running }
 
-// Request starts an execution (rha-can.req, Figure 7 lines s00–s04). Only
+// Step consumes one event. It returns a fresh command slice (nil when the
+// event produced no action).
+func (r *RHA) Step(ev proto.Event) []proto.Command {
+	switch ev.Kind {
+	case proto.EvRHARequest:
+		return r.request()
+	case proto.EvDataInd:
+		return r.onDataInd(ev.MID, ev.Payload())
+	case proto.EvTimerFired:
+		if ev.Timer == proto.TimerRHATerm {
+			return r.expire()
+		}
+	}
+	return nil
+}
+
+// request starts an execution (rha-can.req, Figure 7 lines s00–s04). Only
 // full members may start the protocol in isolation; joining nodes
 // participate once they receive an RHV signal. Requests during a running
 // execution are absorbed.
-func (r *RHA) Request() {
-	if !r.env.fullMembers().Contains(r.local) {
-		return
+func (r *RHA) request() []proto.Command {
+	if !r.env.FullMembers().Contains(r.local) {
+		return nil
 	}
 	if r.running {
-		return
+		return nil
 	}
-	r.initSend(can.FullSet)
+	return r.initSend(can.FullSet)
 }
 
 // initSend implements rha-init-send (lines a00–a09): establish the initial
-// vector, broadcast it, arm the termination alarm and notify INIT upward.
-func (r *RHA) initSend(rw can.NodeSet) {
+// vector, arm the termination alarm, broadcast and notify INIT upward.
+func (r *RHA) initSend(rw can.NodeSet) []proto.Command {
 	r.running = true
-	r.tid.Start(r.cfg.Trha)
-	if r.env.fullMembers().Contains(r.local) {
+	out := []proto.Command{proto.SetTimer(proto.TimerRHATerm, r.cfg.Trha)}
+	if r.env.FullMembers().Contains(r.local) {
 		// Full-member initial vector: ((Rf ∪ Rj) − Rl) ∩ Rw.
-		r.rhv = r.env.fullMembers().Union(r.env.joining()).Diff(r.env.leaving()).Intersect(rw)
+		r.rhv = r.env.FullMembers().Union(r.env.Joining()).Diff(r.env.Leaving()).Intersect(rw)
 	} else {
 		// Nodes in a joining process have no valid view; they adopt the
 		// received vector (line a05).
 		r.rhv = rw
 	}
-	r.tr.Emit(trace.KindRHAStart, int(r.local), "rhv=%v", r.rhv)
-	r.sendRHV()
-	for _, fn := range r.onInit {
-		fn()
-	}
+	out = append(out, proto.Tracef(trace.KindRHAStart, "rhv=%v", r.rhv))
+	out = append(out, r.sendRHV())
+	return append(out, proto.RHAInit())
 }
 
 // sendRHV broadcasts the current vector under mid {RHA, #RHV, local}.
-func (r *RHA) sendRHV() {
+func (r *RHA) sendRHV() proto.Command {
 	mid := can.RHASign(r.rhv.Count(), r.local)
-	// A request failure means the local controller died; the execution
-	// will still terminate locally, and the node is about to be detected.
-	_ = r.layer.DataReq(mid, r.rhv.Bytes())
 	r.pending = mid
 	r.hasPend = true
+	return proto.SendData(mid, r.rhv.Bytes())
 }
 
 // onDataInd handles RHV signal arrivals (lines r00–r13), own transmissions
 // included (they bump the duplicate counter like any other copy).
-func (r *RHA) onDataInd(mid can.MID, data []byte) {
+func (r *RHA) onDataInd(mid can.MID, data []byte) []proto.Command {
 	if mid.Type != can.TypeRHA {
-		return
+		return nil
 	}
 	remote, err := can.SetFromBytes(data)
 	if err != nil {
@@ -161,45 +157,45 @@ func (r *RHA) onDataInd(mid can.MID, data []byte) {
 	r.ndup[remote]++
 	switch {
 	case !r.running:
-		r.initSend(remote)
+		return r.initSend(remote)
 	case r.rhv.Intersect(remote) != r.rhv:
 		// The received vector excludes nodes we still carry: abort our
 		// outstanding proposal, adopt the intersection, rebroadcast
 		// (lines r04–r07).
+		var out []proto.Command
 		if r.hasPend {
-			r.layer.AbortReq(r.pending)
+			out = append(out, proto.Abort(r.pending))
 		}
 		r.rhv = r.rhv.Intersect(remote)
-		r.sendRHV()
+		return append(out, r.sendRHV())
 	case r.rhv == remote && r.ndup[remote] > r.cfg.J:
 		// More than J copies of our exact value are circulating: even J
 		// inconsistent omissions cannot have hidden it from any correct
 		// node, so our own (re)transmission is redundant (line r08).
 		if r.hasPend {
-			r.layer.AbortReq(r.pending)
 			r.hasPend = false
+			return []proto.Command{proto.Abort(r.pending)}
 		}
 	}
+	return nil
 }
 
 // expire ends the execution (lines r14–r18): deliver END with the agreed
 // vector and reset protocol state.
-func (r *RHA) expire() {
+func (r *RHA) expire() []proto.Command {
 	rhv := r.rhv
-	r.tr.Emit(trace.KindRHAEnd, int(r.local), "rhv=%v", rhv)
+	out := []proto.Command{proto.Tracef(trace.KindRHAEnd, "rhv=%v", rhv)}
 	// Quench any leftover transmit request: with an adequate Trha it has
 	// long been transmitted and this is a no-op; under pathological
 	// overload it prevents a stale vector from triggering a spurious
 	// post-termination execution at every node.
 	if r.hasPend {
-		r.layer.AbortReq(r.pending)
+		out = append(out, proto.Abort(r.pending))
 		r.hasPend = false
 	}
 	r.running = false
 	r.rhv = can.EmptySet
 	r.ndup = make(map[can.NodeSet]int)
 	r.Executions++
-	for _, fn := range r.onEnd {
-		fn(rhv)
-	}
+	return append(out, proto.RHAEnd(rhv))
 }

@@ -1,0 +1,129 @@
+// Package core composes the four sans-I/O protocol cores of one CANELy
+// node — failure detection agreement (FDA), node failure detection, the
+// reception history agreement (RHA) and site membership — into a single
+// Node with one Step(Event) []Command entry point.
+//
+// The sub-cores talk to each other through inter-core command kinds
+// (CmdFDARequest, CmdFDANty, CmdFDNty, CmdRHARequest, ...). Node routes
+// each such command depth-first at its position in the stream: the target
+// core steps on the matching event, the routed expansion is spliced in
+// BEFORE the marker command itself, and the marker stays in the stream so
+// the runtime binding can surface it as a boundary notification hook. This
+// reproduces exactly the effect ordering of the layered implementation,
+// where inter-entity notifications were synchronous upcalls running before
+// the caller's next statement and before any boundary observer.
+//
+// Node is still pure: Step touches no scheduler, bus or trace machinery,
+// so the composite can be re-executed from a recorded event log
+// (internal/replay) or driven through permuted event orderings (the
+// interleaving explorer in this package) with bit-identical results.
+package core
+
+import (
+	"canely/internal/can"
+	"canely/internal/core/fd"
+	"canely/internal/core/membership"
+	"canely/internal/core/proto"
+	"canely/internal/sim"
+)
+
+// Config parameterizes one node's protocol cores.
+type Config struct {
+	FD         fd.Config
+	Membership membership.Config
+}
+
+// Node is the composite protocol core of one CANELy node.
+type Node struct {
+	ID  can.NodeID
+	FDA *fd.FDA
+	Det *fd.Detector
+	Msh *membership.Protocol
+	RHA *membership.RHA
+}
+
+// New builds the composite core. The RHA core reads the membership
+// protocol's Rf/Rj/Rl sets live (Figure 7 line i04).
+func New(id can.NodeID, cfg Config) (*Node, error) {
+	det, err := fd.NewDetector(id, cfg.FD)
+	if err != nil {
+		return nil, err
+	}
+	msh, err := membership.New(id, cfg.Membership)
+	if err != nil {
+		return nil, err
+	}
+	rha, err := membership.NewRHA(id, cfg.Membership.RHA, msh)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{ID: id, FDA: fd.NewFDA(), Det: det, Msh: msh, RHA: rha}, nil
+}
+
+// Step consumes one event, dispatching it to the interested sub-cores in
+// the order the layered stack registered their indication handlers, and
+// routes inter-core commands. It returns the fully-expanded command
+// stream, in execution order.
+func (n *Node) Step(ev proto.Event) []proto.Command {
+	var out []proto.Command
+	switch ev.Kind {
+	case proto.EvRTRInd:
+		// Handler order of the layered stack: FDA, detector, membership.
+		out = n.route(out, n.FDA.Step(ev), ev.At)
+		out = n.route(out, n.Det.Step(ev), ev.At)
+		out = n.route(out, n.Msh.Step(ev), ev.At)
+	case proto.EvDataNty:
+		out = n.route(out, n.Det.Step(ev), ev.At)
+		out = n.route(out, n.Msh.Step(ev), ev.At)
+	case proto.EvDataInd:
+		out = n.route(out, n.RHA.Step(ev), ev.At)
+	case proto.EvTimerFired:
+		switch ev.Timer {
+		case proto.TimerFDScan:
+			out = n.route(out, n.Det.Step(ev), ev.At)
+		case proto.TimerMshCycle:
+			out = n.route(out, n.Msh.Step(ev), ev.At)
+		case proto.TimerRHATerm:
+			out = n.route(out, n.RHA.Step(ev), ev.At)
+		}
+	case proto.EvBootstrap, proto.EvJoin, proto.EvLeave, proto.EvFDNty,
+		proto.EvRHAInit, proto.EvRHAEnd:
+		out = n.route(out, n.Msh.Step(ev), ev.At)
+	case proto.EvFDStart, proto.EvFDStop, proto.EvFDANty:
+		out = n.route(out, n.Det.Step(ev), ev.At)
+	case proto.EvFDARequest, proto.EvFDACancel:
+		out = n.route(out, n.FDA.Step(ev), ev.At)
+	case proto.EvRHARequest:
+		out = n.route(out, n.RHA.Step(ev), ev.At)
+	}
+	return out
+}
+
+// route appends cmds to out, splicing in the depth-first expansion of each
+// inter-core command before the command itself.
+func (n *Node) route(out, cmds []proto.Command, at sim.Time) []proto.Command {
+	for _, c := range cmds {
+		switch c.Kind {
+		case proto.CmdFDARequest:
+			out = n.route(out, n.FDA.Step(proto.Event{Kind: proto.EvFDARequest, At: at, Node: c.Node}), at)
+		case proto.CmdFDACancel:
+			out = n.route(out, n.FDA.Step(proto.Event{Kind: proto.EvFDACancel, At: at, Node: c.Node}), at)
+		case proto.CmdFDANty:
+			out = n.route(out, n.Det.Step(proto.Event{Kind: proto.EvFDANty, At: at, Node: c.Node}), at)
+		case proto.CmdFDNty:
+			out = n.route(out, n.Msh.Step(proto.Event{Kind: proto.EvFDNty, At: at, Node: c.Node}), at)
+		case proto.CmdFDStart:
+			out = n.route(out, n.Det.Step(proto.Event{Kind: proto.EvFDStart, At: at, Node: c.Node}), at)
+		case proto.CmdFDStop:
+			out = n.route(out, n.Det.Step(proto.Event{Kind: proto.EvFDStop, At: at, Node: c.Node}), at)
+		case proto.CmdRHARequest:
+			out = n.route(out, n.RHA.Step(proto.Event{Kind: proto.EvRHARequest, At: at}), at)
+		case proto.CmdRHAInit:
+			out = n.route(out, n.Msh.Step(proto.Event{Kind: proto.EvRHAInit, At: at}), at)
+		case proto.CmdRHAEnd:
+			out = n.route(out, n.Msh.Step(proto.Event{Kind: proto.EvRHAEnd, At: at, View: c.View}), at)
+		}
+		out = append(out, c)
+	}
+	return out
+}

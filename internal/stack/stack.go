@@ -2,9 +2,17 @@
 // Figure 5 explicit: a Medium abstraction over the simulated channel, a
 // Port per (node, medium) attachment, and a Stack that composes the
 // exposed controller interface, the CAN standard layer (with can-data.nty),
-// the FDA and failure-detection entities, the RHA/site-membership protocol
-// and the optional companion services (process groups over RELCAN, totally
-// ordered broadcast, clock synchronization).
+// the sans-I/O protocol cores (FDA, failure detection, RHA, site
+// membership — internal/core) and the optional companion services (process
+// groups over RELCAN, totally ordered broadcast, clock synchronization).
+//
+// The Stack is the runtime binding of the cores: it pumps frame
+// indications and timer expiries into the composite core as proto.Events
+// and executes the returned proto.Commands against the layer, the
+// scheduler and the notification hooks. All protocol state lives in the
+// cores; the binding owns only the alarm machinery (one scan event and two
+// lazy timers per node), the notification fan-out and the optional event
+// recorder (internal/replay).
 //
 // Two substrates implement Medium: the bit-time-accurate internal/bus
 // simulator (full trace and per-type wire accounting — the diagnostic
@@ -28,11 +36,14 @@ import (
 	"canely/internal/can"
 	"canely/internal/canlayer"
 	"canely/internal/clocksync"
+	"canely/internal/core"
 	"canely/internal/core/fd"
 	"canely/internal/core/groups"
 	"canely/internal/core/membership"
+	"canely/internal/core/proto"
 	"canely/internal/edcan"
 	"canely/internal/redundancy"
+	"canely/internal/replay"
 	"canely/internal/sim"
 	"canely/internal/trace"
 )
@@ -119,6 +130,9 @@ type Config struct {
 	// DualGrace is the media-redundancy selection grace window (zero picks
 	// the redundancy layer's default).
 	DualGrace time.Duration
+	// Recorder, when non-nil, captures this node's core event/command
+	// streams for deterministic re-execution (internal/replay).
+	Recorder *replay.Log
 }
 
 // Stack is one node's protocol stack, assembled bottom-up over one or two
@@ -139,12 +153,25 @@ type Stack struct {
 	Ctrl canlayer.Controller
 	// Layer is the CAN standard layer with the can-data.nty extension.
 	Layer *canlayer.Layer
-	// FDA is the failure detection agreement micro-protocol entity.
+	// Core is the composite sans-I/O protocol core this binding drives.
+	Core *core.Node
+	// FDA, Det, Msh and RHA alias the sub-cores of Core for diagnostics.
 	FDA *fd.FDA
-	// Det is the node failure detection protocol entity.
 	Det *fd.Detector
-	// Msh is the RHA/site membership protocol entity.
 	Msh *membership.Protocol
+	RHA *membership.RHA
+
+	// Binding-owned alarm machinery: the failure detector's scan event and
+	// the lazy membership-cycle and RHA-termination timers.
+	scanEv   *sim.Event
+	scanFire func()
+	mshTimer *sim.Timer
+	rhaTimer *sim.Timer
+
+	// onChange fans out msh-can.nty consumers in registration order (the
+	// boundary hook first, then services and the application).
+	onChange []func(membership.Change)
+	hooks    *Hooks
 
 	// Optional companion services, nil until enabled.
 	Groups  *groups.Service
@@ -160,7 +187,7 @@ func New(sched *sim.Scheduler, media []Medium, id can.NodeID, cfg Config, tr *tr
 	default:
 		return nil, fmt.Errorf("stack: need one or two media, got %d", len(media))
 	}
-	st := &Stack{sched: sched, cfg: cfg, tr: tr, id: id}
+	st := &Stack{sched: sched, cfg: cfg, tr: tr, id: id, hooks: hooks}
 	for _, m := range media {
 		st.Ports = append(st.Ports, m.Attach(id))
 	}
@@ -174,39 +201,161 @@ func New(sched *sim.Scheduler, media []Medium, id can.NodeID, cfg Config, tr *tr
 	}
 	st.Ctrl = ctrl
 	st.Layer = canlayer.New(ctrl)
-	st.FDA = fd.NewFDA(st.Layer)
-	det, err := fd.NewDetector(sched, st.Layer, st.FDA, cfg.FD, tr)
+	cn, err := core.New(id, core.Config{FD: cfg.FD, Membership: cfg.Membership})
 	if err != nil {
 		return nil, err
 	}
-	st.Det = det
-	msh, err := membership.New(sched, st.Layer, det, cfg.Membership, tr)
-	if err != nil {
-		return nil, err
+	st.Core = cn
+	st.FDA, st.Det, st.Msh, st.RHA = cn.FDA, cn.Det, cn.Msh, cn.RHA
+	if cfg.Recorder != nil {
+		cfg.Recorder.Register(id, core.Config{FD: cfg.FD, Membership: cfg.Membership})
 	}
-	st.Msh = msh
-	if hooks != nil {
-		st.registerUpperHooks(hooks)
+
+	// Alarm machinery. The scan event is raw (cancel + reschedule chases
+	// the earliest deadline); the cycle and termination alarms are lazy
+	// timers.
+	st.scanFire = func() { st.inject(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerFDScan}) }
+	st.mshTimer = sim.NewTimer(sched, func() {
+		st.inject(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerMshCycle})
+	})
+	st.rhaTimer = sim.NewTimer(sched, func() {
+		st.inject(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerRHATerm})
+	})
+
+	// Event pumps, in the handler order of the layered implementation:
+	// remote frames feed FDA/detector/membership, data notifications feed
+	// detector/membership (with the boundary hook after them and before
+	// delivery), data indications feed the RHA.
+	st.Layer.HandleRTRInd(func(mid can.MID) {
+		st.inject(proto.Event{Kind: proto.EvRTRInd, MID: mid})
+	})
+	st.Layer.HandleDataNty(func(mid can.MID) {
+		st.inject(proto.Event{Kind: proto.EvDataNty, MID: mid})
+	})
+	if hooks != nil && hooks.OnDataNty != nil {
+		fn := hooks.OnDataNty
+		st.Layer.HandleDataNty(func(mid can.MID) { fn(id, mid) })
+	}
+	st.Layer.HandleDataInd(func(mid can.MID, data []byte) {
+		st.inject(proto.Event{Kind: proto.EvDataInd, MID: mid}.WithPayload(data))
+	})
+
+	// The view-change boundary hook observes before services and the
+	// application, mirroring its registration position in the layered
+	// implementation.
+	if hooks != nil && hooks.OnViewChange != nil {
+		fn := hooks.OnViewChange
+		st.onChange = append(st.onChange, func(ch membership.Change) { fn(id, ch) })
 	}
 	return st, nil
 }
 
-// registerUpperHooks attaches the upper-boundary observers after the real
-// consumers, so hook observation never reorders protocol processing.
-func (st *Stack) registerUpperHooks(h *Hooks) {
-	id := st.id
-	if fn := h.OnDataNty; fn != nil {
-		st.Layer.HandleDataNty(func(mid can.MID) { fn(id, mid) })
+// inject pumps one event through the composite core, records it when a
+// recorder is attached, and executes the command stream.
+func (st *Stack) inject(ev proto.Event) {
+	ev.At = st.sched.Now()
+	cmds := st.Core.Step(ev)
+	if st.cfg.Recorder != nil {
+		st.cfg.Recorder.Append(st.id, ev, cmds)
 	}
-	if fn := h.OnFDANotify; fn != nil {
-		st.FDA.Notify(func(failed can.NodeID) { fn(id, failed) })
+	st.exec(cmds)
+}
+
+// exec carries out a command stream against the layer, the alarm machinery
+// and the notification consumers, in order.
+func (st *Stack) exec(cmds []proto.Command) {
+	for _, c := range cmds {
+		switch c.Kind {
+		case proto.CmdSendRTR:
+			if c.UnlessPending && st.Layer.PendingEquivalentRTR(c.MID) {
+				continue
+			}
+			// A request failure means the local controller died; the
+			// protocols terminate locally and the node is about to be
+			// detected.
+			_ = st.Layer.RTRReq(c.MID)
+		case proto.CmdSendData:
+			_ = st.Layer.DataReq(c.MID, c.Payload())
+		case proto.CmdAbort:
+			st.Layer.AbortReq(c.MID)
+		case proto.CmdSetTimer:
+			switch c.Timer {
+			case proto.TimerFDScan:
+				if st.scanEv != nil {
+					st.scanEv.Cancel()
+				}
+				st.scanEv = st.sched.After(c.Delay, st.scanFire)
+			case proto.TimerMshCycle:
+				st.mshTimer.Start(c.Delay)
+			case proto.TimerRHATerm:
+				st.rhaTimer.Start(c.Delay)
+			}
+		case proto.CmdCancelTimer:
+			switch c.Timer {
+			case proto.TimerFDScan:
+				if st.scanEv != nil {
+					st.scanEv.Cancel()
+				}
+			case proto.TimerMshCycle:
+				st.mshTimer.Stop()
+			case proto.TimerRHATerm:
+				st.rhaTimer.Stop()
+			}
+		case proto.CmdTrace:
+			st.tr.Emit(c.TraceKind, int(st.id), "%s", c.Msg)
+		case proto.CmdNotifyView:
+			ch := membership.Change{Active: c.Active, Failed: c.Failed, Left: c.Left}
+			for _, fn := range st.onChange {
+				fn(ch)
+			}
+		case proto.CmdFDANty:
+			if st.hooks != nil && st.hooks.OnFDANotify != nil {
+				st.hooks.OnFDANotify(st.id, c.Node)
+			}
+		case proto.CmdFDNty:
+			if st.hooks != nil && st.hooks.OnFDNotify != nil {
+				st.hooks.OnFDNotify(st.id, c.Node)
+			}
+		}
+		// The remaining inter-core kinds (fda-req, fd-start, rha-req, ...)
+		// were already routed by the composite core; here they are markers
+		// with no binding-level effect.
 	}
-	if fn := h.OnFDNotify; fn != nil {
-		st.Det.Notify(func(failed can.NodeID) { fn(id, failed) })
-	}
-	if fn := h.OnViewChange; fn != nil {
-		st.Msh.OnChange(func(ch membership.Change) { fn(id, ch) })
-	}
+}
+
+// Bootstrap installs a pre-agreed initial view at the membership core.
+func (st *Stack) Bootstrap(view can.NodeSet) {
+	st.inject(proto.Event{Kind: proto.EvBootstrap, View: view})
+}
+
+// Join requests integration of this node into the active site set.
+func (st *Stack) Join() { st.inject(proto.Event{Kind: proto.EvJoin}) }
+
+// Leave requests withdrawal of this node from the site membership view.
+func (st *Stack) Leave() { st.inject(proto.Event{Kind: proto.EvLeave}) }
+
+// OnChange registers a membership change consumer (msh-can.nty).
+func (st *Stack) OnChange(fn func(membership.Change)) {
+	st.onChange = append(st.onChange, fn)
+}
+
+// FDStart begins failure-detection surveillance of a node
+// (fd-can.req(START, r)).
+func (st *Stack) FDStart(r can.NodeID) {
+	st.inject(proto.Event{Kind: proto.EvFDStart, Node: r})
+}
+
+// FDStop ends failure-detection surveillance of a node
+// (fd-can.req(STOP, r)).
+func (st *Stack) FDStop(r can.NodeID) {
+	st.inject(proto.Event{Kind: proto.EvFDStop, Node: r})
+}
+
+// FDARequest invokes the failure-sign diffusion protocol directly
+// (fda-can.req) — the detector does this on surveillance expiry; tests and
+// experiments use it to exercise the FDA in isolation.
+func (st *Stack) FDARequest(failed can.NodeID) {
+	st.inject(proto.Event{Kind: proto.EvFDARequest, Node: failed})
 }
 
 // ID returns the node identity.
@@ -238,6 +387,13 @@ func (st *Stack) ActiveMedium() int {
 	return st.Dual.Active()
 }
 
+// siteView adapts the stack to the groups service's site membership
+// dependency.
+type siteView struct{ st *Stack }
+
+func (v siteView) View() can.NodeSet                    { return v.st.Msh.View() }
+func (v siteView) OnChange(fn func(membership.Change)) { v.st.OnChange(fn) }
+
 // EnableGroups starts the process-group membership service: registrations
 // travel over a RELCAN reliable broadcast and group views are pruned by the
 // site membership service.
@@ -252,7 +408,7 @@ func (st *Stack) EnableGroups() error {
 	if err != nil {
 		return err
 	}
-	st.Groups = groups.New(rel, st.Msh, st.id)
+	st.Groups = groups.New(rel, siteView{st}, st.id)
 	return nil
 }
 

@@ -1,0 +1,152 @@
+package canely
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"canely/internal/replay"
+)
+
+// The replay suite: a recorded run must re-execute on fresh cores with
+// command-for-command equality (the sans-I/O determinism guarantee), both
+// in memory and across a JSON save/load round trip.
+
+// recordScenario runs one equivalence scenario with core recording enabled
+// and returns the captured log.
+func recordScenario(t *testing.T, sc eqScenario) *replay.Log {
+	t.Helper()
+	cfg := sc.cfg()
+	cfg.Record = true
+	net := NewNetwork(cfg, sc.nodes)
+	sc.drive(net)
+	log := net.EventLog()
+	if log == nil || len(log.Records) == 0 {
+		t.Fatal("recording produced no events; the replay check is vacuous")
+	}
+	return log
+}
+
+func TestReplayReproducesCommandStreams(t *testing.T) {
+	for _, sc := range equivalenceScenarios() {
+		if sc.name != "crash" && sc.name != "churn" && sc.name != "inconsistent-omission-sender-crash" {
+			continue
+		}
+		t.Run(sc.name, func(t *testing.T) {
+			log := recordScenario(t, sc)
+			if err := log.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReplayReproducesDualMediaRun(t *testing.T) {
+	sc := eqScenario{
+		name:  "dual-media",
+		nodes: 6,
+		cfg: func() Config {
+			cfg := DefaultConfig()
+			cfg.Seed = 7
+			cfg.DualMedia = true
+			return cfg
+		},
+		drive: func(net *Network) {
+			net.BootstrapAll()
+			for _, nd := range net.Nodes() {
+				nd.StartCyclicTraffic(1, 9*time.Millisecond, []byte{byte(nd.ID())})
+			}
+			net.Run(150 * time.Millisecond)
+			net.Node(1).Crash()
+			net.Run(200 * time.Millisecond)
+		},
+	}
+	log := recordScenario(t, sc)
+	if err := log.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaySaveLoadRoundTrip(t *testing.T) {
+	sc := equivalenceScenarios()[1] // crash
+	log := recordScenario(t, sc)
+	var buf bytes.Buffer
+	if err := log.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := replay.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Records) != len(log.Records) || len(loaded.Nodes) != len(log.Nodes) {
+		t.Fatalf("round trip lost records: %d/%d nodes, %d/%d records",
+			len(loaded.Nodes), len(log.Nodes), len(loaded.Records), len(log.Records))
+	}
+	if err := loaded.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayDetectsDivergence(t *testing.T) {
+	sc := equivalenceScenarios()[1] // crash
+	log := recordScenario(t, sc)
+	// Corrupt one recorded command: verification must fail loudly.
+	for i := range log.Records {
+		if len(log.Records[i].Commands) > 0 {
+			log.Records[i].Commands[0].Node ^= 1
+			break
+		}
+	}
+	if err := log.Verify(); err == nil {
+		t.Fatal("verification accepted a corrupted command stream")
+	}
+}
+
+// TestGoldenCrashTrace pins the exact rendered command stream of one seeded
+// crash scenario. Any change to this file is a behavior change of the
+// protocol cores and must be deliberate: regenerate with GOLDEN_UPDATE=1.
+func TestGoldenCrashTrace(t *testing.T) {
+	sc := eqScenario{
+		name:  "golden-crash",
+		nodes: 3,
+		cfg: func() Config {
+			cfg := DefaultConfig()
+			cfg.Seed = 42
+			return cfg
+		},
+		drive: func(net *Network) {
+			net.BootstrapAll()
+			net.Run(60 * time.Millisecond)
+			net.Node(2).Crash()
+			net.Run(100 * time.Millisecond)
+		},
+	}
+	got := recordScenario(t, sc).Render()
+	golden := filepath.Join("testdata", "golden_crash_trace.txt")
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with GOLDEN_UPDATE=1)", err)
+	}
+	if got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("golden trace diverges at line %d:\n got: %s\nwant: %s\n(regenerate with GOLDEN_UPDATE=1 if deliberate)",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("golden trace length changed: got %d lines, want %d (regenerate with GOLDEN_UPDATE=1 if deliberate)",
+			len(gl), len(wl))
+	}
+}
