@@ -40,6 +40,7 @@ import (
 
 // BenchmarkFigure1Table regenerates the Figure 1 comparison table.
 func BenchmarkFigure1Table(b *testing.B) {
+	b.ReportAllocs()
 	var s string
 	for i := 0; i < b.N; i++ {
 		s = analysis.Figure1().String()
@@ -50,6 +51,7 @@ func BenchmarkFigure1Table(b *testing.B) {
 // BenchmarkFigure10Analytical evaluates the analytical bandwidth model over
 // the paper's full x-axis and reports the curve endpoints.
 func BenchmarkFigure10Analytical(b *testing.B) {
+	b.ReportAllocs()
 	m := analysis.DefaultModel()
 	var rows []analysis.Figure10Row
 	for i := 0; i < b.N; i++ {
@@ -70,6 +72,7 @@ func Figure10Rows(m analysis.BandwidthModel) []analysis.Figure10Row {
 // BenchmarkFigure10Measured reproduces Figure 10 from full-stack
 // simulation (n=32, b=8, f=4, c∈{0,1,20}) at the x-axis endpoints.
 func BenchmarkFigure10Measured(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiments.DefaultFigure10Config()
 	tms := []time.Duration{30 * time.Millisecond, 90 * time.Millisecond}
 	var points []experiments.Figure10Point
@@ -95,6 +98,7 @@ func BenchmarkFigure10Measured(b *testing.B) {
 // BenchmarkFigure11Inaccessibility reproduces the inaccessibility rows of
 // Figure 11 (CAN 14-2880 bit times, CANELy 14-2160).
 func BenchmarkFigure11Inaccessibility(b *testing.B) {
+	b.ReportAllocs()
 	var canLo, canHi, elyLo, elyHi int
 	for i := 0; i < b.N; i++ {
 		canLo, canHi = analysis.CANInaccessibility().Bounds()
@@ -109,6 +113,7 @@ func BenchmarkFigure11Inaccessibility(b *testing.B) {
 // BenchmarkFigure11Membership measures the Figure 11 membership latency
 // cell ("tens of ms") from simulation.
 func BenchmarkFigure11Membership(b *testing.B) {
+	b.ReportAllocs()
 	var mean time.Duration
 	for i := 0; i < b.N; i++ {
 		lat := experiments.MeasureMembershipLatency(5, int64(i+1))
@@ -120,6 +125,7 @@ func BenchmarkFigure11Membership(b *testing.B) {
 // BenchmarkRelatedWorkLatency reproduces the §6.6 comparison: CANELy in
 // tens of virtual ms, OSEK NM near one virtual second, CANopen between.
 func BenchmarkRelatedWorkLatency(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiments.DefaultLatencyConfig()
 	cfg.Trials = 3
 	var results []experiments.LatencyResult
@@ -175,6 +181,7 @@ func (a *fdaAgent) exec(cmds []proto.Command) {
 // failure-sign agreement across 32 nodes: the paper's design target is two
 // physical frames thanks to remote-frame clustering.
 func BenchmarkFDADiffusion(b *testing.B) {
+	b.ReportAllocs()
 	var frames int
 	for i := 0; i < b.N; i++ {
 		sched := sim.NewScheduler()
@@ -193,6 +200,7 @@ func BenchmarkFDADiffusion(b *testing.B) {
 // BenchmarkRHAAgreement measures one RHA execution agreeing on a join in a
 // 16-member view: virtual wall time and wire frames.
 func BenchmarkRHAAgreement(b *testing.B) {
+	b.ReportAllocs()
 	var frames int
 	var virt time.Duration
 	for i := 0; i < b.N; i++ {
@@ -227,6 +235,7 @@ func BenchmarkRHAAgreement(b *testing.B) {
 // steady-state membership engine: virtual seconds simulated per wall
 // second for a 32-node network.
 func BenchmarkMembershipCycle(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := canely.DefaultConfig()
 		net := canely.NewNetwork(cfg, 32)
@@ -243,6 +252,7 @@ func BenchmarkMembershipCycle(b *testing.B) {
 // throughput should scale near-linearly until the core count is exhausted;
 // the fast substrate multiplies whatever the worker ladder achieves.
 func BenchmarkCampaignThroughput(b *testing.B) {
+	b.ReportAllocs()
 	const runs = 32
 	for _, sub := range []canely.Substrate{canely.SubstrateBitAccurate, canely.SubstrateFast} {
 		benchmarkCampaignLadder(b, sub, runs)
@@ -279,6 +289,7 @@ func benchmarkCampaignLadder(b *testing.B, sub canely.Substrate, runs int) {
 // using application traffic as implicit heartbeats (§6.1/§6.3): ELS bits
 // with and without cyclic application traffic.
 func BenchmarkAblationImplicitHeartbeats(b *testing.B) {
+	b.ReportAllocs()
 	run := func(implicit bool) int64 {
 		cfg := canely.DefaultConfig()
 		net := canely.NewNetwork(cfg, 8)
@@ -305,6 +316,7 @@ func BenchmarkAblationImplicitHeartbeats(b *testing.B) {
 // generic EDCAN diffusion of data frames: the clustering is what keeps the
 // agreement at ~2 frames instead of ~n.
 func BenchmarkAblationClustering(b *testing.B) {
+	b.ReportAllocs()
 	const nodes = 16
 	var fdaFrames, edcanFrames int
 	for i := 0; i < b.N; i++ {
@@ -344,6 +356,7 @@ func BenchmarkAblationClustering(b *testing.B) {
 // BenchmarkAblationRHASkip quantifies the saving of skipping RHA when no
 // join/leave is pending (Figure 9 line s22).
 func BenchmarkAblationRHASkip(b *testing.B) {
+	b.ReportAllocs()
 	run := func(skip bool) int64 {
 		cfg := canely.DefaultConfig()
 		cfg.RHAEveryCycle = !skip
@@ -364,6 +377,7 @@ func BenchmarkAblationRHASkip(b *testing.B) {
 // BenchmarkAblationDuplicateBound quantifies the LCAN4 duplicate
 // suppression bound j in EDCAN: frames per broadcast at j=1 vs j=n.
 func BenchmarkAblationDuplicateBound(b *testing.B) {
+	b.ReportAllocs()
 	const nodes = 16
 	run := func(j int) int {
 		sched := sim.NewScheduler()
@@ -396,6 +410,7 @@ func BenchmarkAblationDuplicateBound(b *testing.B) {
 // fault-free, diffusion only on sender death) against EDCAN's eager
 // diffusion (pays the fan-out on every broadcast).
 func BenchmarkAblationLazyVsEager(b *testing.B) {
+	b.ReportAllocs()
 	const nodes = 16
 	var lazyFrames, eagerFrames int
 	for i := 0; i < b.N; i++ {

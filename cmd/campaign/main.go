@@ -26,6 +26,7 @@ import (
 	"canely"
 	"canely/internal/campaign"
 	"canely/internal/experiments"
+	"canely/internal/prof"
 )
 
 // The knob tables map grid keys to configuration setters; the table a key
@@ -106,9 +107,22 @@ type benchReport struct {
 	Nodes            int               `json:"nodes"`
 	Grid             string            `json:"grid"`
 	RunsPerLadder    int               `json:"runs_per_ladder"`
+	// HostNote pins the measurement conditions next to the numbers: on a
+	// 1-core host the worker ladder can only show contention overhead, so a
+	// flat speedup column there says nothing about the engine's scaling.
+	HostNote         string            `json:"host_note"`
 	Substrates       []substrateSeries `json:"substrates"`
 	FastVsBitSpeedup float64           `json:"fast_vs_bit_speedup"`
 	P99DetectionMs   float64           `json:"p99_detection_ms"`
+	// AllocsPerRun/BytesPerRun is the heap churn of one complete campaign
+	// run (fast substrate, workers=1): the PR-over-PR allocation trajectory.
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	BytesPerRun  float64 `json:"bytes_per_run"`
+	// The pre-PR fast/workers=1 throughput on this host and the speedup the
+	// current numbers show against it.
+	PrePRFastW1RunsPerSec float64           `json:"pre_pr_fast_w1_runs_per_sec"`
+	FastW1SpeedupVsPrePR  float64           `json:"fast_w1_speedup_vs_pre_pr"`
+	SteadyState           *steadyStateStats `json:"steady_state"`
 }
 
 type substrateSeries struct {
@@ -122,11 +136,69 @@ type benchPoint struct {
 	Speedup    float64 `json:"speedup_vs_1"`
 }
 
+// Pre-PR steady-state baseline (BenchmarkSteadyStateStep on the command
+// stream / eager-tracing code before the zero-allocation pass), kept here so
+// every regenerated BENCH_campaign.json carries the comparison.
+const (
+	prePRSteadyAllocsPerOp = 8991
+	prePRSteadyBytesPerOp  = 2119357
+	prePRSteadyNsPerOp     = 1970422
+	// Campaign throughput (fast substrate, workers=1, E10 grid) measured on
+	// the same 1-CPU host immediately before this pass.
+	prePRFastW1RunsPerSec = 3664.7
+)
+
+// steadyStateStats mirrors BenchmarkSteadyStateStep: one op advances an
+// 8-node bootstrapped fast-substrate network by one second of virtual time
+// with no membership churn.
+type steadyStateStats struct {
+	Benchmark   string  `json:"benchmark"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// The pre-PR numbers the current ones are compared against.
+	PrePRNsPerOp     float64 `json:"pre_pr_ns_per_op"`
+	PrePRAllocsPerOp float64 `json:"pre_pr_allocs_per_op"`
+	PrePRBytesPerOp  float64 `json:"pre_pr_bytes_per_op"`
+}
+
+// measureSteadyState is the in-CLI twin of BenchmarkSteadyStateStep, so one
+// `campaign -bench` invocation regenerates the whole artifact.
+func measureSteadyState() *steadyStateStats {
+	cfg := canely.DefaultConfig()
+	cfg.Substrate = canely.SubstrateFast
+	net := canely.NewNetwork(cfg, 8)
+	net.BootstrapAll()
+	net.Run(time.Second) // warm up buffers, slabs and queues
+	const ops = 20
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		net.Run(time.Second)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return &steadyStateStats{
+		Benchmark:        "steady-state-step (8 nodes, 1s virtual time per op)",
+		NsPerOp:          float64(elapsed.Nanoseconds()) / ops,
+		AllocsPerOp:      float64(after.Mallocs-before.Mallocs) / ops,
+		BytesPerOp:       float64(after.TotalAlloc-before.TotalAlloc) / ops,
+		PrePRNsPerOp:     prePRSteadyNsPerOp,
+		PrePRAllocsPerOp: prePRSteadyAllocsPerOp,
+		PrePRBytesPerOp:  prePRSteadyBytesPerOp,
+	}
+}
+
 // measureThroughput times the crash-QoS campaign over the given grid at each
 // worker count, once per substrate. Each (substrate, workers) cell is timed
 // over the full grid × seeds run, best of reps to shed scheduler noise.
 func measureThroughput(grid string, nodes, seeds int) benchReport {
 	rep := benchReport{Benchmark: "campaign-throughput", Nodes: nodes, Grid: grid}
+	rep.HostNote = fmt.Sprintf(
+		"measured on a %d-CPU host; on 1 CPU the worker ladder can only show contention overhead, not scaling",
+		runtime.NumCPU())
 	ladder := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
 	const reps = 3
 	for _, sub := range []canely.Substrate{canely.SubstrateBitAccurate, canely.SubstrateFast} {
@@ -149,6 +221,12 @@ func measureThroughput(grid string, nodes, seeds int) benchReport {
 				spec := experiments.CrashQoSSpec(cfg, nodes, axes,
 					campaign.SeedRange{Base: 1, N: seeds})
 				runner := campaign.Runner{Workers: w}
+				measureAllocs := sub == canely.SubstrateFast && w == 1 && attempt == 0
+				var before runtime.MemStats
+				if measureAllocs {
+					runtime.GC()
+					runtime.ReadMemStats(&before)
+				}
 				start := time.Now()
 				results, err := runner.Run(context.Background(), spec)
 				if err != nil {
@@ -156,6 +234,12 @@ func measureThroughput(grid string, nodes, seeds int) benchReport {
 				}
 				if rps := float64(len(results)) / time.Since(start).Seconds(); rps > best {
 					best = rps
+				}
+				if measureAllocs {
+					var after runtime.MemStats
+					runtime.ReadMemStats(&after)
+					rep.AllocsPerRun = float64(after.Mallocs-before.Mallocs) / float64(len(results))
+					rep.BytesPerRun = float64(after.TotalAlloc-before.TotalAlloc) / float64(len(results))
 				}
 				rep.RunsPerLadder = len(results)
 				if rep.P99DetectionMs == 0 {
@@ -169,6 +253,7 @@ func measureThroughput(grid string, nodes, seeds int) benchReport {
 		}
 		rep.Substrates = append(rep.Substrates, series)
 	}
+	rep.SteadyState = measureSteadyState()
 	if len(rep.Substrates) == 2 &&
 		len(rep.Substrates[0].Workers) > 0 && len(rep.Substrates[1].Workers) > 0 {
 		bit := rep.Substrates[0].Workers[0].RunsPerSec
@@ -176,6 +261,8 @@ func measureThroughput(grid string, nodes, seeds int) benchReport {
 		if bit > 0 {
 			rep.FastVsBitSpeedup = fast / bit
 		}
+		rep.PrePRFastW1RunsPerSec = prePRFastW1RunsPerSec
+		rep.FastW1SpeedupVsPrePR = fast / prePRFastW1RunsPerSec
 	}
 	return rep
 }
@@ -200,8 +287,21 @@ func main() {
 		csvOut    = flag.String("csv", "", "write the aggregate report as CSV to this path")
 		bench     = flag.String("bench", "", "measure per-substrate engine throughput at 1/2/4/max workers over the grid and write BENCH JSON to this path")
 		quiet     = flag.Bool("q", false, "suppress the progress meter")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		}
+	}()
 
 	axes, err := parseGrid(*grid)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"canely"
+	"canely/internal/prof"
 	"canely/internal/replay"
 )
 
@@ -72,8 +73,21 @@ func main() {
 		subFlag  = flag.String("substrate", "bit", "medium substrate: bit (bit-accurate, traced) or fast (frame-level, no trace)")
 		record   = flag.String("record", "", "save the per-node core event/command streams to this file (JSON)")
 		replayF  = flag.String("replay", "", "verify a recorded event log instead of simulating")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "canelysim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "canelysim:", err)
+		}
+	}()
 
 	if *replayF != "" {
 		if err := verifyReplay(*replayF); err != nil {

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"canely"
@@ -248,15 +249,38 @@ type Runner struct {
 	Workers int
 	// Progress, if set, is called after every completed run with the number
 	// of runs done so far and the campaign total. Calls are serialized but
-	// arrive in completion order, which depends on scheduling.
+	// arrive in completion order, which depends on scheduling. Setting it
+	// puts a shared mutex on the completion path; throughput benchmarks
+	// leave it nil.
 	Progress func(done, total int)
+	// WorkerRuns, after Run returns, holds how many runs each worker
+	// executed — the load-balance diagnostic behind the throughput numbers
+	// in BENCH_campaign.json.
+	WorkerRuns []int
+}
+
+// workerScratch is one worker's private hot state. Padded to a full 64-byte
+// cache line so that slice-adjacent workers bumping their counters never
+// write-share a line: with the old design every completed run touched
+// cross-worker shared state (an unbuffered channel handoff plus a progress
+// mutex), which flattened worker scaling on multi-core hosts.
+type workerScratch struct {
+	runs int64
+	_    [56]byte
 }
 
 // Run executes every run of the spec and returns the results ordered by run
 // index — the ordering (and therefore every aggregate computed from it) is
 // independent of worker count and completion order. On context
-// cancellation it stops feeding the pool, waits for in-flight runs and
-// returns ctx.Err().
+// cancellation the workers stop claiming further runs, finish the run in
+// flight, and Run returns ctx.Err().
+//
+// Work distribution is chunked claiming off an atomic cursor: a worker
+// grabs a span of consecutive run indices at a time, so the per-run cost of
+// synchronization is one padded-counter bump and 1/chunk-th of an atomic
+// add, with no channel handoff. Runs within a chunk share grid-point cache
+// locality (runs are enumerated point-major), and the chunk size caps at a
+// small fraction of total/workers so tail imbalance stays bounded.
 func (r *Runner) Run(ctx context.Context, spec *Spec) ([]RunResult, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
@@ -269,40 +293,63 @@ func (r *Runner) Run(ctx context.Context, spec *Spec) ([]RunResult, error) {
 	if workers > total {
 		workers = total
 	}
+	chunk := total / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 64 {
+		chunk = 64
+	}
 	results := make([]RunResult, total)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	done := 0
+	scratch := make([]workerScratch, workers)
+	var (
+		cursor  atomic.Int64
+		skipped atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		done    int
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(ws *workerScratch) {
 			defer wg.Done()
-			for i := range jobs {
-				results[i] = spec.execute(i)
-				if r.Progress != nil {
-					mu.Lock()
-					done++
-					r.Progress(done, total)
-					mu.Unlock()
+			for {
+				if ctx.Err() != nil {
+					skipped.Store(true)
+					return
+				}
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= total {
+					return
+				}
+				end := start + chunk
+				if end > total {
+					end = total
+				}
+				for i := start; i < end; i++ {
+					if ctx.Err() != nil {
+						skipped.Store(true)
+						return
+					}
+					results[i] = spec.execute(i)
+					ws.runs++
+					if r.Progress != nil {
+						mu.Lock()
+						done++
+						r.Progress(done, total)
+						mu.Unlock()
+					}
 				}
 			}
-		}()
+		}(&scratch[w])
 	}
-	var cancelled error
-feed:
-	for i := 0; i < total; i++ {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			cancelled = ctx.Err()
-			break feed
-		}
-	}
-	close(jobs)
 	wg.Wait()
-	if cancelled != nil {
-		return nil, cancelled
+	r.WorkerRuns = make([]int, workers)
+	for w := range scratch {
+		r.WorkerRuns[w] = int(scratch[w].runs)
+	}
+	if skipped.Load() {
+		return nil, ctx.Err()
 	}
 	return results, nil
 }

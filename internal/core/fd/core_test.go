@@ -10,7 +10,6 @@ import (
 	"canely/internal/can"
 	"canely/internal/core/proto"
 	"canely/internal/sim"
-	"canely/internal/trace"
 )
 
 var coreCfg = Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond}
@@ -67,7 +66,7 @@ func TestDetectorCoreStopRetractsInFlightFDA(t *testing.T) {
 	// Silence: the surveillance deadline expires.
 	at := sim.Time(0).Add(period)
 	wantCmds(t, d.Step(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerFDScan, At: at}),
-		proto.Tracef(trace.KindFDNotify, "timer expired for %v", can.NodeID(0)),
+		proto.TraceTimerExpired(0),
 		proto.FDARequest(0))
 	// Surveillance is disabled while the failure-sign is in flight: the
 	// detector must retract its request.
@@ -118,7 +117,7 @@ func TestDetectorCoreScanChasesEarliestDeadline(t *testing.T) {
 	at := sim.Time(0).Add(coreCfg.Tb)
 	got := d.Step(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerFDScan, At: at})
 	want := []proto.Command{
-		proto.Trace(trace.KindELS, "explicit life-sign"),
+		proto.TraceELS(),
 		proto.SendRTR(can.ELSSign(0)),
 		proto.SetTimer(proto.TimerFDScan, coreCfg.Tb),
 		proto.SetTimer(proto.TimerFDScan, coreCfg.Ttd),

@@ -7,7 +7,6 @@ import (
 	"canely/internal/can"
 	"canely/internal/core/proto"
 	"canely/internal/sim"
-	"canely/internal/trace"
 )
 
 // Config parameterizes the failure detection protocol of Figure 8.
@@ -91,35 +90,43 @@ func NewDetector(local can.NodeID, cfg Config) (*Detector, error) {
 	return &Detector{cfg: cfg, local: local}, nil
 }
 
-// Step consumes one event. It returns a fresh command slice (nil when the
-// event produced no action — the common case for traffic activity).
+// Step consumes one event and returns a fresh command slice (nil when the
+// event produced no action). Compatibility wrapper over StepInto.
 func (d *Detector) Step(ev proto.Event) []proto.Command {
+	var buf proto.CommandBuf
+	d.StepInto(ev, &buf)
+	return buf.Commands()
+}
+
+// StepInto consumes one event, appending the resulting commands to buf.
+// The common case — traffic activity restarting a forward-moving deadline —
+// appends nothing.
+func (d *Detector) StepInto(ev proto.Event, buf *proto.CommandBuf) {
 	switch ev.Kind {
 	case proto.EvDataNty:
 		// Implicit node activity: every data frame (own transmissions
 		// included) restarts the transmitter's surveillance timer
 		// (lines f03–f05).
-		return d.activity(ev.MID.Src, ev.At)
+		d.activity(ev.MID.Src, ev.At, buf)
 	case proto.EvRTRInd:
 		// Explicit life-signs (lines f03–f05). Only ELS remote frames
 		// carry a node identity usable as an activity signal; other
 		// remote frames are clustered and do not identify their
 		// transmitter.
 		if ev.MID.Type == can.TypeELS {
-			return d.activity(can.NodeID(ev.MID.Param), ev.At)
+			d.activity(can.NodeID(ev.MID.Param), ev.At, buf)
 		}
 	case proto.EvTimerFired:
 		if ev.Timer == proto.TimerFDScan {
-			return d.scan(ev.At)
+			d.scan(ev.At, buf)
 		}
 	case proto.EvFDStart:
-		return d.start(ev.Node, ev.At)
+		d.start(ev.Node, ev.At, buf)
 	case proto.EvFDStop:
-		return d.stop(ev.Node)
+		d.stop(ev.Node, buf)
 	case proto.EvFDANty:
-		return d.onFDANty(ev.Node)
+		d.onFDANty(ev.Node, buf)
 	}
-	return nil
 }
 
 // Monitoring reports whether node r is under surveillance.
@@ -133,58 +140,57 @@ func (d *Detector) LifeSigns() int { return d.lifeSigns }
 // start begins surveillance of a node (fd-can.req(START,r), lines f00–f02).
 // Starting an already-monitored node restarts its timer. A fresh start also
 // clears any stale-notification suppression left by a Stop.
-func (d *Detector) start(r can.NodeID, at sim.Time) []proto.Command {
+func (d *Detector) start(r can.NodeID, at sim.Time, buf *proto.CommandBuf) {
 	if !r.Valid() {
-		return nil
+		return
 	}
 	d.suppress = d.suppress.Remove(r)
 	d.fdaInFlight = d.fdaInFlight.Remove(r)
-	return d.alarmStart(r, at)
+	d.alarmStart(r, at, buf)
 }
 
 // stop ends surveillance of a node (fd-can.req(STOP,r), lines f17–f19). If
 // this detector has an unagreed failure-sign request in flight for the
 // node, the request is retracted and any late agreement is suppressed, so
 // a stale expiry cannot surface after surveillance was disabled.
-func (d *Detector) stop(r can.NodeID) []proto.Command {
+func (d *Detector) stop(r can.NodeID, buf *proto.CommandBuf) {
 	if !r.Valid() {
-		return nil
+		return
 	}
 	d.armed = d.armed.Remove(r)
 	if d.fdaInFlight.Contains(r) {
 		d.suppress = d.suppress.Add(r)
-		return []proto.Command{proto.FDACancel(r)}
+		buf.Put(proto.FDACancel(r))
 	}
-	return nil
 }
 
 // alarmStart implements fd-alarm-start (lines a00–a06): the local timer
 // runs at Tb, remote surveillance at Tb+Ttd.
-func (d *Detector) alarmStart(r can.NodeID, at sim.Time) []proto.Command {
+func (d *Detector) alarmStart(r can.NodeID, at sim.Time, buf *proto.CommandBuf) {
 	period := d.cfg.Tb
 	if r != d.local {
 		period += d.cfg.Ttd
 	}
 	d.deadlines[r] = at.Add(period)
 	d.armed = d.armed.Add(r)
-	return d.ensureScan(d.deadlines[r], at)
+	d.ensureScan(d.deadlines[r], at, buf)
 }
 
 // ensureScan keeps the scan-timer invariant: a pending timer no later than
 // the given deadline. Deadlines almost always move forward, so the common
 // case is a no-op; the timer "chases" the true minimum when it fires.
-func (d *Detector) ensureScan(at, now sim.Time) []proto.Command {
+func (d *Detector) ensureScan(at, now sim.Time, buf *proto.CommandBuf) {
 	if d.scanPending && d.scanAt <= at {
-		return nil
+		return
 	}
 	d.scanAt = at
 	d.scanPending = true
-	return []proto.Command{proto.SetTimer(proto.TimerFDScan, at.Sub(now))}
+	buf.Put(proto.SetTimer(proto.TimerFDScan, at.Sub(now)))
 }
 
 // scan fires expired surveillance deadlines and re-arms at the earliest
 // remaining one.
-func (d *Detector) scan(now sim.Time) []proto.Command {
+func (d *Detector) scan(now sim.Time, buf *proto.CommandBuf) {
 	d.scanPending = false
 	var expired can.NodeSet
 	next := sim.Never
@@ -198,51 +204,45 @@ func (d *Detector) scan(now sim.Time) []proto.Command {
 		}
 	}
 	d.armed = d.armed.Diff(expired)
-	var out []proto.Command
 	for s := expired; !s.Empty(); {
 		r := s.Lowest()
 		s = s.Remove(r)
-		out = append(out, d.expire(r, now)...)
+		d.expire(r, now, buf)
 	}
 	// expire may have re-armed slots (the local ELS backstop) and advanced
 	// the invariant through ensureScan; cover the survivors too.
 	if next != sim.Never {
-		out = append(out, d.ensureScan(next, now)...)
+		d.ensureScan(next, now, buf)
 	}
-	return out
 }
 
-func (d *Detector) activity(r can.NodeID, at sim.Time) []proto.Command {
+func (d *Detector) activity(r can.NodeID, at sim.Time, buf *proto.CommandBuf) {
 	if !r.Valid() {
-		return nil
+		return
 	}
 	if d.armed.Contains(r) {
-		return d.alarmStart(r, at)
+		d.alarmStart(r, at, buf)
 	}
-	return nil
 }
 
 // expire handles surveillance timer expiry (lines f06–f12): the local node
 // broadcasts an explicit life-sign; a silent remote node is reported to
 // the FDA micro-protocol.
-func (d *Detector) expire(r can.NodeID, now sim.Time) []proto.Command {
+func (d *Detector) expire(r can.NodeID, now sim.Time, buf *proto.CommandBuf) {
 	if r == d.local {
 		d.lifeSigns++
-		out := []proto.Command{
-			proto.Trace(trace.KindELS, "explicit life-sign"),
-			proto.SendRTR(can.ELSSign(d.local)),
-		}
+		buf.Put(proto.TraceELS())
+		buf.Put(proto.SendRTR(can.ELSSign(d.local)))
 		// The timer restarts on the self-reception of the ELS (f03); if the
 		// bus is congested the re-arm happens only when the frame makes it
 		// out, exactly like the hardware behaves. Re-arm here as a backstop
 		// so a lost ELS does not silence the node forever.
-		return append(out, d.alarmStart(r, now)...)
+		d.alarmStart(r, now, buf)
+		return
 	}
 	d.fdaInFlight = d.fdaInFlight.Add(r)
-	return []proto.Command{
-		proto.Tracef(trace.KindFDNotify, "timer expired for %v", r),
-		proto.FDARequest(r),
-	}
+	buf.Put(proto.TraceTimerExpired(r))
+	buf.Put(proto.FDARequest(r))
 }
 
 // onFDANty completes the protocol (lines f13–f16): a consistent
@@ -250,16 +250,14 @@ func (d *Detector) expire(r can.NodeID, now sim.Time) []proto.Command {
 // the layer above — unless surveillance of the node was stopped while this
 // detector's own report was in flight, in which case the agreement is
 // stale and dropped locally.
-func (d *Detector) onFDANty(r can.NodeID) []proto.Command {
+func (d *Detector) onFDANty(r can.NodeID, buf *proto.CommandBuf) {
 	if d.suppress.Contains(r) {
 		d.suppress = d.suppress.Remove(r)
 		d.fdaInFlight = d.fdaInFlight.Remove(r)
-		return nil
+		return
 	}
 	d.armed = d.armed.Remove(r)
 	d.fdaInFlight = d.fdaInFlight.Remove(r)
-	return []proto.Command{
-		proto.Tracef(trace.KindFDANotify, "node %v failed", r),
-		proto.FDNty(r),
-	}
+	buf.Put(proto.TraceNodeFailed(r))
+	buf.Put(proto.FDNty(r))
 }

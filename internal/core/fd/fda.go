@@ -37,46 +37,51 @@ type FDA struct {
 // NewFDA creates the protocol core.
 func NewFDA() *FDA { return &FDA{} }
 
-// Step consumes one event. It returns a fresh command slice (nil when the
-// event produced no action).
+// Step consumes one event and returns a fresh command slice (nil when the
+// event produced no action). Compatibility wrapper over StepInto.
 func (f *FDA) Step(ev proto.Event) []proto.Command {
+	var buf proto.CommandBuf
+	f.StepInto(ev, &buf)
+	return buf.Commands()
+}
+
+// StepInto consumes one event, appending the resulting commands to buf.
+func (f *FDA) StepInto(ev proto.Event, buf *proto.CommandBuf) {
 	switch ev.Kind {
 	case proto.EvFDARequest:
-		return f.request(ev.Node)
+		f.request(ev.Node, buf)
 	case proto.EvFDACancel:
-		return f.cancel(ev.Node)
+		f.cancel(ev.Node, buf)
 	case proto.EvRTRInd:
-		return f.onRTRInd(ev.MID)
+		f.onRTRInd(ev.MID, buf)
 	}
-	return nil
 }
 
 // request invokes the protocol for a failed node (fda-can.req, Figure 6
 // lines s00–s05): a single transmit request for the failure-sign message.
-func (f *FDA) request(failed can.NodeID) []proto.Command {
+func (f *FDA) request(failed can.NodeID, buf *proto.CommandBuf) {
 	if !failed.Valid() {
-		return nil
+		return
 	}
 	f.fsNreq[failed]++
 	if f.fsNreq[failed] == 1 {
-		return []proto.Command{proto.SendRTR(can.FDASign(failed))}
+		buf.Put(proto.SendRTR(can.FDASign(failed)))
 	}
-	return nil
 }
 
 // cancel retracts the local failure-sign request for a node whose
 // surveillance was stopped before any copy of the sign was observed. Once
 // a copy has circulated the sign is public knowledge and must diffuse; the
 // retraction then has no effect.
-func (f *FDA) cancel(failed can.NodeID) []proto.Command {
+func (f *FDA) cancel(failed can.NodeID, buf *proto.CommandBuf) {
 	if !failed.Valid() {
-		return nil
+		return
 	}
 	if f.fsNreq[failed] == 0 || f.fsNdup[failed] != 0 {
-		return nil
+		return
 	}
 	f.fsNreq[failed] = 0
-	return []proto.Command{proto.Abort(can.FDASign(failed))}
+	buf.Put(proto.Abort(can.FDASign(failed)))
 }
 
 // onRTRInd handles failure-sign arrivals (Figure 6 lines r00–r09). The
@@ -84,24 +89,23 @@ func (f *FDA) cancel(failed can.NodeID) []proto.Command {
 // equivalent transmit request is already pending (own included — the
 // can-rtr.ind covers own transmissions, so the original sender counts its
 // own frame as the first duplicate and does not re-request).
-func (f *FDA) onRTRInd(mid can.MID) []proto.Command {
+func (f *FDA) onRTRInd(mid can.MID, buf *proto.CommandBuf) {
 	if mid.Type != can.TypeFDA {
-		return nil
+		return
 	}
 	failed := can.NodeID(mid.Param)
 	if !failed.Valid() {
-		return nil
+		return
 	}
 	f.fsNdup[failed]++
 	if f.fsNdup[failed] != 1 {
-		return nil
+		return
 	}
-	out := []proto.Command{proto.FDANty(failed)}
+	buf.Put(proto.FDANty(failed))
 	f.fsNreq[failed]++
 	if f.fsNreq[failed] == 1 {
-		out = append(out, proto.SendRTRUnlessPending(mid))
+		buf.Put(proto.SendRTRUnlessPending(mid))
 	}
-	return out
 }
 
 // Duplicates returns how many failure-sign copies were observed for a node

@@ -6,7 +6,6 @@ import (
 
 	"canely/internal/can"
 	"canely/internal/core/proto"
-	"canely/internal/trace"
 )
 
 // Config parameterizes the site membership protocol (Figure 9).
@@ -115,25 +114,32 @@ func (p *Protocol) View() can.NodeSet { return p.rf }
 // Member reports whether the local node is currently a full member.
 func (p *Protocol) Member() bool { return p.rf.Contains(p.local) }
 
-// Step consumes one event. It returns a fresh command slice (nil when the
-// event produced no action).
+// Step consumes one event and returns a fresh command slice (nil when the
+// event produced no action). Compatibility wrapper over StepInto.
 func (p *Protocol) Step(ev proto.Event) []proto.Command {
+	var buf proto.CommandBuf
+	p.StepInto(ev, &buf)
+	return buf.Commands()
+}
+
+// StepInto consumes one event, appending the resulting commands to buf.
+func (p *Protocol) StepInto(ev proto.Event, buf *proto.CommandBuf) {
 	switch ev.Kind {
 	case proto.EvBootstrap:
-		return p.bootstrap(ev.View)
+		p.bootstrap(ev.View, buf)
 	case proto.EvJoin:
-		return p.join()
+		p.join(buf)
 	case proto.EvLeave:
-		return p.leave()
+		p.leave(buf)
 	case proto.EvRTRInd:
 		p.onRTRInd(ev.MID)
 	case proto.EvDataNty:
 		p.onDataNty(ev.MID)
 	case proto.EvFDNty:
-		return p.onFDNty(ev.Node)
+		p.onFDNty(ev.Node, buf)
 	case proto.EvTimerFired:
 		if ev.Timer == proto.TimerMshCycle {
-			return p.cycle(true)
+			p.cycle(true, buf)
 		}
 	case proto.EvRHAInit:
 		// Resynchronize the membership cycle when an execution of the RHA
@@ -141,11 +147,10 @@ func (p *Protocol) Step(ev proto.Event) []proto.Command {
 		if !p.rf.Contains(p.local) {
 			p.sawActivity = true
 		}
-		return p.cycle(false)
+		p.cycle(false, buf)
 	case proto.EvRHAEnd:
-		return p.onRHAEnd(ev.View)
+		p.onRHAEnd(ev.View, buf)
 	}
-	return nil
 }
 
 // bootstrap installs a pre-agreed initial view, starts the membership cycle
@@ -153,43 +158,40 @@ func (p *Protocol) Step(ev proto.Event) []proto.Command {
 // describes steady-state operation; bootstrapping with a static initial
 // configuration is the standard way such systems come up (the alternative —
 // concurrent joins onto an empty bus — also works, via Join).
-func (p *Protocol) bootstrap(view can.NodeSet) []proto.Command {
+func (p *Protocol) bootstrap(view can.NodeSet, buf *proto.CommandBuf) {
 	if !view.Contains(p.local) {
 		panic(fmt.Sprintf("membership: bootstrap view %v omits local node %v", view, p.local))
 	}
 	p.rf = view
-	out := []proto.Command{proto.SetTimer(proto.TimerMshCycle, p.cfg.Tm)}
-	for _, s := range view.IDs() {
-		out = append(out, proto.FDStart(s))
+	buf.Put(proto.SetTimer(proto.TimerMshCycle, p.cfg.Tm))
+	for s := view; !s.Empty(); {
+		r := s.Lowest()
+		s = s.Remove(r)
+		buf.Put(proto.FDStart(r))
 	}
-	return out
 }
 
 // join requests integration of the local node into the set of active sites
 // (msh-can.req(JOIN), lines s00–s03).
-func (p *Protocol) join() []proto.Command {
+func (p *Protocol) join(buf *proto.CommandBuf) {
 	if p.rf.Contains(p.local) {
-		return nil
+		return
 	}
 	p.left = false
 	p.sawActivity = false
-	return []proto.Command{
-		proto.SetTimer(proto.TimerMshCycle, p.cfg.TjoinWait),
-		proto.SendRTR(can.JoinSign(p.local)),
-		proto.Trace(trace.KindJoinRequest, "join requested"),
-	}
+	buf.Put(proto.SetTimer(proto.TimerMshCycle, p.cfg.TjoinWait))
+	buf.Put(proto.SendRTR(can.JoinSign(p.local)))
+	buf.Put(proto.TraceJoinRequested())
 }
 
 // leave requests withdrawal of the local node from the site membership
 // view (msh-can.req(LEAVE), lines s07–s09).
-func (p *Protocol) leave() []proto.Command {
+func (p *Protocol) leave(buf *proto.CommandBuf) {
 	if !p.rf.Contains(p.local) {
-		return nil
+		return
 	}
-	return []proto.Command{
-		proto.SendRTR(can.LeaveSign(p.local)),
-		proto.Trace(trace.KindLeaveRequest, "leave requested"),
-	}
+	buf.Put(proto.SendRTR(can.LeaveSign(p.local)))
+	buf.Put(proto.TraceLeaveRequested())
 }
 
 // onRTRInd collects join/leave requests (lines s04–s06, s10–s12). Local
@@ -220,19 +222,19 @@ func (p *Protocol) onDataNty(mid can.MID) {
 // onFDNty folds a consistently-signalled node crash into the protocol
 // (lines s13–s16): the failure is accumulated for the cycle's view update
 // and a membership change is notified immediately.
-func (p *Protocol) onFDNty(r can.NodeID) []proto.Command {
+func (p *Protocol) onFDNty(r can.NodeID, buf *proto.CommandBuf) {
 	if !r.Valid() {
-		return nil
+		return
 	}
 	p.fset = p.fset.Add(r)
-	return p.changeNty(p.rf.Diff(p.fset), can.MakeSet(r))
+	p.changeNty(p.rf.Diff(p.fset), can.MakeSet(r), buf)
 }
 
 // cycle implements lines s17–s27; timerExpired distinguishes the cycle
 // timer disjunct of line s17 from the RHA-init disjunct.
-func (p *Protocol) cycle(timerExpired bool) []proto.Command {
+func (p *Protocol) cycle(timerExpired bool, buf *proto.CommandBuf) {
 	if p.left {
-		return nil
+		return
 	}
 	if timerExpired && !p.rf.Contains(p.local) {
 		if p.sawActivity {
@@ -242,97 +244,89 @@ func (p *Protocol) cycle(timerExpired bool) []proto.Command {
 			// failure): retry the join rather than bootstrapping a
 			// spurious parallel view.
 			p.sawActivity = false
-			return []proto.Command{
-				proto.SetTimer(proto.TimerMshCycle, p.cfg.TjoinWait),
-				proto.SendRTR(can.JoinSign(p.local)),
-				proto.Trace(trace.KindJoinRequest, "join retried"),
-			}
+			buf.Put(proto.SetTimer(proto.TimerMshCycle, p.cfg.TjoinWait))
+			buf.Put(proto.SendRTR(can.JoinSign(p.local)))
+			buf.Put(proto.TraceJoinRetried())
+			return
 		}
 		// The join wait elapsed with no full member active: the joiners
 		// bootstrap the view among themselves (lines s18–s20).
 		p.rf = p.rj
 	}
-	out := []proto.Command{proto.SetTimer(proto.TimerMshCycle, p.cfg.Tm)}
+	buf.Put(proto.SetTimer(proto.TimerMshCycle, p.cfg.Tm))
 	p.Cycles++
 	if !p.rj.Empty() || !p.rl.Empty() || p.cfg.RHAEveryCycle {
-		out = append(out, proto.RHARequest())
+		buf.Put(proto.RHARequest())
 	} else {
-		out = append(out, p.viewProc(p.rf)...)
+		p.viewProc(p.rf, buf)
 	}
-	return out
 }
 
 // onRHAEnd applies the agreed reception history vector (lines s28–s34).
-func (p *Protocol) onRHAEnd(rhv can.NodeSet) []proto.Command {
+func (p *Protocol) onRHAEnd(rhv can.NodeSet, buf *proto.CommandBuf) {
 	wasMember := p.rf.Contains(p.local)
-	out := p.viewProc(rhv)
+	p.viewProc(rhv, buf)
 	joinersIn := !p.rj.Intersect(p.rf).Empty()
 	leaversOut := !p.rl.Diff(p.rf).Empty()
 	if joinersIn || leaversOut {
-		out = append(out, p.changeNty(p.rf, can.EmptySet)...)
+		p.changeNty(p.rf, can.EmptySet, buf)
 	}
-	return append(out, p.dataProc(wasMember)...)
+	p.dataProc(wasMember, buf)
 }
 
 // viewProc implements msh-view-proc (lines a00–a02): the new view is the
 // agreed set minus the failures detected during the cycle.
-func (p *Protocol) viewProc(rw can.NodeSet) []proto.Command {
+func (p *Protocol) viewProc(rw can.NodeSet, buf *proto.CommandBuf) {
 	old := p.rf
 	p.rf = rw.Diff(p.fset)
 	p.fset = can.EmptySet
 	if p.rf != old {
-		return []proto.Command{proto.Tracef(trace.KindViewChange, "view %v -> %v", old, p.rf)}
+		buf.Put(proto.TraceViewChange(old, p.rf))
 	}
-	return nil
 }
 
 // dataProc implements msh-data-proc (lines a03–a09): start failure
 // detection for integrated joiners, expire stale join requests after two
 // cycles (footnote 10), stop surveillance of withdrawn nodes.
-func (p *Protocol) dataProc(wasMember bool) []proto.Command {
-	var out []proto.Command
-	justJoined := p.rj.Intersect(p.rf)
+func (p *Protocol) dataProc(wasMember bool, buf *proto.CommandBuf) {
+	toStart := p.rj.Intersect(p.rf)
 	if !wasMember && p.rf.Contains(p.local) {
 		// The local node just became a member: begin surveillance of the
 		// entire view (the paper omits this detail; existing members
 		// already monitor each other, the newcomer must catch up).
-		for _, s := range p.rf.IDs() {
-			out = append(out, proto.FDStart(s))
-		}
-	} else {
-		for _, s := range justJoined.IDs() {
-			out = append(out, proto.FDStart(s))
-		}
+		toStart = p.rf
+	}
+	for s := toStart; !s.Empty(); {
+		r := s.Lowest()
+		s = s.Remove(r)
+		buf.Put(proto.FDStart(r))
 	}
 	// A join request that failed to integrate (inconsistent reception of
 	// the JOIN frame at some members) is retried for one further cycle and
 	// then dropped, so Rj cannot grow without bound.
 	p.rj = p.rj.Diff(p.rf).Diff(p.rjPrev)
 	p.rjPrev = p.rj
-	gone := p.rl.Diff(p.rf)
-	for _, s := range gone.IDs() {
-		out = append(out, proto.FDStop(s))
+	for s := p.rl.Diff(p.rf); !s.Empty(); {
+		r := s.Lowest()
+		s = s.Remove(r)
+		buf.Put(proto.FDStop(r))
 	}
 	p.rl = p.rl.Intersect(p.rf)
-	return out
 }
 
 // changeNty implements msh-chg-nty (lines a10–a18): full members receive
 // the change; a node whose withdrawal completed receives its final
 // notification and stops cycling.
-func (p *Protocol) changeNty(rw, fw can.NodeSet) []proto.Command {
+func (p *Protocol) changeNty(rw, fw can.NodeSet, buf *proto.CommandBuf) {
 	switch {
 	case p.rf.Contains(p.local):
-		return []proto.Command{proto.NotifyView(rw, fw, false)}
+		buf.Put(proto.NotifyView(rw, fw, false))
 	case p.rl.Contains(p.local):
 		p.left = true
 		// The node is out: stop cycling, stop signalling activity (the
 		// local ELS generator) and deliver the final notification.
-		return []proto.Command{
-			proto.CancelTimer(proto.TimerMshCycle),
-			proto.FDStop(p.local),
-			proto.NotifyView(p.rf, can.MakeSet(p.local), true),
-		}
+		buf.Put(proto.CancelTimer(proto.TimerMshCycle))
+		buf.Put(proto.FDStop(p.local))
+		buf.Put(proto.NotifyView(p.rf, can.MakeSet(p.local), true))
 	}
-	return nil
 }

@@ -15,7 +15,6 @@ import (
 
 	"canely/internal/can"
 	"canely/internal/core/proto"
-	"canely/internal/trace"
 )
 
 // RHAConfig parameterizes the reception history agreement.
@@ -86,41 +85,47 @@ func NewRHA(local can.NodeID, cfg RHAConfig, env SharedSets) (*RHA, error) {
 // Running reports whether an execution is in progress.
 func (r *RHA) Running() bool { return r.running }
 
-// Step consumes one event. It returns a fresh command slice (nil when the
-// event produced no action).
+// Step consumes one event and returns a fresh command slice (nil when the
+// event produced no action). Compatibility wrapper over StepInto.
 func (r *RHA) Step(ev proto.Event) []proto.Command {
+	var buf proto.CommandBuf
+	r.StepInto(ev, &buf)
+	return buf.Commands()
+}
+
+// StepInto consumes one event, appending the resulting commands to buf.
+func (r *RHA) StepInto(ev proto.Event, buf *proto.CommandBuf) {
 	switch ev.Kind {
 	case proto.EvRHARequest:
-		return r.request()
+		r.request(buf)
 	case proto.EvDataInd:
-		return r.onDataInd(ev.MID, ev.Payload())
+		r.onDataInd(ev.MID, ev.Payload(), buf)
 	case proto.EvTimerFired:
 		if ev.Timer == proto.TimerRHATerm {
-			return r.expire()
+			r.expire(buf)
 		}
 	}
-	return nil
 }
 
 // request starts an execution (rha-can.req, Figure 7 lines s00–s04). Only
 // full members may start the protocol in isolation; joining nodes
 // participate once they receive an RHV signal. Requests during a running
 // execution are absorbed.
-func (r *RHA) request() []proto.Command {
+func (r *RHA) request(buf *proto.CommandBuf) {
 	if !r.env.FullMembers().Contains(r.local) {
-		return nil
+		return
 	}
 	if r.running {
-		return nil
+		return
 	}
-	return r.initSend(can.FullSet)
+	r.initSend(can.FullSet, buf)
 }
 
 // initSend implements rha-init-send (lines a00–a09): establish the initial
 // vector, arm the termination alarm, broadcast and notify INIT upward.
-func (r *RHA) initSend(rw can.NodeSet) []proto.Command {
+func (r *RHA) initSend(rw can.NodeSet, buf *proto.CommandBuf) {
 	r.running = true
-	out := []proto.Command{proto.SetTimer(proto.TimerRHATerm, r.cfg.Trha)}
+	buf.Put(proto.SetTimer(proto.TimerRHATerm, r.cfg.Trha))
 	if r.env.FullMembers().Contains(r.local) {
 		// Full-member initial vector: ((Rf ∪ Rj) − Rl) ∩ Rw.
 		r.rhv = r.env.FullMembers().Union(r.env.Joining()).Diff(r.env.Leaving()).Intersect(rw)
@@ -129,9 +134,9 @@ func (r *RHA) initSend(rw can.NodeSet) []proto.Command {
 		// received vector (line a05).
 		r.rhv = rw
 	}
-	out = append(out, proto.Tracef(trace.KindRHAStart, "rhv=%v", r.rhv))
-	out = append(out, r.sendRHV())
-	return append(out, proto.RHAInit())
+	buf.Put(proto.TraceRHAStart(r.rhv))
+	buf.Put(r.sendRHV())
+	buf.Put(proto.RHAInit())
 }
 
 // sendRHV broadcasts the current vector under mid {RHA, #RHV, local}.
@@ -144,9 +149,9 @@ func (r *RHA) sendRHV() proto.Command {
 
 // onDataInd handles RHV signal arrivals (lines r00–r13), own transmissions
 // included (they bump the duplicate counter like any other copy).
-func (r *RHA) onDataInd(mid can.MID, data []byte) []proto.Command {
+func (r *RHA) onDataInd(mid can.MID, data []byte, buf *proto.CommandBuf) {
 	if mid.Type != can.TypeRHA {
-		return nil
+		return
 	}
 	remote, err := can.SetFromBytes(data)
 	if err != nil {
@@ -157,45 +162,43 @@ func (r *RHA) onDataInd(mid can.MID, data []byte) []proto.Command {
 	r.ndup[remote]++
 	switch {
 	case !r.running:
-		return r.initSend(remote)
+		r.initSend(remote, buf)
 	case r.rhv.Intersect(remote) != r.rhv:
 		// The received vector excludes nodes we still carry: abort our
 		// outstanding proposal, adopt the intersection, rebroadcast
 		// (lines r04–r07).
-		var out []proto.Command
 		if r.hasPend {
-			out = append(out, proto.Abort(r.pending))
+			buf.Put(proto.Abort(r.pending))
 		}
 		r.rhv = r.rhv.Intersect(remote)
-		return append(out, r.sendRHV())
+		buf.Put(r.sendRHV())
 	case r.rhv == remote && r.ndup[remote] > r.cfg.J:
 		// More than J copies of our exact value are circulating: even J
 		// inconsistent omissions cannot have hidden it from any correct
 		// node, so our own (re)transmission is redundant (line r08).
 		if r.hasPend {
 			r.hasPend = false
-			return []proto.Command{proto.Abort(r.pending)}
+			buf.Put(proto.Abort(r.pending))
 		}
 	}
-	return nil
 }
 
 // expire ends the execution (lines r14–r18): deliver END with the agreed
 // vector and reset protocol state.
-func (r *RHA) expire() []proto.Command {
+func (r *RHA) expire(buf *proto.CommandBuf) {
 	rhv := r.rhv
-	out := []proto.Command{proto.Tracef(trace.KindRHAEnd, "rhv=%v", rhv)}
+	buf.Put(proto.TraceRHAEnd(rhv))
 	// Quench any leftover transmit request: with an adequate Trha it has
 	// long been transmitted and this is a no-op; under pathological
 	// overload it prevents a stale vector from triggering a spurious
 	// post-termination execution at every node.
 	if r.hasPend {
-		out = append(out, proto.Abort(r.pending))
+		buf.Put(proto.Abort(r.pending))
 		r.hasPend = false
 	}
 	r.running = false
 	r.rhv = can.EmptySet
-	r.ndup = make(map[can.NodeSet]int)
+	clear(r.ndup)
 	r.Executions++
-	return append(out, proto.RHAEnd(rhv))
+	buf.Put(proto.RHAEnd(rhv))
 }

@@ -1,7 +1,8 @@
 // Package core composes the four sans-I/O protocol cores of one CANELy
 // node — failure detection agreement (FDA), node failure detection, the
 // reception history agreement (RHA) and site membership — into a single
-// Node with one Step(Event) []Command entry point.
+// Node with one StepInto(Event, *CommandBuf) entry point (Step remains as
+// a slice-returning compatibility wrapper).
 //
 // The sub-cores talk to each other through inter-core command kinds
 // (CmdFDARequest, CmdFDANty, CmdFDNty, CmdRHARequest, ...). Node routes
@@ -40,6 +41,18 @@ type Node struct {
 	Det *fd.Detector
 	Msh *membership.Protocol
 	RHA *membership.RHA
+
+	// scratch is the reusable routing buffer: each sub-core step appends
+	// into it, the new segment is walked for inter-core expansion, and the
+	// buffer is truncated back. Steps never run concurrently (a core is
+	// single-node state), so one buffer per Node suffices; it grows to the
+	// deepest routing chain once and steady-state steps allocate nothing.
+	scratch proto.CommandBuf
+}
+
+// stepper is the emit-into-buffer entry point shared by all sub-cores.
+type stepper interface {
+	StepInto(proto.Event, *proto.CommandBuf)
 }
 
 // New builds the composite core. The RHA core reads the membership
@@ -60,70 +73,93 @@ func New(id can.NodeID, cfg Config) (*Node, error) {
 	return &Node{ID: id, FDA: fd.NewFDA(), Det: det, Msh: msh, RHA: rha}, nil
 }
 
-// Step consumes one event, dispatching it to the interested sub-cores in
-// the order the layered stack registered their indication handlers, and
-// routes inter-core commands. It returns the fully-expanded command
-// stream, in execution order.
+// Step consumes one event and returns the fully-expanded command stream as
+// a fresh slice. Compatibility wrapper over StepInto.
 func (n *Node) Step(ev proto.Event) []proto.Command {
-	var out []proto.Command
+	var buf proto.CommandBuf
+	n.StepInto(ev, &buf)
+	return buf.Commands()
+}
+
+// StepInto consumes one event, dispatching it to the interested sub-cores
+// in the order the layered stack registered their indication handlers, and
+// routes inter-core commands. The fully-expanded command stream is appended
+// to out in execution order.
+func (n *Node) StepInto(ev proto.Event, out *proto.CommandBuf) {
 	switch ev.Kind {
 	case proto.EvRTRInd:
 		// Handler order of the layered stack: FDA, detector, membership.
-		out = n.route(out, n.FDA.Step(ev), ev.At)
-		out = n.route(out, n.Det.Step(ev), ev.At)
-		out = n.route(out, n.Msh.Step(ev), ev.At)
+		n.subStep(n.FDA, ev, out)
+		n.subStep(n.Det, ev, out)
+		n.subStep(n.Msh, ev, out)
 	case proto.EvDataNty:
-		out = n.route(out, n.Det.Step(ev), ev.At)
-		out = n.route(out, n.Msh.Step(ev), ev.At)
+		n.subStep(n.Det, ev, out)
+		n.subStep(n.Msh, ev, out)
 	case proto.EvDataInd:
-		out = n.route(out, n.RHA.Step(ev), ev.At)
+		n.subStep(n.RHA, ev, out)
 	case proto.EvTimerFired:
 		switch ev.Timer {
 		case proto.TimerFDScan:
-			out = n.route(out, n.Det.Step(ev), ev.At)
+			n.subStep(n.Det, ev, out)
 		case proto.TimerMshCycle:
-			out = n.route(out, n.Msh.Step(ev), ev.At)
+			n.subStep(n.Msh, ev, out)
 		case proto.TimerRHATerm:
-			out = n.route(out, n.RHA.Step(ev), ev.At)
+			n.subStep(n.RHA, ev, out)
 		}
 	case proto.EvBootstrap, proto.EvJoin, proto.EvLeave, proto.EvFDNty,
 		proto.EvRHAInit, proto.EvRHAEnd:
-		out = n.route(out, n.Msh.Step(ev), ev.At)
+		n.subStep(n.Msh, ev, out)
 	case proto.EvFDStart, proto.EvFDStop, proto.EvFDANty:
-		out = n.route(out, n.Det.Step(ev), ev.At)
+		n.subStep(n.Det, ev, out)
 	case proto.EvFDARequest, proto.EvFDACancel:
-		out = n.route(out, n.FDA.Step(ev), ev.At)
+		n.subStep(n.FDA, ev, out)
 	case proto.EvRHARequest:
-		out = n.route(out, n.RHA.Step(ev), ev.At)
+		n.subStep(n.RHA, ev, out)
 	}
-	return out
 }
 
-// route appends cmds to out, splicing in the depth-first expansion of each
-// inter-core command before the command itself.
-func (n *Node) route(out, cmds []proto.Command, at sim.Time) []proto.Command {
-	for _, c := range cmds {
-		switch c.Kind {
-		case proto.CmdFDARequest:
-			out = n.route(out, n.FDA.Step(proto.Event{Kind: proto.EvFDARequest, At: at, Node: c.Node}), at)
-		case proto.CmdFDACancel:
-			out = n.route(out, n.FDA.Step(proto.Event{Kind: proto.EvFDACancel, At: at, Node: c.Node}), at)
-		case proto.CmdFDANty:
-			out = n.route(out, n.Det.Step(proto.Event{Kind: proto.EvFDANty, At: at, Node: c.Node}), at)
-		case proto.CmdFDNty:
-			out = n.route(out, n.Msh.Step(proto.Event{Kind: proto.EvFDNty, At: at, Node: c.Node}), at)
-		case proto.CmdFDStart:
-			out = n.route(out, n.Det.Step(proto.Event{Kind: proto.EvFDStart, At: at, Node: c.Node}), at)
-		case proto.CmdFDStop:
-			out = n.route(out, n.Det.Step(proto.Event{Kind: proto.EvFDStop, At: at, Node: c.Node}), at)
-		case proto.CmdRHARequest:
-			out = n.route(out, n.RHA.Step(proto.Event{Kind: proto.EvRHARequest, At: at}), at)
-		case proto.CmdRHAInit:
-			out = n.route(out, n.Msh.Step(proto.Event{Kind: proto.EvRHAInit, At: at}), at)
-		case proto.CmdRHAEnd:
-			out = n.route(out, n.Msh.Step(proto.Event{Kind: proto.EvRHAEnd, At: at, View: c.View}), at)
-		}
-		out = append(out, c)
+// subStep lets one sub-core consume ev, then routes its emission into out:
+// each inter-core command's depth-first expansion is spliced in before the
+// command itself.
+//
+// The emission lands in a segment [mark, Len) of the shared scratch buffer.
+// Each command is copied out by value before the recursive expansion (which
+// reuses the scratch past the segment and may grow, i.e. reallocate, it),
+// and the segment is truncated away when the walk completes — so the
+// scratch's high-water mark is the deepest routing chain ever taken, after
+// which no step allocates.
+func (n *Node) subStep(s stepper, ev proto.Event, out *proto.CommandBuf) {
+	mark := n.scratch.Len()
+	s.StepInto(ev, &n.scratch)
+	for i := mark; i < n.scratch.Len(); i++ {
+		c := n.scratch.At(i)
+		n.expand(c, ev.At, out)
+		out.Put(c)
 	}
-	return out
+	n.scratch.Truncate(mark)
+}
+
+// expand routes one inter-core command to its target core; marker commands
+// of other kinds expand to nothing.
+func (n *Node) expand(c proto.Command, at sim.Time, out *proto.CommandBuf) {
+	switch c.Kind {
+	case proto.CmdFDARequest:
+		n.subStep(n.FDA, proto.Event{Kind: proto.EvFDARequest, At: at, Node: c.Node}, out)
+	case proto.CmdFDACancel:
+		n.subStep(n.FDA, proto.Event{Kind: proto.EvFDACancel, At: at, Node: c.Node}, out)
+	case proto.CmdFDANty:
+		n.subStep(n.Det, proto.Event{Kind: proto.EvFDANty, At: at, Node: c.Node}, out)
+	case proto.CmdFDNty:
+		n.subStep(n.Msh, proto.Event{Kind: proto.EvFDNty, At: at, Node: c.Node}, out)
+	case proto.CmdFDStart:
+		n.subStep(n.Det, proto.Event{Kind: proto.EvFDStart, At: at, Node: c.Node}, out)
+	case proto.CmdFDStop:
+		n.subStep(n.Det, proto.Event{Kind: proto.EvFDStop, At: at, Node: c.Node}, out)
+	case proto.CmdRHARequest:
+		n.subStep(n.RHA, proto.Event{Kind: proto.EvRHARequest, At: at}, out)
+	case proto.CmdRHAInit:
+		n.subStep(n.Msh, proto.Event{Kind: proto.EvRHAInit, At: at}, out)
+	case proto.CmdRHAEnd:
+		n.subStep(n.Msh, proto.Event{Kind: proto.EvRHAEnd, At: at, View: c.View}, out)
+	}
 }

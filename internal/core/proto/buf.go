@@ -1,0 +1,39 @@
+package proto
+
+// CommandBuf is a reusable command emission buffer. Cores append into one
+// via StepInto instead of returning freshly allocated slices; callers Reset
+// and reuse the same buffer across steps, so the steady-state loop settles
+// into zero allocations once the buffer has grown to the high-water mark.
+//
+// The buffer also supports segment-based routing (core.Node): a caller
+// records Len as a mark, lets a sub-core append, walks [mark, Len) by
+// index, and Truncates back to the mark — all without aliasing problems as
+// long as each Command is copied out by value before recursing.
+type CommandBuf struct {
+	cmds []Command
+}
+
+// Reset empties the buffer, retaining capacity.
+func (b *CommandBuf) Reset() { b.cmds = b.cmds[:0] }
+
+// Len reports the number of buffered commands.
+func (b *CommandBuf) Len() int { return len(b.cmds) }
+
+// Put appends a command.
+func (b *CommandBuf) Put(c Command) { b.cmds = append(b.cmds, c) }
+
+// At returns the i-th buffered command by value.
+func (b *CommandBuf) At(i int) Command { return b.cmds[i] }
+
+// Truncate shortens the buffer to n commands.
+func (b *CommandBuf) Truncate(n int) { b.cmds = b.cmds[:n] }
+
+// Commands exposes the buffered commands as a slice, nil when empty. The
+// slice aliases the buffer: it is valid only until the next Reset/Put and
+// must be copied for retention (replay recording does).
+func (b *CommandBuf) Commands() []Command {
+	if len(b.cmds) == 0 {
+		return nil
+	}
+	return b.cmds
+}

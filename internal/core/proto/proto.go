@@ -17,6 +17,23 @@
 // Both Event and Command are comparable value types (payloads are inlined
 // into a fixed array — a CAN payload is at most 8 bytes), so replay
 // verification is plain ==, and both serialize to JSON for captured logs.
+//
+// # Allocation discipline
+//
+// Step allocates a fresh command slice per call, which is fine for tests
+// and replay but puts the allocator on the simulation hot path: a steady
+// 1 Mbit/s bus delivers hundreds of frames per virtual second, and every
+// delivery steps several cores at every node. The hot entry point is
+// therefore
+//
+//	StepInto(Event, *CommandBuf)
+//
+// which appends into a caller-owned, reusable CommandBuf; Step is a thin
+// compatibility wrapper over it. Trace output follows the same discipline:
+// cores emit *lazy* trace commands (a TraceMsgID template plus operands
+// already inlined in the Command) instead of pre-formatted strings, and the
+// text is rendered by TraceText only when a trace sink is actually
+// attached — a run on the fast substrate formats nothing at all.
 package proto
 
 import (
@@ -299,15 +316,20 @@ type Command struct {
 	Delay sim.Duration `json:"delay,omitempty"`
 	// Node is the argument of the inter-core request/notification kinds.
 	Node can.NodeID `json:"node,omitempty"`
-	// Active, Failed and Left carry a CmdNotifyView change.
+	// Active, Failed and Left carry a CmdNotifyView change. Active doubles
+	// as the old view of a TraceMsgViewChange trace command.
 	Active can.NodeSet `json:"active,omitempty"`
 	Failed can.NodeSet `json:"failed,omitempty"`
 	Left   bool        `json:"left,omitempty"`
-	// View is the agreed vector of CmdRHAEnd.
+	// View is the agreed vector of CmdRHAEnd, and the NodeSet operand of
+	// the lazy trace templates.
 	View can.NodeSet `json:"rhaView,omitempty"`
-	// TraceKind and Msg carry a CmdTrace event, pre-formatted so the core
-	// needs no trace handle.
+	// TraceKind classifies a CmdTrace event. TraceMsg selects the lazy
+	// message template (operands live in Node/Active/View); Msg carries
+	// pre-formatted text for the eager Trace/Tracef path. TraceText renders
+	// either on demand.
 	TraceKind trace.Kind `json:"traceKind,omitempty"`
+	TraceMsg  TraceMsgID `json:"traceMsg,omitempty"`
 	Msg       string     `json:"msg,omitempty"`
 }
 
@@ -333,7 +355,7 @@ func (c Command) String() string {
 	case CmdCancelTimer:
 		fmt.Fprintf(&sb, " %v", c.Timer)
 	case CmdTrace:
-		fmt.Fprintf(&sb, " %s %q", c.TraceKind, c.Msg)
+		fmt.Fprintf(&sb, " %s %q", c.TraceKind, c.TraceText())
 	case CmdNotifyView:
 		fmt.Fprintf(&sb, " active=%v failed=%v left=%t", c.Active, c.Failed, c.Left)
 	case CmdFDARequest, CmdFDACancel, CmdFDANty, CmdFDNty, CmdFDStart, CmdFDStop:
@@ -376,14 +398,113 @@ func SetTimer(id TimerID, d sim.Duration) Command {
 // CancelTimer disarms a logical timer.
 func CancelTimer(id TimerID) Command { return Command{Kind: CmdCancelTimer, Timer: id} }
 
-// Trace emits a pre-formatted diagnostic event.
+// Trace emits a pre-formatted diagnostic event. The protocol cores use the
+// lazy Trace* template constructors instead — this eager form exists for
+// tests and ad-hoc diagnostics.
 func Trace(kind trace.Kind, msg string) Command {
 	return Command{Kind: CmdTrace, TraceKind: kind, Msg: msg}
 }
 
-// Tracef emits a formatted diagnostic event.
+// Tracef emits a formatted diagnostic event (eager; see Trace).
 func Tracef(kind trace.Kind, format string, args ...any) Command {
 	return Command{Kind: CmdTrace, TraceKind: kind, Msg: fmt.Sprintf(format, args...)}
+}
+
+// TraceMsgID selects a lazy trace message template. A lazy trace command
+// carries the template id and its operands (Node, Active, View) instead of
+// a formatted string, so emitting one costs no allocation; the text is
+// rendered by TraceText only when a sink consumes it.
+type TraceMsgID uint8
+
+const (
+	// TraceMsgNone marks an eager trace command: Msg carries the text.
+	TraceMsgNone TraceMsgID = iota
+	// TraceMsgELS renders "explicit life-sign".
+	TraceMsgELS
+	// TraceMsgTimerExpired renders "timer expired for <Node>".
+	TraceMsgTimerExpired
+	// TraceMsgNodeFailed renders "node <Node> failed".
+	TraceMsgNodeFailed
+	// TraceMsgJoinRequested renders "join requested".
+	TraceMsgJoinRequested
+	// TraceMsgJoinRetried renders "join retried".
+	TraceMsgJoinRetried
+	// TraceMsgLeaveRequested renders "leave requested".
+	TraceMsgLeaveRequested
+	// TraceMsgViewChange renders "view <Active> -> <View>".
+	TraceMsgViewChange
+	// TraceMsgRHAVector renders "rhv=<View>" (RHA start and end).
+	TraceMsgRHAVector
+)
+
+// TraceText renders the message of a CmdTrace command: the lazy template
+// when TraceMsg is set, the pre-formatted Msg otherwise. Only trace sinks
+// call it — a run without one never formats.
+func (c Command) TraceText() string {
+	switch c.TraceMsg {
+	case TraceMsgELS:
+		return "explicit life-sign"
+	case TraceMsgTimerExpired:
+		return fmt.Sprintf("timer expired for %v", c.Node)
+	case TraceMsgNodeFailed:
+		return fmt.Sprintf("node %v failed", c.Node)
+	case TraceMsgJoinRequested:
+		return "join requested"
+	case TraceMsgJoinRetried:
+		return "join retried"
+	case TraceMsgLeaveRequested:
+		return "leave requested"
+	case TraceMsgViewChange:
+		return fmt.Sprintf("view %v -> %v", c.Active, c.View)
+	case TraceMsgRHAVector:
+		return fmt.Sprintf("rhv=%v", c.View)
+	}
+	return c.Msg
+}
+
+// TraceELS traces an explicit life-sign broadcast.
+func TraceELS() Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindELS, TraceMsg: TraceMsgELS}
+}
+
+// TraceTimerExpired traces a surveillance expiry for a remote node.
+func TraceTimerExpired(r can.NodeID) Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindFDNotify, TraceMsg: TraceMsgTimerExpired, Node: r}
+}
+
+// TraceNodeFailed traces a consistent failure-sign agreement.
+func TraceNodeFailed(r can.NodeID) Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindFDANotify, TraceMsg: TraceMsgNodeFailed, Node: r}
+}
+
+// TraceJoinRequested traces a local join request.
+func TraceJoinRequested() Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindJoinRequest, TraceMsg: TraceMsgJoinRequested}
+}
+
+// TraceJoinRetried traces a join retry after an unintegrated join wait.
+func TraceJoinRetried() Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindJoinRequest, TraceMsg: TraceMsgJoinRetried}
+}
+
+// TraceLeaveRequested traces a local leave request.
+func TraceLeaveRequested() Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindLeaveRequest, TraceMsg: TraceMsgLeaveRequested}
+}
+
+// TraceViewChange traces a membership view update old -> new.
+func TraceViewChange(old, now can.NodeSet) Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindViewChange, TraceMsg: TraceMsgViewChange, Active: old, View: now}
+}
+
+// TraceRHAStart traces the initial vector of an RHA execution.
+func TraceRHAStart(rhv can.NodeSet) Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindRHAStart, TraceMsg: TraceMsgRHAVector, View: rhv}
+}
+
+// TraceRHAEnd traces the agreed vector of a completed RHA execution.
+func TraceRHAEnd(rhv can.NodeSet) Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindRHAEnd, TraceMsg: TraceMsgRHAVector, View: rhv}
 }
 
 // NotifyView delivers a membership change.

@@ -1,0 +1,55 @@
+// Package prof wires the conventional -cpuprofile / -memprofile flag pair
+// into the CLIs. The files it writes are standard pprof profiles:
+//
+//	go tool pprof -top ./campaign cpu.out
+//	go tool pprof -top -sample_index=alloc_space ./campaign mem.out
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (empty disables it) and returns a
+// stop function that ends the CPU profile and, when memPath is non-empty,
+// snapshots the heap profile there (after a GC, so the numbers reflect live
+// and cumulative allocation, not collection timing). Call stop exactly
+// once, on every exit path that should produce profiles.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing %s: %w", cpuPath, err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("prof: writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("prof: closing %s: %w", memPath, err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -56,9 +56,16 @@ func (l *Log) Register(id can.NodeID, cfg core.Config) {
 	l.Nodes = append(l.Nodes, NodeConfig{ID: id, Core: cfg})
 }
 
-// Append records one Step.
+// Append records one Step. The command slice is copied: callers (the stack
+// binding) hand in views of reused buffers that are invalid past the call.
+// Recording is a diagnostic mode, so this cold-path allocation is fine.
 func (l *Log) Append(id can.NodeID, ev proto.Event, cmds []proto.Command) {
-	l.Records = append(l.Records, Record{Node: id, Event: ev, Commands: cmds})
+	var copied []proto.Command
+	if len(cmds) > 0 {
+		copied = make([]proto.Command, len(cmds))
+		copy(copied, cmds)
+	}
+	l.Records = append(l.Records, Record{Node: id, Event: ev, Commands: copied})
 }
 
 // Save writes the log as indented JSON.
@@ -88,12 +95,15 @@ func (l *Log) Verify() error {
 		}
 		nodes[nc.ID] = n
 	}
+	var buf proto.CommandBuf
 	for i, rec := range l.Records {
 		n := nodes[rec.Node]
 		if n == nil {
 			return fmt.Errorf("replay: record %d references unregistered node %v", i, rec.Node)
 		}
-		got := n.Step(rec.Event)
+		buf.Reset()
+		n.StepInto(rec.Event, &buf)
+		got := buf.Commands()
 		if len(got) != len(rec.Commands) {
 			return fmt.Errorf("replay: record %d (node %v, %v): %d commands, recorded %d\n got: %v\nwant: %v",
 				i, rec.Node, rec.Event, len(got), len(rec.Commands), got, rec.Commands)

@@ -166,9 +166,14 @@ type Scheduler struct {
 	fired   uint64
 	// slab is the tail of the current event allocation chunk. Carving events
 	// out of chunks instead of allocating one object per At call takes the
-	// allocator off the scheduler's hot path; chunks are never reused, so
-	// event handles stay unique for the scheduler's lifetime.
+	// allocator off the scheduler's hot path.
 	slab []Event
+	// free recycles events whose lifetime has ended (fired with the callback
+	// returned, or cancelled and reaped from the queue). With it, the
+	// steady-state event churn costs no allocation at all: the slab only
+	// grows to the peak number of simultaneously live events. Recycling is
+	// what makes the handle-validity contract of At load-bearing.
+	free []*Event
 }
 
 // NewScheduler returns a scheduler positioned at virtual time zero.
@@ -196,6 +201,12 @@ func (s *Scheduler) Pending() int {
 
 // At schedules fn to run at the given instant. Scheduling in the past
 // (before Now) panics: in a discrete-event simulation that is always a bug.
+//
+// The returned handle is valid while the event is pending. Once the event
+// has fired (and its callback returned) or was cancelled, the scheduler may
+// recycle the Event for a later At, so holders must drop or replace stale
+// references instead of calling Cancel/Pending/When on them — the
+// sim.Timer/Ticker machinery and the stack binding follow this discipline.
 func (s *Scheduler) At(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: At with nil callback")
@@ -203,11 +214,18 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	if len(s.slab) == 0 {
-		s.slab = make([]Event, 128)
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free = s.free[:n-1]
+		ev.fired, ev.gone = false, false
+	} else {
+		if len(s.slab) == 0 {
+			s.slab = make([]Event, 128)
+		}
+		ev = &s.slab[0]
+		s.slab = s.slab[1:]
 	}
-	ev := &s.slab[0]
-	s.slab = s.slab[1:]
 	ev.at, ev.seq, ev.fn = t, s.seq, fn
 	s.seq++
 	s.queue.push(ev)
@@ -228,14 +246,20 @@ func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
 		ev := s.queue.pop()
 		if ev.gone {
+			s.free = append(s.free, ev)
 			continue
 		}
 		s.now = ev.at
 		ev.fired = true
 		s.fired++
 		fn := ev.fn
-		ev.fn = nil // release the closure; fired events live until their chunk dies
+		ev.fn = nil // release the closure before the callback reschedules
 		fn()
+		// Recycle only now: during fn the handle is still the firing event's
+		// (holders clear their references from inside the callback), and an
+		// At call made by fn must not be handed this very event while the
+		// holder can still observe it.
+		s.free = append(s.free, ev)
 		return true
 	}
 	return false
@@ -282,7 +306,7 @@ func (s *Scheduler) peek() (Time, bool) {
 	for len(s.queue) > 0 {
 		ev := s.queue[0]
 		if ev.gone {
-			s.queue.pop()
+			s.free = append(s.free, s.queue.pop())
 			continue
 		}
 		return ev.at, true

@@ -449,3 +449,57 @@ func TestRNGDrawSurface(t *testing.T) {
 		}()
 	}
 }
+
+func TestTimerShortenWithPendingPlaceholder(t *testing.T) {
+	// Lazy restart keeps a placeholder event queued at the *old* deadline.
+	// Shortening the timer must not trust that placeholder: Start with a
+	// shorter duration has to cancel it and fire at the new, earlier
+	// deadline.
+	s := NewScheduler()
+	var firedAt Time
+	fires := 0
+	tm := NewTimer(s, func() { fires++; firedAt = s.Now() })
+	tm.Start(10 * Millisecond) // placeholder queued at t=10ms
+	tm.Start(2 * Millisecond)  // earlier deadline: placeholder unusable
+	if got := tm.Deadline(); got != Time(2*Millisecond) {
+		t.Fatalf("Deadline = %v, want 2ms", got)
+	}
+	s.RunFor(2 * Millisecond)
+	if fires != 1 {
+		t.Fatalf("fires at t=2ms = %d, want 1 (timer stuck on old placeholder)", fires)
+	}
+	if firedAt != Time(2*Millisecond) {
+		t.Fatalf("fired at %v, want 2ms", firedAt)
+	}
+	s.RunFor(20 * Millisecond) // the cancelled 10ms placeholder must be inert
+	if fires != 1 {
+		t.Fatalf("fires after draining = %d, want 1", fires)
+	}
+}
+
+func TestTimerShortenAfterLazyRestart(t *testing.T) {
+	// Same edge reached through the lazy path: a restart that *lengthens* the
+	// deadline leaves the placeholder at the old instant (ev.When() <
+	// deadline), and only then is the timer shortened to a deadline that is
+	// earlier than the pending placeholder.
+	s := NewScheduler()
+	fires := 0
+	var firedAt Time
+	tm := NewTimer(s, func() { fires++; firedAt = s.Now() })
+	tm.Start(5 * Millisecond) // placeholder at t=5ms
+	s.RunFor(Millisecond)
+	tm.Start(10 * Millisecond) // lazy: placeholder stays at t=5ms, deadline t=11ms
+	if got := tm.Deadline(); got != Time(11*Millisecond) {
+		t.Fatalf("Deadline = %v, want 11ms", got)
+	}
+	s.RunFor(Millisecond) // t=2ms
+	tm.Start(Millisecond) // deadline t=3ms, earlier than the t=5ms placeholder
+	s.RunFor(Millisecond) // t=3ms
+	if fires != 1 || firedAt != Time(3*Millisecond) {
+		t.Fatalf("fires=%d at %v, want 1 at 3ms", fires, firedAt)
+	}
+	s.RunFor(20 * Millisecond)
+	if fires != 1 {
+		t.Fatalf("fires after draining = %d, want 1", fires)
+	}
+}

@@ -173,6 +173,13 @@ type Stack struct {
 	onChange []func(membership.Change)
 	hooks    *Hooks
 
+	// bufs is a free-list of command buffers for inject. A plain reusable
+	// field would not do: executing a command stream can re-enter inject
+	// (a CmdNotifyView consumer may call Join/Leave/FDStart), and the outer
+	// stream must survive the nested step. Depth beyond 2 is rare, so the
+	// list stays tiny and steady-state injects allocate nothing.
+	bufs []*proto.CommandBuf
+
 	// Optional companion services, nil until enabled.
 	Groups  *groups.Service
 	Ordered *edcan.Ordered
@@ -214,7 +221,13 @@ func New(sched *sim.Scheduler, media []Medium, id can.NodeID, cfg Config, tr *tr
 	// Alarm machinery. The scan event is raw (cancel + reschedule chases
 	// the earliest deadline); the cycle and termination alarms are lazy
 	// timers.
-	st.scanFire = func() { st.inject(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerFDScan}) }
+	st.scanFire = func() {
+		// Drop the handle first: once this callback returns the scheduler
+		// may recycle the fired event, and a stale Cancel would then hit an
+		// unrelated event.
+		st.scanEv = nil
+		st.inject(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerFDScan})
+	}
 	st.mshTimer = sim.NewTimer(sched, func() {
 		st.inject(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerMshCycle})
 	})
@@ -251,14 +264,34 @@ func New(sched *sim.Scheduler, media []Medium, id can.NodeID, cfg Config, tr *tr
 }
 
 // inject pumps one event through the composite core, records it when a
-// recorder is attached, and executes the command stream.
+// recorder is attached, and executes the command stream. The command buffer
+// comes from the stack's free-list and returns to it afterwards; the
+// recorder copies what it retains.
 func (st *Stack) inject(ev proto.Event) {
 	ev.At = st.sched.Now()
-	cmds := st.Core.Step(ev)
+	buf := st.getBuf()
+	st.Core.StepInto(ev, buf)
 	if st.cfg.Recorder != nil {
-		st.cfg.Recorder.Append(st.id, ev, cmds)
+		st.cfg.Recorder.Append(st.id, ev, buf.Commands())
 	}
-	st.exec(cmds)
+	st.exec(buf.Commands())
+	st.putBuf(buf)
+}
+
+// getBuf pops a command buffer off the free-list (or grows the list).
+func (st *Stack) getBuf() *proto.CommandBuf {
+	if n := len(st.bufs); n > 0 {
+		buf := st.bufs[n-1]
+		st.bufs = st.bufs[:n-1]
+		return buf
+	}
+	return new(proto.CommandBuf)
+}
+
+// putBuf resets a buffer and pushes it back for reuse.
+func (st *Stack) putBuf(buf *proto.CommandBuf) {
+	buf.Reset()
+	st.bufs = append(st.bufs, buf)
 }
 
 // exec carries out a command stream against the layer, the alarm machinery
@@ -295,6 +328,7 @@ func (st *Stack) exec(cmds []proto.Command) {
 			case proto.TimerFDScan:
 				if st.scanEv != nil {
 					st.scanEv.Cancel()
+					st.scanEv = nil
 				}
 			case proto.TimerMshCycle:
 				st.mshTimer.Stop()
@@ -302,7 +336,12 @@ func (st *Stack) exec(cmds []proto.Command) {
 				st.rhaTimer.Stop()
 			}
 		case proto.CmdTrace:
-			st.tr.Emit(c.TraceKind, int(st.id), "%s", c.Msg)
+			// Formatting is lazy: TraceText renders the message template only
+			// when a sink is actually attached (the fast substrate runs with
+			// no trace, so steady-state campaign steps never format).
+			if st.tr != nil {
+				st.tr.Emit(c.TraceKind, int(st.id), "%s", c.TraceText())
+			}
 		case proto.CmdNotifyView:
 			ch := membership.Change{Active: c.Active, Failed: c.Failed, Left: c.Left}
 			for _, fn := range st.onChange {

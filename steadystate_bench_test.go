@@ -1,0 +1,29 @@
+package canely_test
+
+import (
+	"testing"
+	"time"
+
+	"canely"
+)
+
+// BenchmarkSteadyStateStep measures the pure core + binding hot path: an
+// 8-node bootstrapped network on the fast substrate in steady state — no
+// joins, no leaves, no crashes, no fault injection — advancing one second of
+// virtual time per op. Every op therefore covers the same event population
+// (ELS life-signs, surveillance restarts, membership cycles with the RHA
+// skip) and the metric that matters is allocs/op: the steady-state loop is
+// supposed to run allocation-free once the network is warm.
+func BenchmarkSteadyStateStep(b *testing.B) {
+	cfg := canely.DefaultConfig()
+	cfg.Substrate = canely.SubstrateFast
+	net := canely.NewNetwork(cfg, 8)
+	net.BootstrapAll()
+	// Warm up: first cycles grow buffers, queues and scheduler slabs.
+	net.Run(time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Run(time.Second)
+	}
+}
