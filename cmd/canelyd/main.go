@@ -1,0 +1,52 @@
+// Command canelyd is the CANELy bus broker: it emulates one CAN medium
+// over local sockets so independent canelynode processes share a bus.
+//
+//	canelyd -listen :8964
+//	canelyd -listen unix:/tmp/canely.sock -rate 125000
+//
+// The broker runs the frame-level bus substrate — priority arbitration,
+// wired-AND clustering of identical remote frames, per-frame duration
+// pacing at the configured bit rate and TEC/REC fault confinement — on a
+// wall-clock-paced event loop, so the medium behaves exactly like the
+// simulator's, only in real time. For media redundancy run two brokers and
+// point canelynode at both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"canely/internal/can"
+	"canely/internal/rt"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":8964", "listen address, unix:/path or [tcp:]host:port")
+		rate   = flag.Int("rate", int(can.Rate1Mbps), "emulated bit rate (bit/s)")
+		quiet  = flag.Bool("quiet", false, "suppress connection lifecycle logging")
+	)
+	flag.Parse()
+
+	cfg := rt.BrokerConfig{Rate: can.BitRate(*rate)}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	b, err := rt.ListenBroker(*listen, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("canelyd: bus up on %v at %d bit/s\n", b.Addr(), b.Rate())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("canelyd: shutting down")
+	b.Close()
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"canely/internal/can"
+)
+
+func TestParseSet(t *testing.T) {
+	cases := []struct {
+		spec string
+		want can.NodeSet
+	}{
+		{"", 0},
+		{"0-4", can.RangeSet(0, 5)},
+		{"0,2,5", can.MakeSet(0, 2, 5)},
+		{"1-2,7", can.MakeSet(1, 2, 7)},
+		{" 3 , 5 ", can.MakeSet(3, 5)},
+	}
+	for _, c := range cases {
+		got, err := parseSet(c.spec)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Fatalf("%q = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	for _, spec := range []string{"x", "4-1", "1-", "-3", "1,,2"} {
+		if _, err := parseSet(spec); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Live: the simulator's protocol stack on a real wall clock — an in-process
+// canelyd broker listening on a TCP loopback socket, five nodes each dialing
+// it and running failure detection and membership against real timers. The
+// same scenario as examples/quickstart, except time is time: the crash is
+// detected in actual milliseconds, not simulated ones.
+//
+// For the true multi-process version of this scenario, run the canelyd and
+// canelynode commands (see the README quickstart); this example keeps
+// everything in one process so `go run ./examples/live` just works.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/core/fd"
+	"canely/internal/core/membership"
+	"canely/internal/rt"
+	"canely/internal/stack"
+)
+
+func main() {
+	// A modest bit rate stretches frame durations to ~100 µs, comfortably
+	// above OS timer jitter. Protocol periods are relaxed for the same
+	// reason: live Tb is 150 ms where the simulator uses 10 ms.
+	broker, err := rt.ListenBroker("127.0.0.1:0", rt.BrokerConfig{Rate: can.Rate125Kbps})
+	if err != nil {
+		panic(err)
+	}
+	defer broker.Close()
+	addr := broker.Addr().String()
+	fmt.Printf("broker up on %s at %v bit/s\n", addr, broker.Rate())
+
+	scfg := stack.Config{
+		FD: fd.Config{Tb: 150 * time.Millisecond, Ttd: 50 * time.Millisecond},
+		Membership: membership.Config{
+			Tm:        400 * time.Millisecond,
+			TjoinWait: 2 * time.Second,
+			RHA:       membership.RHAConfig{Trha: 100 * time.Millisecond, J: 2},
+		},
+		J: 2,
+	}
+	detect := scfg.FD.DetectionLatency()
+
+	const founders = 5
+	view := can.RangeSet(0, founders)
+	nodes := make([]*rt.Node, founders)
+	for i := range nodes {
+		n, err := rt.StartNode(rt.NodeConfig{
+			ID: can.NodeID(i), Broker: addr, Stack: scfg,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+
+	start := time.Now()
+	nodes[0].OnChange(func(c membership.Change) {
+		fmt.Printf("[%8v] node 0: membership change — active=%v failed=%v\n",
+			time.Since(start).Round(time.Millisecond), c.Active, c.Failed)
+	})
+	for _, n := range nodes {
+		n.Bootstrap(view)
+	}
+	time.Sleep(2 * detect)
+	fmt.Printf("[%8v] steady state: view at node 0 = %v\n",
+		time.Since(start).Round(time.Millisecond), nodes[0].View())
+
+	// Kill node 3. Its heartbeat stops on the real bus; the survivors'
+	// surveillance timers expire on the wall clock and the failure-sign
+	// diffuses — detection latency here is genuine elapsed time.
+	fmt.Printf("[%8v] crashing node 3\n", time.Since(start).Round(time.Millisecond))
+	nodes[3].Crash()
+	time.Sleep(detect + scfg.Membership.Tm)
+
+	fmt.Println("\nfinal views:")
+	for _, n := range nodes {
+		if n.Alive() {
+			fmt.Printf("  %v: %v\n", n.ID(), n.View())
+		}
+	}
+}

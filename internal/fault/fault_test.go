@@ -203,3 +203,39 @@ func TestScriptPendingRules(t *testing.T) {
 		t.Fatal("pending rules should be reported")
 	}
 }
+
+func TestScriptTargetsLowestValuedType(t *testing.T) {
+	// TypeFDA holds the lowest assigned message-type value. Before AnyType
+	// existed, 0 doubled as the wildcard, so no rule could ever single out
+	// a type whose numeric value is 0 — and any future renumbering that
+	// assigned 0 would silently turn a targeted rule into a catch-all.
+	// A rule against the lowest type must fire on that type only.
+	s := NewScript(Rule{
+		Match:    NewMatch(can.TypeFDA),
+		Decision: Decision{Corrupt: true},
+		Repeat:   true,
+	})
+	els := ctxAt(0, elsFrame(3), can.MakeSet(3), can.EmptySet, 1)
+	if d := s.Decide(els); !d.Clean() {
+		t.Fatal("FDA rule fired on an ELS frame")
+	}
+	fda := ctxAt(0, can.Frame{ID: can.FDASign(3).Encode(), RTR: true}, can.MakeSet(1), can.EmptySet, 1)
+	if d := s.Decide(fda); !d.Corrupt {
+		t.Fatal("FDA rule did not fire on an FDA frame")
+	}
+}
+
+func TestAnyTypeWildcard(t *testing.T) {
+	// The explicit sentinel and the historical NewMatch(0) spelling both
+	// wildcard the type; a literal zero Type no longer does.
+	els := ctxAt(0, elsFrame(3), can.MakeSet(3), can.EmptySet, 1)
+	if !(Match{Type: AnyType, Param: AnyParam, Sender: AnySender}).matches(els) {
+		t.Fatal("AnyType should match every type")
+	}
+	if NewMatch(0) != NewMatch(AnyType) {
+		t.Fatal("NewMatch(0) must keep meaning any type")
+	}
+	if (Match{Type: 0, Param: AnyParam, Sender: AnySender}).matches(els) {
+		t.Fatal("a zero-Type literal must not wildcard")
+	}
+}

@@ -7,10 +7,12 @@ import (
 	"canely/internal/can"
 )
 
-// Match selects transmissions for a scripted fault. Zero-valued fields
-// match anything.
+// Match selects transmissions for a scripted fault.
 type Match struct {
-	// Type restricts to one CANELy message type (0 = any).
+	// Type restricts to one CANELy message type. Use AnyType to match all;
+	// a zero Type matches only the (currently unassigned) type value 0, so
+	// a script targeting whatever type holds the lowest numeric value is
+	// expressible.
 	Type can.MsgType
 	// Param restricts the mid parameter (e.g. the failed/joining node id).
 	// Use AnyParam to match all.
@@ -25,13 +27,21 @@ type Match struct {
 
 // Wildcards for Match fields.
 const (
-	AnyParam  = -1
-	AnySender = -1
+	// AnyType matches every message type. The sentinel lies outside the
+	// 5-bit range a MID can encode, so it can never collide with a real
+	// type the way the former 0-means-any convention could.
+	AnyType   can.MsgType = 0xFF
+	AnyParam              = -1
+	AnySender             = -1
 )
 
 // NewMatch returns a Match with wildcard param and sender, restricted to a
-// message type (use 0 for any type).
+// message type. NewMatch(0) keeps its historical meaning of "any type";
+// use a Match literal to target type value 0 itself.
 func NewMatch(t can.MsgType) Match {
+	if t == 0 {
+		t = AnyType
+	}
 	return Match{Type: t, Param: AnyParam, Sender: AnySender}
 }
 
@@ -40,7 +50,7 @@ func (m Match) matches(ctx TxContext) bool {
 	if err != nil {
 		return false
 	}
-	if m.Type != 0 && mid.Type != m.Type {
+	if m.Type != AnyType && mid.Type != m.Type {
 		return false
 	}
 	if m.Param != AnyParam && int(mid.Param) != m.Param {

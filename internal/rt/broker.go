@@ -1,0 +1,326 @@
+package rt
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/fastbus"
+	"canely/internal/wire"
+)
+
+// BrokerConfig parameterizes a bus broker.
+type BrokerConfig struct {
+	// Rate is the emulated signalling rate; defaults to 1 Mbit/s. Lower
+	// rates stretch frame durations (a 125 kbit/s frame lasts ~1 ms),
+	// which is friendlier to the timer resolution of a non-real-time OS.
+	Rate can.BitRate
+	// WriteTimeout bounds a single message write to a client before the
+	// client is dropped (a wedged client must not stall the bus loop).
+	// Defaults to 2 s.
+	WriteTimeout time.Duration
+	// Logf, when non-nil, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Broker emulates one CAN medium over local sockets: it accepts node
+// connections, queues their transmit requests into a frame-level
+// internal/fastbus bus, and paces that bus's discrete events against the
+// wall clock on a Loop. Arbitration, wired-AND clustering of identical
+// remote frames, exact frame durations and TEC/REC fault confinement are
+// therefore byte-for-byte the simulator's arithmetic; only the clock and
+// the transport differ.
+type Broker struct {
+	cfg  BrokerConfig
+	ln   net.Listener
+	loop *Loop
+	bus  *fastbus.Bus
+
+	// clients and handlers are loop-owned: every access happens on the
+	// loop goroutine. handlers persist across reconnects of the same node
+	// (the fastbus port keeps its confinement state); clients are the
+	// currently-bound connections.
+	clients  map[can.NodeID]*brokerClient
+	handlers map[can.NodeID]*brokerHandler
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// brokerClient is one bound node connection.
+type brokerClient struct {
+	conn net.Conn
+	id   can.NodeID
+}
+
+// SplitAddr splits a broker address of the form "unix:/path" or
+// "[tcp:]host:port" into a network and a dial/listen address.
+func SplitAddr(addr string) (network, address string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	default:
+		return "tcp", addr
+	}
+}
+
+// ListenBroker starts a broker on the given address ("unix:/path" or
+// "[tcp:]host:port") and begins accepting clients immediately.
+func ListenBroker(addr string, cfg BrokerConfig) (*Broker, error) {
+	network, address := SplitAddr(addr)
+	ln, err := net.Listen(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("rt: broker listen: %w", err)
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = can.Rate1Mbps
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 2 * time.Second
+	}
+	b := &Broker{
+		cfg:      cfg,
+		ln:       ln,
+		loop:     StartLoop(),
+		clients:  make(map[can.NodeID]*brokerClient),
+		handlers: make(map[can.NodeID]*brokerHandler),
+		closed:   make(chan struct{}),
+	}
+	b.bus = fastbus.New(b.loop.Scheduler(), fastbus.Config{Rate: cfg.Rate})
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the broker's bound listen address.
+func (b *Broker) Addr() net.Addr { return b.ln.Addr() }
+
+// Rate returns the emulated signalling rate.
+func (b *Broker) Rate() can.BitRate { return b.cfg.Rate }
+
+// logf emits a lifecycle diagnostic when configured.
+func (b *Broker) logf(format string, args ...any) {
+	if b.cfg.Logf != nil {
+		b.cfg.Logf(format, args...)
+	}
+}
+
+// acceptLoop admits clients until the listener closes.
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			select {
+			case <-b.closed:
+			default:
+				b.logf("canelyd: accept: %v", err)
+			}
+			return
+		}
+		b.wg.Add(1)
+		go b.serveConn(conn)
+	}
+}
+
+// serveConn handshakes one client and pumps its requests into the bus
+// loop. It runs on a per-connection goroutine; every touch of bus state is
+// marshalled onto the loop.
+func (b *Broker) serveConn(conn net.Conn) {
+	defer b.wg.Done()
+	defer conn.Close()
+
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	hello, err := wire.Read(conn)
+	if err != nil || hello.Kind != wire.KindHello {
+		b.logf("canelyd: %v: bad hello: %v", conn.RemoteAddr(), err)
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	id := hello.Node
+
+	cl := &brokerClient{conn: conn, id: id}
+	if !b.loop.Call(func() { b.register(cl) }) {
+		return // broker shut down mid-handshake
+	}
+	b.logf("canelyd: %v attached from %v", id, conn.RemoteAddr())
+
+	for {
+		msg, err := wire.Read(conn)
+		if err != nil {
+			b.loop.Post(func() { b.unregister(cl) })
+			b.logf("canelyd: %v detached: %v", id, err)
+			return
+		}
+		switch msg.Kind {
+		case wire.KindRequest:
+			f := msg.Frame
+			b.loop.Post(func() { b.request(cl, f) })
+		case wire.KindAbort:
+			fid := msg.ID
+			b.loop.Post(func() {
+				if p := b.bus.Port(cl.id); p != nil {
+					p.Abort(fid)
+				}
+			})
+		case wire.KindCrash:
+			b.loop.Post(func() {
+				if p := b.bus.Port(cl.id); p != nil {
+					p.Crash()
+				}
+			})
+		default:
+			b.loop.Post(func() { b.unregister(cl) })
+			b.logf("canelyd: %v sent unexpected %v; dropping", id, msg.Kind)
+			return
+		}
+	}
+}
+
+// register binds a connection to a node's port, attaching the port on
+// first contact and rebinding (replacing any stale connection) on
+// reconnect. Runs on the loop.
+func (b *Broker) register(cl *brokerClient) {
+	if old := b.clients[cl.id]; old != nil {
+		// A reconnecting node supersedes its previous connection: close it
+		// so its reader unblocks and unregisters.
+		old.conn.Close()
+	}
+	b.clients[cl.id] = cl
+	if b.bus.Port(cl.id) == nil {
+		port := b.bus.Attach(cl.id)
+		h := &brokerHandler{b: b, id: cl.id}
+		b.handlers[cl.id] = h
+		port.SetHandler(h)
+	}
+	// Welcome is written on the loop so it cannot interleave with frame
+	// indications already flowing to this node.
+	b.send(cl, wire.Msg{Kind: wire.KindWelcome, Rate: b.cfg.Rate})
+	// A reconnecting node must learn confinement transitions that happened
+	// while it was away (e.g. it went bus-off between connections).
+	if p := b.bus.Port(cl.id); p != nil && p.State() != bus.ErrorActive {
+		tec, rec := p.Counters()
+		b.send(cl, wire.Msg{
+			Kind: wire.KindState, State: p.State(),
+			TEC: clampU16(tec), REC: clampU16(rec),
+		})
+	}
+}
+
+// unregister unbinds a connection. The port (and its confinement state)
+// stays attached so the node can reconnect. Runs on the loop.
+func (b *Broker) unregister(cl *brokerClient) {
+	if b.clients[cl.id] == cl {
+		delete(b.clients, cl.id)
+	}
+	cl.conn.Close()
+}
+
+// request queues a transmit request at the node's port. Runs on the loop.
+func (b *Broker) request(cl *brokerClient, f can.Frame) {
+	p := b.bus.Port(cl.id)
+	if p == nil || b.clients[cl.id] != cl {
+		return
+	}
+	// A rejected request (crashed or bus-off controller) is dropped
+	// silently, exactly as the simulated stack binding drops it.
+	_ = p.Request(f)
+}
+
+// send writes one message to a bound client, dropping the client on a
+// stalled or failed write so the bus loop never wedges. Runs on the loop.
+func (b *Broker) send(cl *brokerClient, m wire.Msg) {
+	if b.clients[cl.id] != cl {
+		return
+	}
+	_ = cl.conn.SetWriteDeadline(time.Now().Add(b.cfg.WriteTimeout))
+	if err := wire.Write(cl.conn, m); err != nil {
+		b.logf("canelyd: %v write failed: %v", cl.id, err)
+		b.unregister(cl)
+	}
+}
+
+// brokerHandler forwards one port's bus indications to whichever
+// connection currently binds the node. It is installed once per attached
+// port and survives reconnects.
+type brokerHandler struct {
+	b         *Broker
+	id        can.NodeID
+	lastState bus.ControllerState
+}
+
+var _ bus.Handler = (*brokerHandler)(nil)
+
+func (h *brokerHandler) OnFrame(f can.Frame, own bool) {
+	if cl := h.b.clients[h.id]; cl != nil {
+		h.b.send(cl, wire.Msg{Kind: wire.KindFrame, Frame: f, Own: own})
+	}
+	h.pushState()
+}
+
+func (h *brokerHandler) OnConfirm(f can.Frame) {
+	if cl := h.b.clients[h.id]; cl != nil {
+		h.b.send(cl, wire.Msg{Kind: wire.KindConfirm, Frame: f})
+	}
+	h.pushState()
+}
+
+func (h *brokerHandler) OnBusOff() {
+	h.pushState()
+}
+
+// pushState reports fault-confinement transitions to the client. The
+// confinement counters move silently on bus errors (the handler sees only
+// successful traffic and bus-off), so each indication is also used to
+// piggyback a state change observed since the last one; a transition is
+// therefore reported with bounded lag rather than per-error chatter.
+func (h *brokerHandler) pushState() {
+	p := h.b.bus.Port(h.id)
+	if p == nil || p.State() == h.lastState {
+		return
+	}
+	h.lastState = p.State()
+	cl := h.b.clients[h.id]
+	if cl == nil {
+		return
+	}
+	tec, rec := p.Counters()
+	h.b.send(cl, wire.Msg{
+		Kind: wire.KindState, State: p.State(),
+		TEC: clampU16(tec), REC: clampU16(rec),
+	})
+}
+
+func clampU16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1<<16-1 {
+		return 1<<16 - 1
+	}
+	return uint16(v)
+}
+
+// Close shuts the broker down: stops accepting, closes every client
+// connection, and stops the bus loop. Safe to call more than once.
+func (b *Broker) Close() {
+	b.closeOnce.Do(func() {
+		close(b.closed)
+		b.ln.Close()
+		b.loop.Call(func() {
+			for id, cl := range b.clients {
+				cl.conn.Close()
+				delete(b.clients, id)
+			}
+		})
+		b.loop.Close()
+		b.wg.Wait()
+	})
+}

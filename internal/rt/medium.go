@@ -1,0 +1,469 @@
+package rt
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+	"canely/internal/stack"
+	"canely/internal/wire"
+)
+
+// DialConfig parameterizes a live medium (one broker connection).
+type DialConfig struct {
+	// Addr is the broker address: "unix:/path" or "[tcp:]host:port".
+	Addr string
+	// Rate, when non-zero, asserts the broker's signalling rate: a
+	// mismatching Welcome fails the dial. Zero adopts the broker's rate.
+	Rate can.BitRate
+	// DialTimeout bounds the initial connection (including handshake and
+	// retries). Defaults to 10 s.
+	DialTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential reconnect backoff after
+	// a broker disconnect: the delay starts at BackoffMin and doubles up
+	// to BackoffMax. Defaults 25 ms and 1 s.
+	BackoffMin, BackoffMax time.Duration
+	// WriteTimeout bounds one message write to the broker. Defaults 2 s.
+	WriteTimeout time.Duration
+	// OnStatus, when non-nil, observes link transitions (true = connected)
+	// on the loop goroutine. Test hook.
+	OnStatus func(up bool)
+	// Logf, when non-nil, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *DialConfig) fillDefaults() {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.BackoffMin == 0 {
+		c.BackoffMin = 25 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+}
+
+// Medium is the node-side binding of one broker connection to the
+// stack.Medium contract. Unlike a simulated medium, which carries every
+// node of the network, a live Medium serves exactly one node: the one
+// whose identity was given to DialMedium. Attach must be called once,
+// with that identity.
+//
+// The Medium owns a manager goroutine that dials, hands the connection to
+// the loop, pumps broker messages onto the loop, and redials with bounded
+// exponential backoff when the broker goes away. While disconnected the
+// controller behaves like a confined (bus-off) controller — no traffic in
+// either direction — except that the condition is recoverable: transmit
+// requests accumulate in the port's mailbox queue and are replayed on
+// reconnect, so protocol actions taken during an outage (life-signs,
+// failure-sign requests) are transmitted as soon as the bus returns.
+type Medium struct {
+	loop *Loop
+	cfg  DialConfig
+	id   can.NodeID
+	rate can.BitRate
+	port *Port
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// DialMedium connects node id to a broker and returns the medium for
+// stack.New. The initial dial is synchronous (bounded by DialTimeout) so
+// that configuration errors fail fast; reconnects afterwards are
+// automatic. loop must already be running.
+func DialMedium(loop *Loop, id can.NodeID, cfg DialConfig) (*Medium, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("rt: invalid node id %d", id)
+	}
+	cfg.fillDefaults()
+	m := &Medium{loop: loop, cfg: cfg, id: id, closed: make(chan struct{})}
+	m.port = &Port{m: m, id: id, alive: true}
+
+	deadline := time.Now().Add(cfg.DialTimeout)
+	backoff := cfg.BackoffMin
+	var conn net.Conn
+	var rate can.BitRate
+	for {
+		var err error
+		conn, rate, err = m.dialOnce(deadline)
+		if err == nil {
+			break
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("rt: dialing broker %s: %w", cfg.Addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > cfg.BackoffMax {
+			backoff = cfg.BackoffMax
+		}
+	}
+	m.rate = rate
+
+	m.wg.Add(1)
+	go m.manage(conn)
+	return m, nil
+}
+
+// dialOnce performs one dial + handshake attempt.
+func (m *Medium) dialOnce(deadline time.Time) (net.Conn, can.BitRate, error) {
+	network, address := SplitAddr(m.cfg.Addr)
+	d := net.Dialer{Deadline: deadline}
+	conn, err := d.Dial(network, address)
+	if err != nil {
+		return nil, 0, err
+	}
+	_ = conn.SetDeadline(deadline)
+	if err := wire.Write(conn, wire.Msg{Kind: wire.KindHello, Node: m.id}); err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("hello: %w", err)
+	}
+	welcome, err := wire.Read(conn)
+	if err != nil || welcome.Kind != wire.KindWelcome {
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("unexpected %v before welcome", welcome.Kind)
+		}
+		return nil, 0, fmt.Errorf("welcome: %w", err)
+	}
+	if m.cfg.Rate != 0 && welcome.Rate != m.cfg.Rate {
+		conn.Close()
+		return nil, 0, fmt.Errorf("broker rate %d, want %d", welcome.Rate, m.cfg.Rate)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, welcome.Rate, nil
+}
+
+// manage owns the connection lifecycle: bind, pump, unbind, redial. All
+// protocol state is touched via the loop; Call (not Post) is used for the
+// bind/unbind transitions so they serialize with the pumped messages.
+func (m *Medium) manage(conn net.Conn) {
+	defer m.wg.Done()
+	for {
+		if conn != nil {
+			m.loop.Call(func() { m.port.bind(conn) })
+			m.pump(conn)
+			c := conn
+			m.loop.Call(func() { m.port.unbind(c) })
+			conn = nil
+		}
+		select {
+		case <-m.closed:
+			return
+		default:
+		}
+		// Redial with bounded exponential backoff, forever (a broker
+		// restart may take arbitrarily long; the port queues meanwhile).
+		backoff := m.cfg.BackoffMin
+		for {
+			var err error
+			conn, _, err = m.dialOnce(time.Now().Add(m.cfg.BackoffMax + time.Second))
+			if err == nil {
+				break
+			}
+			m.logf("canelynode %v: redial %s: %v", m.id, m.cfg.Addr, err)
+			select {
+			case <-m.closed:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > m.cfg.BackoffMax {
+				backoff = m.cfg.BackoffMax
+			}
+		}
+	}
+}
+
+// pump forwards broker messages onto the loop until the connection dies.
+func (m *Medium) pump(conn net.Conn) {
+	for {
+		msg, err := wire.Read(conn)
+		if err != nil {
+			select {
+			case <-m.closed:
+			default:
+				m.logf("canelynode %v: link down: %v", m.id, err)
+			}
+			conn.Close()
+			return
+		}
+		m.loop.Post(func() { m.port.onMessage(conn, msg) })
+	}
+}
+
+func (m *Medium) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// Close tears the medium down: no further reconnects, connection closed.
+// The loop keeps running; Close only severs this medium.
+func (m *Medium) Close() {
+	m.closeOnce.Do(func() {
+		close(m.closed)
+		m.loop.Call(func() {
+			if m.port.conn != nil {
+				m.port.conn.Close()
+			}
+		})
+	})
+	m.wg.Wait()
+}
+
+// --- stack.Medium contract -------------------------------------------------
+
+// Attach returns the node's controller port. It must be called exactly
+// once, with the identity the medium was dialled for.
+func (m *Medium) Attach(id can.NodeID) stack.Port {
+	if id != m.id {
+		panic(fmt.Sprintf("rt: medium dialled for %v, attach of %v", m.id, id))
+	}
+	if m.port.attached {
+		panic(fmt.Sprintf("rt: node %v attached twice", id))
+	}
+	m.port.attached = true
+	return m.port
+}
+
+// Rate returns the broker's signalling rate.
+func (m *Medium) Rate() can.BitRate { return m.rate }
+
+// AliveSet reports only this node's liveness: a live medium has no global
+// view of the bus (the broker does). Experiments needing the global set
+// run on the simulated media.
+func (m *Medium) AliveSet() can.NodeSet {
+	if m.port.alive {
+		return can.MakeSet(m.id)
+	}
+	return can.EmptySet
+}
+
+// Stats synthesizes a minimal statistics snapshot from the local
+// controller counters; wire-level occupancy accounting lives at the
+// broker.
+func (m *Medium) Stats() bus.Stats {
+	return bus.Stats{FramesOK: m.port.txOK + m.port.rxOK}
+}
+
+// Elapsed returns the wall-clock time base of the medium.
+func (m *Medium) Elapsed() time.Duration { return m.loop.Elapsed() }
+
+var _ stack.Medium = (*Medium)(nil)
+
+// --- stack.Port contract ---------------------------------------------------
+
+// Port is the live CAN controller front-end: it mirrors the mailbox
+// semantics of the simulated controllers in a shadow queue (which answers
+// PendingEquivalent locally and replays un-confirmed requests after a
+// reconnect) and forwards everything else to the broker.
+//
+// All methods and fields are loop-owned: the stack binding calls them from
+// protocol code running on the loop, and the medium's manager marshals
+// connection events onto the loop.
+type Port struct {
+	m        *Medium
+	id       can.NodeID
+	attached bool
+	handler  bus.Handler
+
+	conn net.Conn // nil while disconnected
+	// queue shadows the broker-side transmit queue: requests not yet
+	// confirmed. Mailbox semantics: one entry per (ID, RTR).
+	queue []can.Frame
+
+	alive bool
+	state bus.ControllerState
+	tec   int
+	rec   int
+	txOK  int
+	rxOK  int
+}
+
+var _ stack.Port = (*Port)(nil)
+
+// ID returns the node identity.
+func (p *Port) ID() can.NodeID { return p.id }
+
+// SetHandler installs the indication receiver.
+func (p *Port) SetHandler(h bus.Handler) { p.handler = h }
+
+// Request queues a frame for transmission. While the broker link is down
+// the request is retained (mailbox semantics) and replayed on reconnect;
+// only a crashed or bus-off controller rejects.
+func (p *Port) Request(f can.Frame) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if !p.Operational() {
+		return bus.ErrRequestRejected
+	}
+	for i := range p.queue {
+		if p.queue[i].ID == f.ID && p.queue[i].RTR == f.RTR {
+			p.queue[i] = f
+			p.forward(wire.Msg{Kind: wire.KindRequest, Frame: f})
+			return nil
+		}
+	}
+	p.queue = append(p.queue, f)
+	p.forward(wire.Msg{Kind: wire.KindRequest, Frame: f})
+	return nil
+}
+
+// Abort cancels a pending transmit request. It reports whether a shadow
+// entry was removed; a frame already on the broker's wire cannot be
+// recalled, in which case a confirmation for the aborted identifier may
+// still arrive (and is ignored).
+func (p *Port) Abort(id uint32) bool {
+	removed := false
+	for i := range p.queue {
+		if p.queue[i].ID == id {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	p.forward(wire.Msg{Kind: wire.KindAbort, ID: id})
+	return removed
+}
+
+// PendingEquivalent reports whether a wire-equivalent request is queued.
+func (p *Port) PendingEquivalent(f can.Frame) bool {
+	for i := range p.queue {
+		if p.queue[i].SameWire(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Crash fail-silences the node: the broker's controller is killed (so the
+// bus sees the same one-way transition as a simulated crash) and the link
+// is torn down for good.
+func (p *Port) Crash() {
+	if !p.alive {
+		return
+	}
+	p.alive = false
+	p.queue = nil
+	p.forward(wire.Msg{Kind: wire.KindCrash})
+	// Severing the medium stops the reconnect manager: a crashed node
+	// never returns (a restarted process is a fresh join).
+	go p.m.Close()
+}
+
+// Alive reports whether the node has not crashed.
+func (p *Port) Alive() bool { return p.alive }
+
+// Operational reports whether the controller exchanges traffic eventually:
+// alive and not confined. A disconnected-but-alive port still reports
+// true — the outage is transient and its queue survives, unlike bus-off.
+func (p *Port) Operational() bool { return p.alive && p.state != bus.BusOff }
+
+// Connected reports whether the broker link is currently up.
+func (p *Port) Connected() bool { return p.conn != nil }
+
+// State returns the last fault-confinement state reported by the broker.
+func (p *Port) State() bus.ControllerState { return p.state }
+
+// Counters returns the last (TEC, REC) reported by the broker.
+func (p *Port) Counters() (tec, rec int) { return p.tec, p.rec }
+
+// TxSuccesses returns the number of confirmed transmissions.
+func (p *Port) TxSuccesses() int { return p.txOK }
+
+// RxSuccesses returns the number of received frames.
+func (p *Port) RxSuccesses() int { return p.rxOK }
+
+// forward writes one message to the broker when connected; a write
+// failure severs the connection and lets the manager redial.
+func (p *Port) forward(m wire.Msg) {
+	if p.conn == nil {
+		return
+	}
+	_ = p.conn.SetWriteDeadline(time.Now().Add(p.m.cfg.WriteTimeout))
+	if err := wire.Write(p.conn, m); err != nil {
+		p.m.logf("canelynode %v: write failed: %v", p.id, err)
+		p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// bind adopts a fresh connection and replays the shadow queue: every
+// request not confirmed before the outage is requeued at the (possibly
+// restarted) broker. Runs on the loop.
+func (p *Port) bind(conn net.Conn) {
+	p.conn = conn
+	if p.m.cfg.OnStatus != nil {
+		p.m.cfg.OnStatus(true)
+	}
+	for _, f := range p.queue {
+		p.forward(wire.Msg{Kind: wire.KindRequest, Frame: f})
+		if p.conn == nil {
+			return // write failed mid-replay; manager will redial
+		}
+	}
+}
+
+// unbind drops a dead connection. Runs on the loop.
+func (p *Port) unbind(conn net.Conn) {
+	if p.conn == conn {
+		p.conn = nil
+		if p.m.cfg.OnStatus != nil {
+			p.m.cfg.OnStatus(false)
+		}
+	}
+}
+
+// onMessage applies one broker message. Messages raced from a connection
+// that has since been unbound are ignored. Runs on the loop.
+func (p *Port) onMessage(conn net.Conn, m wire.Msg) {
+	if p.conn != conn || !p.alive {
+		return
+	}
+	switch m.Kind {
+	case wire.KindFrame:
+		if !m.Own {
+			p.rxOK++
+		}
+		if p.handler != nil {
+			p.handler.OnFrame(m.Frame, m.Own)
+		}
+	case wire.KindConfirm:
+		p.dequeue(m.Frame)
+		p.txOK++
+		if p.handler != nil {
+			p.handler.OnConfirm(m.Frame)
+		}
+	case wire.KindState:
+		wasOff := p.state == bus.BusOff
+		p.state = m.State
+		p.tec, p.rec = int(m.TEC), int(m.REC)
+		if p.state == bus.BusOff && !wasOff {
+			p.queue = nil
+			if p.handler != nil {
+				p.handler.OnBusOff()
+			}
+		}
+	}
+}
+
+// dequeue drops the shadow entry matching a confirmed frame. Unlike the
+// simulated controllers this tolerates a miss: an aborted-but-on-the-wire
+// frame is confirmed without a queue entry.
+func (p *Port) dequeue(f can.Frame) {
+	for i := range p.queue {
+		if p.queue[i].ID == f.ID && p.queue[i].RTR == f.RTR {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			return
+		}
+	}
+}

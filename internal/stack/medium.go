@@ -27,11 +27,16 @@ const (
 )
 
 // String names the substrate as accepted by the CLIs' -substrate flag.
+// Values outside the enumeration render as such instead of masquerading as
+// the default substrate.
 func (s Substrate) String() string {
-	if s == Fast {
+	switch s {
+	case BitAccurate:
+		return "bit"
+	case Fast:
 		return "fast"
 	}
-	return "bit"
+	return fmt.Sprintf("substrate(%d)", int(s))
 }
 
 // ParseSubstrate parses a -substrate flag value ("bit" or "fast").

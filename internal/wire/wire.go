@@ -1,0 +1,207 @@
+// Package wire defines the framing of the canelyd broker protocol: the
+// messages a live node exchanges with the bus-broker process that emulates
+// the CAN MAC over a local TCP or Unix-domain socket (internal/rt).
+//
+// The protocol is deliberately minimal. A client identifies itself with
+// Hello and receives Welcome carrying the broker's signalling rate; from
+// then on the client sends transmit requests, aborts and an optional
+// fail-silence notice, and the broker sends frame indications (own
+// transmissions flagged), transmit confirmations and fault-confinement
+// state transitions. All MAC behaviour — priority arbitration, wired-AND
+// clustering of identical remote frames, per-frame duration pacing,
+// TEC/REC confinement — lives broker-side, so the client stays a thin
+// controller front-end (the stack.Port contract).
+//
+// Every message is a fixed-size MsgSize-byte record: a kind byte followed
+// by a kind-specific layout, integers big-endian. Fixed framing keeps the
+// reader allocation-free and makes stream desynchronization impossible —
+// a malformed record fails decoding without poisoning its successors.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"canely/internal/bus"
+	"canely/internal/can"
+)
+
+// Version is the protocol version carried in Hello/Welcome. A broker
+// rejects clients speaking a different version.
+const Version = 1
+
+// MsgSize is the fixed on-wire size of every message, in bytes.
+const MsgSize = 16
+
+// Kind discriminates broker protocol messages.
+type Kind byte
+
+// Message kinds. Hello through Crash travel client → broker; Frame through
+// State travel broker → client.
+const (
+	// KindHello identifies the client: protocol version + node id.
+	KindHello Kind = 1 + iota
+	// KindWelcome acknowledges Hello: protocol version + signalling rate.
+	KindWelcome
+	// KindRequest queues a frame for transmission (can-data.req /
+	// can-rtr.req forwarded to the broker's controller).
+	KindRequest
+	// KindAbort cancels a pending transmit request by identifier.
+	KindAbort
+	// KindCrash fail-silences the node's controller at the broker.
+	KindCrash
+	// KindFrame is a frame indication; Own flags self-reception of the
+	// node's own (possibly clustered) transmission.
+	KindFrame
+	// KindConfirm is a transmit confirmation.
+	KindConfirm
+	// KindState reports a fault-confinement transition with the error
+	// counters; a transition to bus-off is terminal.
+	KindState
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindWelcome:
+		return "welcome"
+	case KindRequest:
+		return "request"
+	case KindAbort:
+		return "abort"
+	case KindCrash:
+		return "crash"
+	case KindFrame:
+		return "frame"
+	case KindConfirm:
+		return "confirm"
+	case KindState:
+		return "state"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// Msg is one broker protocol message. Only the fields relevant to Kind are
+// meaningful; the rest stay zero.
+type Msg struct {
+	Kind Kind
+
+	// Node is the client identity (Hello).
+	Node can.NodeID
+	// Rate is the broker's signalling rate (Welcome).
+	Rate can.BitRate
+	// Frame carries the CAN frame of Request, Frame and Confirm.
+	Frame can.Frame
+	// Own marks self-reception on a Frame indication.
+	Own bool
+	// ID is the identifier of the request to cancel (Abort).
+	ID uint32
+	// State, TEC and REC report fault confinement (State).
+	State    bus.ControllerState
+	TEC, REC uint16
+}
+
+// Frame flag bits at offset 1 of Request/Frame/Confirm records.
+const (
+	flagRTR = 1 << 0
+	flagOwn = 1 << 1
+)
+
+// Encode serializes the message into a MsgSize-byte record.
+func (m Msg) Encode(b *[MsgSize]byte) {
+	*b = [MsgSize]byte{}
+	b[0] = byte(m.Kind)
+	switch m.Kind {
+	case KindHello:
+		b[1] = Version
+		b[2] = byte(m.Node)
+	case KindWelcome:
+		b[1] = Version
+		binary.BigEndian.PutUint32(b[2:6], uint32(m.Rate))
+	case KindRequest, KindFrame, KindConfirm:
+		if m.Frame.RTR {
+			b[1] |= flagRTR
+		}
+		if m.Own {
+			b[1] |= flagOwn
+		}
+		binary.BigEndian.PutUint32(b[2:6], m.Frame.ID)
+		b[6] = m.Frame.DLC
+		copy(b[7:7+can.MaxData], m.Frame.Data[:])
+	case KindAbort:
+		binary.BigEndian.PutUint32(b[2:6], m.ID)
+	case KindCrash:
+		// kind byte only
+	case KindState:
+		b[1] = byte(m.State)
+		binary.BigEndian.PutUint16(b[2:4], m.TEC)
+		binary.BigEndian.PutUint16(b[4:6], m.REC)
+	}
+}
+
+// Decode parses a MsgSize-byte record.
+func Decode(b [MsgSize]byte) (Msg, error) {
+	m := Msg{Kind: Kind(b[0])}
+	switch m.Kind {
+	case KindHello:
+		if b[1] != Version {
+			return Msg{}, fmt.Errorf("wire: protocol version %d, want %d", b[1], Version)
+		}
+		m.Node = can.NodeID(b[2])
+		if !m.Node.Valid() {
+			return Msg{}, fmt.Errorf("wire: invalid node id %d", b[2])
+		}
+	case KindWelcome:
+		if b[1] != Version {
+			return Msg{}, fmt.Errorf("wire: protocol version %d, want %d", b[1], Version)
+		}
+		m.Rate = can.BitRate(binary.BigEndian.Uint32(b[2:6]))
+		if m.Rate <= 0 {
+			return Msg{}, fmt.Errorf("wire: non-positive rate %d", m.Rate)
+		}
+	case KindRequest, KindFrame, KindConfirm:
+		m.Frame.RTR = b[1]&flagRTR != 0
+		m.Own = b[1]&flagOwn != 0
+		m.Frame.ID = binary.BigEndian.Uint32(b[2:6])
+		m.Frame.DLC = b[6]
+		copy(m.Frame.Data[:], b[7:7+can.MaxData])
+		if err := m.Frame.Validate(); err != nil {
+			return Msg{}, fmt.Errorf("wire: %v record: %w", m.Kind, err)
+		}
+	case KindAbort:
+		m.ID = binary.BigEndian.Uint32(b[2:6])
+	case KindCrash:
+		// kind byte only
+	case KindState:
+		m.State = bus.ControllerState(b[1])
+		if m.State < bus.ErrorActive || m.State > bus.BusOff {
+			return Msg{}, fmt.Errorf("wire: invalid controller state %d", b[1])
+		}
+		m.TEC = binary.BigEndian.Uint16(b[2:4])
+		m.REC = binary.BigEndian.Uint16(b[4:6])
+	default:
+		return Msg{}, fmt.Errorf("wire: unknown message kind %d", b[0])
+	}
+	return m, nil
+}
+
+// Write serializes m to w as one record.
+func Write(w io.Writer, m Msg) error {
+	var b [MsgSize]byte
+	m.Encode(&b)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// Read reads exactly one record from r and decodes it.
+func Read(r io.Reader) (Msg, error) {
+	var b [MsgSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return Msg{}, err
+	}
+	return Decode(b)
+}

@@ -1,0 +1,163 @@
+package canely
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"canely/internal/replay"
+)
+
+// TestLiveProcessCluster is the multi-process acceptance run: one canelyd
+// broker and five canelynode processes over a real unix socket, wall-clock
+// timers throughout. The scenario exercises the full membership lifecycle —
+// a founding site of four, a fifth node joining, one node leaving and one
+// crashing — and every correct process must print an identical final view.
+// One node records its core streams; the capture must verify under pure
+// replay.
+func TestLiveProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process live cluster in -short mode")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	canelyd, canelynode := build("canelyd"), build("canelynode")
+
+	sock := "unix:" + filepath.Join(dir, "bus.sock")
+	broker := exec.Command(canelyd, "-listen", sock, "-rate", "125000", "-quiet")
+	if err := broker.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		broker.Process.Kill()
+		broker.Wait()
+	}()
+	// The broker listens before printing its banner; give it a moment.
+	waitForSocket(t, strings.TrimPrefix(sock, "unix:"), 5*time.Second)
+
+	record := filepath.Join(dir, "node0.replay.json")
+	timing := []string{
+		"-tb", "150ms", "-ttd", "50ms", "-tm", "400ms",
+		"-tjoinwait", "2s", "-trha", "100ms", "-duration", "5s",
+	}
+	spawn := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(canelynode, append(append([]string{"-broker", sock}, timing...), args...)...)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+	nodes := []*exec.Cmd{
+		spawn("-id", "0", "-bootstrap", "0-3", "-record", record),
+		spawn("-id", "1", "-bootstrap", "0-3"),
+		spawn("-id", "2", "-bootstrap", "0-3", "-crash", "3s"),
+		spawn("-id", "3", "-bootstrap", "0-3", "-leave", "2s"),
+		spawn("-id", "4", "-join"),
+	}
+	type result struct {
+		id  int
+		err error
+	}
+	bufs := make([]strings.Builder, len(nodes))
+	done := make(chan result, len(nodes))
+	for i, cmd := range nodes {
+		cmd.Stdout = &bufs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+		go func(id int, cmd *exec.Cmd) {
+			done <- result{id, cmd.Wait()}
+		}(i, cmd)
+	}
+
+	outputs := make(map[int]string, len(nodes))
+	deadline := time.After(30 * time.Second)
+	for range nodes {
+		select {
+		case r := <-done:
+			if r.err != nil {
+				t.Fatalf("node %d: %v\n%s", r.id, r.err, bufs[r.id].String())
+			}
+			outputs[r.id] = strings.TrimSpace(bufs[r.id].String())
+		case <-deadline:
+			t.Fatal("node processes did not exit in time (wedged cluster)")
+		}
+	}
+
+	// Correct nodes: 0, 1 (founders that stayed) and 4 (the joiner). All
+	// three must report the same view, containing exactly themselves.
+	wantView := viewOf(t, outputs[0])
+	if wantView != "{n00,n01,n04}" {
+		t.Errorf("node 0 final view %s, want {n00,n01,n04}\nfull: %s", wantView, outputs[0])
+	}
+	for _, id := range []int{1, 4} {
+		if v := viewOf(t, outputs[id]); v != wantView {
+			t.Errorf("node %d view %s, node 0 view %s — disagreement\n%s\n%s",
+				id, v, wantView, outputs[id], outputs[0])
+		}
+	}
+	for _, id := range []int{0, 1, 4} {
+		if !strings.Contains(outputs[id], "member=true alive=true") {
+			t.Errorf("node %d not a live member: %s", id, outputs[id])
+		}
+	}
+	// The leaver withdrew; the crashed node is dead.
+	if !strings.Contains(outputs[3], "member=false") {
+		t.Errorf("leaver still a member: %s", outputs[3])
+	}
+	if !strings.Contains(outputs[2], "alive=false") {
+		t.Errorf("crashed node still alive: %s", outputs[2])
+	}
+
+	// The recorded live run must reproduce exactly on fresh pure cores.
+	f, err := os.Open(record)
+	if err != nil {
+		t.Fatalf("recorded log missing: %v", err)
+	}
+	defer f.Close()
+	log, err := replay.Load(f)
+	if err != nil {
+		t.Fatalf("loading recorded log: %v", err)
+	}
+	if len(log.Records) == 0 {
+		t.Fatal("recorded log is empty")
+	}
+	if err := log.Verify(); err != nil {
+		t.Fatalf("live capture does not replay: %v", err)
+	}
+}
+
+// viewOf extracts the "{...}" view set from a canelynode final line.
+func viewOf(t *testing.T, out string) string {
+	t.Helper()
+	open := strings.Index(out, "{")
+	close := strings.Index(out, "}")
+	if open < 0 || close < open {
+		t.Fatalf("no view in output: %q", out)
+	}
+	return out[open : close+1]
+}
+
+// waitForSocket polls for a unix socket to appear.
+func waitForSocket(t *testing.T, path string, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("socket %s never appeared", path)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

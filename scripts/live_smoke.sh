@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Deadline-bounded smoke of the live runtime: one canelyd broker plus a
+# three-node wall-clock cluster over a unix socket. Passes when every node
+# exits cleanly and all three print the same full final view.
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+trap 'kill "${broker_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/canelyd" ./cmd/canelyd
+go build -o "$workdir/canelynode" ./cmd/canelynode
+
+sock="unix:$workdir/bus.sock"
+"$workdir/canelyd" -listen "$sock" -rate 125000 -quiet &
+broker_pid=$!
+for _ in $(seq 50); do
+  [ -S "$workdir/bus.sock" ] && break
+  sleep 0.1
+done
+[ -S "$workdir/bus.sock" ] || { echo "broker socket never appeared" >&2; exit 1; }
+
+# Short timers, short run; `timeout` bounds a wedged cluster.
+common=(-broker "$sock" -bootstrap 0-2 -duration 3s
+        -tb 150ms -ttd 50ms -tm 400ms -tjoinwait 2s -trha 100ms)
+pids=()
+for id in 0 1 2; do
+  timeout 60 "$workdir/canelynode" -id "$id" "${common[@]}" \
+    > "$workdir/node$id.out" &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do
+  wait "$pid" || { echo "a node process failed" >&2; cat "$workdir"/node*.out >&2; exit 1; }
+done
+
+cat "$workdir"/node*.out
+views="$(sed -n 's/.*final view \({[^}]*}\).*/\1/p' "$workdir"/node*.out | sort -u)"
+if [ "$views" != "{n00,n01,n02}" ]; then
+  echo "live cluster views diverged or incomplete:" >&2
+  echo "$views" >&2
+  exit 1
+fi
+echo "live smoke OK: three processes agree on $views"

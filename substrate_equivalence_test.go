@@ -126,7 +126,7 @@ func equivalenceScenarios() []eqScenario {
 				// before it can retransmit — the LCAN4 worst case the FDA
 				// diffusion exists for.
 				cfg.Script = fault.NewScript(fault.Rule{
-					Match:      fault.Match{Param: fault.AnyParam, Sender: 5},
+					Match:      fault.Match{Type: fault.AnyType, Param: fault.AnyParam, Sender: 5},
 					Occurrence: 3,
 					Decision: fault.Decision{
 						InconsistentVictims: MakeSet(1, 6),

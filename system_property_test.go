@@ -172,7 +172,7 @@ func TestSystemFailureNotificationsAreConsistentAcrossMembers(t *testing.T) {
 // then expelled from the membership by the failure detection service.
 func TestBabblingNodeConfinedAndExpelled(t *testing.T) {
 	script := fault.NewScript(fault.Rule{
-		Match:    fault.Match{Type: 0, Param: fault.AnyParam, Sender: 4},
+		Match:    fault.Match{Type: fault.AnyType, Param: fault.AnyParam, Sender: 4},
 		Decision: fault.Decision{Corrupt: true},
 		Repeat:   true,
 	})
