@@ -123,6 +123,44 @@ type benchReport struct {
 	PrePRFastW1RunsPerSec float64           `json:"pre_pr_fast_w1_runs_per_sec"`
 	FastW1SpeedupVsPrePR  float64           `json:"fast_w1_speedup_vs_pre_pr"`
 	SteadyState           *steadyStateStats `json:"steady_state"`
+	Federation            *federationStats  `json:"federation"`
+}
+
+// federationStats is the multi-segment scaling section of the bench
+// artifact: cold-boot site-view convergence and segment-crash detection
+// latency as the segment count grows (internal/experiments federation
+// campaign, fast substrate).
+type federationStats struct {
+	NodesPerSegment int               `json:"nodes_per_segment"`
+	Seeds           int               `json:"seeds"`
+	Points          []federationPoint `json:"points"`
+}
+
+type federationPoint struct {
+	Segments       int     `json:"segments"`
+	ConvergeMs     float64 `json:"converge_ms"`
+	ConvergeCI95Ms float64 `json:"converge_ci95_ms"`
+	DetectMs       float64 `json:"detect_ms"`
+	DetectCI95Ms   float64 `json:"detect_ci95_ms"`
+}
+
+// measureFederation runs the federation scaling sweep for the bench
+// artifact.
+func measureFederation() *federationStats {
+	const nodesPer, seeds = 4, 20
+	points := experiments.MeasureFederationSweep(
+		canely.SubstrateFast, []int{4, 8, 16, 32}, nodesPer, seeds, 1)
+	fs := &federationStats{NodesPerSegment: nodesPer, Seeds: seeds}
+	for _, p := range points {
+		fs.Points = append(fs.Points, federationPoint{
+			Segments:       p.Segments,
+			ConvergeMs:     p.ConvergeMs,
+			ConvergeCI95Ms: p.ConvergeCI95Ms,
+			DetectMs:       p.DetectMs,
+			DetectCI95Ms:   p.DetectCI95Ms,
+		})
+	}
+	return fs
 }
 
 type substrateSeries struct {
@@ -254,6 +292,7 @@ func measureThroughput(grid string, nodes, seeds int) benchReport {
 		rep.Substrates = append(rep.Substrates, series)
 	}
 	rep.SteadyState = measureSteadyState()
+	rep.Federation = measureFederation()
 	if len(rep.Substrates) == 2 &&
 		len(rep.Substrates[0].Workers) > 0 && len(rep.Substrates[1].Workers) > 0 {
 		bit := rep.Substrates[0].Workers[0].RunsPerSec
@@ -401,6 +440,10 @@ func main() {
 			}
 		}
 		fmt.Printf("fast vs bit speedup (workers=1): %.2fx\n", br.FastVsBitSpeedup)
+		for _, p := range br.Federation.Points {
+			fmt.Printf("  federation segments=%-3d converge %6.2fms ±%.3f  detect %6.2fms ±%.3f\n",
+				p.Segments, p.ConvergeMs, p.ConvergeCI95Ms, p.DetectMs, p.DetectCI95Ms)
+		}
 		fmt.Printf("bench JSON written to %s\n", *bench)
 	}
 }

@@ -1,0 +1,129 @@
+package canely
+
+import (
+	"testing"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/fault"
+)
+
+// TestFederationConverges32x16 is the federation acceptance scenario: 32
+// segments of 16 nodes each converge on one global site view, then suffer
+// a scripted backbone partition of segment 7 (every digest it transmits is
+// corrupted until fault confinement forces its gateway's backbone port
+// bus-off) and a scripted crash of segment 12's gateway (CrashSenders on
+// its 5th digest). The surviving 30 gateways must agree on exactly the
+// surviving site view; each isolated gateway must decay to its own
+// segment. Runs on both simulated substrates.
+func TestFederationConverges32x16(t *testing.T) {
+	for _, substrate := range []Substrate{SubstrateBitAccurate, SubstrateFast} {
+		t.Run(substrate.String(), func(t *testing.T) {
+			script := fault.NewScript(
+				// Partition: segment 7's digests never survive the backbone.
+				fault.Rule{
+					Match: fault.Match{Type: can.TypeFed, Param: fault.AnyParam,
+						Sender: fault.AnySender, Segments: can.MakeSet(7)},
+					Repeat:   true,
+					Decision: fault.Decision{Corrupt: true},
+				},
+				// Gateway crash: segment 12's gateway dies mid-operation.
+				fault.Rule{
+					Match:      fault.Match{Type: can.TypeFed, Param: fault.AnyParam, Sender: 12},
+					Occurrence: 5,
+					Decision:   fault.Decision{CrashSenders: true},
+				},
+			)
+			cfg := DefaultFederationConfig()
+			cfg.Node.Substrate = substrate
+			cfg.Segments = 32
+			cfg.NodesPerSegment = 16
+			cfg.BackboneScript = script
+
+			fed := NewFederation(cfg)
+			fed.BootstrapAll()
+			fed.Run(400 * time.Millisecond)
+
+			if !script.Exhausted() {
+				t.Fatalf("scripted faults did not all fire: %s", script.PendingRules())
+			}
+			all := fed.Site()
+			want := all.Remove(7).Remove(12)
+			for s := 0; s < cfg.Segments; s++ {
+				got := fed.Gateway(s, 0).SiteView()
+				switch s {
+				case 7, 12:
+					if wantOwn := can.MakeSet(can.NodeID(s)); got != wantOwn {
+						t.Errorf("isolated gateway %d site view %v, want %v", s, got, wantOwn)
+					}
+				default:
+					if got != want {
+						t.Errorf("gateway %d site view %v, want %v", s, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFederationSegmentCrashAndFailover exercises the remaining federation
+// faults at 4 segments with redundant gateways: a whole-segment crash is
+// removed from every surviving site view by digest staleness, while a
+// primary-gateway crash in another segment is ridden through by the backup
+// (leader suppression lapses within 2*Tann) without the segment ever
+// leaving the site view. The gateways' recorded federation streams must
+// re-execute exactly.
+func TestFederationSegmentCrashAndFailover(t *testing.T) {
+	for _, substrate := range []Substrate{SubstrateBitAccurate, SubstrateFast} {
+		t.Run(substrate.String(), func(t *testing.T) {
+			cfg := DefaultFederationConfig()
+			cfg.Node.Substrate = substrate
+			cfg.RedundantGateways = true
+			cfg.RecordFed = true
+
+			fed := NewFederation(cfg)
+
+			var removals []NodeSet
+			witness := fed.Gateway(0, 0)
+			witness.OnSiteChange(func(_, failed NodeSet) {
+				if !failed.Empty() {
+					removals = append(removals, failed)
+				}
+			})
+
+			fed.BootstrapAll()
+			fed.Run(150 * time.Millisecond)
+			all := fed.Site()
+			for _, g := range fed.Gateways() {
+				if got := g.SiteView(); got != all {
+					t.Fatalf("gateway %v site view %v before faults, want %v", g.ID(), got, all)
+				}
+			}
+
+			fed.Gateway(2, 0).Crash() // primary of segment 2: backup rides through
+			fed.CrashSegment(3)       // whole segment 3: removed by staleness
+			fed.Run(250 * time.Millisecond)
+
+			want := all.Remove(3)
+			for _, g := range fed.Gateways() {
+				if !g.Alive() {
+					continue
+				}
+				if got := g.SiteView(); got != want {
+					t.Errorf("gateway %v site view %v after faults, want %v", g.ID(), got, want)
+				}
+			}
+			if len(removals) != 1 || removals[0] != can.MakeSet(3) {
+				t.Errorf("witness saw removals %v, want exactly [{n03}] (segment 2 must ride through failover)",
+					removals)
+			}
+
+			if len(fed.FedLog().Records) == 0 {
+				t.Fatal("RecordFed captured nothing")
+			}
+			if err := fed.FedLog().Verify(); err != nil {
+				t.Fatalf("federation capture does not replay: %v", err)
+			}
+		})
+	}
+}

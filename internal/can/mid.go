@@ -44,9 +44,15 @@ const (
 	// substitute their own src), and the sender's confirmation is a remote
 	// frame mid = {REL, origin, 0, ref|0x80}.
 	TypeRel MsgType = 11
+	// TypeFed is a federation membership digest exchanged between gateways:
+	// data frame mid = {FED, segment, gateway}, payload = the segment's
+	// membership view as a NodeSet. Lowest arbitration priority: digests
+	// summarize state that is refreshed periodically, so they must never
+	// displace intra-segment protocol traffic.
+	TypeFed MsgType = 12
 )
 
-const maxMsgType = TypeRel
+const maxMsgType = TypeFed
 
 // RelConfirmFlag marks the confirmation variant of a RELCAN reference.
 const RelConfirmFlag = 0x80
@@ -76,6 +82,8 @@ func (t MsgType) String() string {
 		return "SYNC"
 	case TypeRel:
 		return "REL"
+	case TypeFed:
+		return "FED"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -151,6 +159,8 @@ func (m MID) String() string {
 		return fmt.Sprintf("%v(%v)", m.Type, NodeID(m.Param))
 	case TypeRHA:
 		return fmt.Sprintf("RHA(#%d)@%v", RHACardinality(m), m.Src)
+	case TypeFed:
+		return fmt.Sprintf("FED(s%02d)@%v", m.Param, m.Src)
 	default:
 		return fmt.Sprintf("%v[%d]@%v#%d", m.Type, m.Param, m.Src, m.Ref)
 	}
@@ -216,6 +226,12 @@ func RelSign(origin, src NodeID, ref uint8) MID {
 // RelConfirmSign builds the sender's RELCAN confirmation mid.
 func RelConfirmSign(origin NodeID, ref uint8) MID {
 	return MID{Type: TypeRel, Param: uint8(origin), Ref: ref | RelConfirmFlag}
+}
+
+// FedDigestSign builds the mid of a federation membership digest: gateway
+// gw summarizing the view of segment seg.
+func FedDigestSign(seg NodeID, gw NodeID) MID {
+	return MID{Type: TypeFed, Param: uint8(seg), Src: gw}
 }
 
 // SyncSign builds the tight clock-sync indication mid for a round.

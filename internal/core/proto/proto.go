@@ -57,6 +57,12 @@ const (
 	TimerMshCycle
 	// TimerRHATerm is the RHA termination alarm Trha (Figure 7).
 	TimerRHATerm
+	// TimerFedAnnounce is the federation core's periodic digest announcement
+	// alarm Tann (internal/federation).
+	TimerFedAnnounce
+	// TimerFedScan is the federation core's segment-staleness surveillance
+	// alarm, chasing the earliest armed digest deadline like TimerFDScan.
+	TimerFedScan
 
 	// NumTimers is the number of logical timers per node.
 	NumTimers
@@ -71,6 +77,10 @@ func (t TimerID) String() string {
 		return "msh-cycle"
 	case TimerRHATerm:
 		return "rha-term"
+	case TimerFedAnnounce:
+		return "fed-announce"
+	case TimerFedScan:
+		return "fed-scan"
 	}
 	return fmt.Sprintf("timer(%d)", uint8(t))
 }
@@ -116,6 +126,10 @@ const (
 	// EvRHAEnd is rha-can.nty(END, View): an RHA execution delivered the
 	// agreed vector.
 	EvRHAEnd
+	// EvFedLocalView reports a segment-local membership view to the
+	// federation core: Node carries the segment id, View the segment's
+	// current member set (fed-can.nty in the hierarchical layer).
+	EvFedLocalView
 )
 
 // String names the event kind.
@@ -153,6 +167,8 @@ func (k EventKind) String() string {
 		return "rha-init"
 	case EvRHAEnd:
 		return "rha-end"
+	case EvFedLocalView:
+		return "fed-local-view"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -205,6 +221,8 @@ func (e Event) String() string {
 		fmt.Fprintf(&sb, " %v", e.View)
 	case EvFDStart, EvFDStop, EvFDARequest, EvFDACancel, EvFDANty, EvFDNty:
 		fmt.Fprintf(&sb, " %v", e.Node)
+	case EvFedLocalView:
+		fmt.Fprintf(&sb, " s%02d %v", int(e.Node), e.View)
 	}
 	return sb.String()
 }
@@ -257,6 +275,10 @@ const (
 	CmdRHAInit
 	// CmdRHAEnd is rha-can.nty(END, View).
 	CmdRHAEnd
+	// CmdNotifySite is fed-can.nty: deliver a cross-segment site view change
+	// (Active = live segment set, Failed = segments removed by this change)
+	// to the application.
+	CmdNotifySite
 )
 
 // String names the command kind.
@@ -294,6 +316,8 @@ func (k CommandKind) String() string {
 		return "rha-init"
 	case CmdRHAEnd:
 		return "rha-end"
+	case CmdNotifySite:
+		return "notify-site"
 	}
 	return fmt.Sprintf("command(%d)", uint8(k))
 }
@@ -362,6 +386,8 @@ func (c Command) String() string {
 		fmt.Fprintf(&sb, " %v", c.Node)
 	case CmdRHAEnd:
 		fmt.Fprintf(&sb, " %v", c.View)
+	case CmdNotifySite:
+		fmt.Fprintf(&sb, " active=%v failed=%v", c.Active, c.Failed)
 	}
 	return sb.String()
 }
@@ -435,6 +461,12 @@ const (
 	TraceMsgViewChange
 	// TraceMsgRHAVector renders "rhv=<View>" (RHA start and end).
 	TraceMsgRHAVector
+	// TraceMsgFedDigest renders "digest s<Node> view=<View>".
+	TraceMsgFedDigest
+	// TraceMsgSegmentStale renders "segment s<Node> stale".
+	TraceMsgSegmentStale
+	// TraceMsgSiteChange renders "site <Active> -> <View>".
+	TraceMsgSiteChange
 )
 
 // TraceText renders the message of a CmdTrace command: the lazy template
@@ -458,6 +490,12 @@ func (c Command) TraceText() string {
 		return fmt.Sprintf("view %v -> %v", c.Active, c.View)
 	case TraceMsgRHAVector:
 		return fmt.Sprintf("rhv=%v", c.View)
+	case TraceMsgFedDigest:
+		return fmt.Sprintf("digest s%02d view=%v", int(c.Node), c.View)
+	case TraceMsgSegmentStale:
+		return fmt.Sprintf("segment s%02d stale", int(c.Node))
+	case TraceMsgSiteChange:
+		return fmt.Sprintf("site %v -> %v", c.Active, c.View)
 	}
 	return c.Msg
 }
@@ -505,6 +543,26 @@ func TraceRHAStart(rhv can.NodeSet) Command {
 // TraceRHAEnd traces the agreed vector of a completed RHA execution.
 func TraceRHAEnd(rhv can.NodeSet) Command {
 	return Command{Kind: CmdTrace, TraceKind: trace.KindRHAEnd, TraceMsg: TraceMsgRHAVector, View: rhv}
+}
+
+// TraceFedDigest traces a federation digest announcement for a segment.
+func TraceFedDigest(seg can.NodeID, view can.NodeSet) Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindFedDigest, TraceMsg: TraceMsgFedDigest, Node: seg, View: view}
+}
+
+// TraceSegmentStale traces a staleness expiry for a remote segment.
+func TraceSegmentStale(seg can.NodeID) Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindSiteChange, TraceMsg: TraceMsgSegmentStale, Node: seg}
+}
+
+// TraceSiteChange traces a cross-segment site view update old -> new.
+func TraceSiteChange(old, now can.NodeSet) Command {
+	return Command{Kind: CmdTrace, TraceKind: trace.KindSiteChange, TraceMsg: TraceMsgSiteChange, Active: old, View: now}
+}
+
+// NotifySite delivers a cross-segment site view change.
+func NotifySite(active, failed can.NodeSet) Command {
+	return Command{Kind: CmdNotifySite, Active: active, Failed: failed}
 }
 
 // NotifyView delivers a membership change.

@@ -155,6 +155,32 @@ func TestChurnSweepMonotoneAndCalibrated(t *testing.T) {
 	}
 }
 
+func TestFederationSweepScalesWithSegments(t *testing.T) {
+	points := MeasureFederationSweep(canely.SubstrateFast, []int{4, 8, 16}, 3, 3, 1)
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		// Detection is staleness-driven: around Tstale (40ms), never an
+		// order of magnitude away, and independent of segment count.
+		if p.DetectMs < 30 || p.DetectMs > 80 {
+			t.Fatalf("%d segments: detection %0.2fms outside the Tstale envelope", p.Segments, p.DetectMs)
+		}
+		// Convergence is digest fan-in on a shared backbone: it grows with
+		// the segment count but stays well inside one announcement cycle
+		// per round.
+		if p.ConvergeMs <= 0 || p.ConvergeMs > 100 {
+			t.Fatalf("%d segments: convergence %0.2fms out of envelope", p.Segments, p.ConvergeMs)
+		}
+		if i > 0 && p.ConvergeMs <= points[i-1].ConvergeMs {
+			t.Fatalf("convergence not monotone in segments: %+v", points)
+		}
+	}
+	if !strings.Contains(FormatFederation(points), "converge ms") {
+		t.Fatal("format incomplete")
+	}
+}
+
 func TestLatencyBandwidthTradeoff(t *testing.T) {
 	points := MeasureLatencyBandwidthTradeoff(canely.SubstrateBitAccurate, nil, 6, 4, 1)
 	if len(points) != 4 {

@@ -36,6 +36,12 @@ type TxContext struct {
 	Receivers can.NodeSet
 	// Attempt counts transmissions of this queued request, starting at 1.
 	Attempt int
+	// Segments identifies the federation segment(s) this transmission
+	// belongs to. The simulated media know nothing about segments, so the
+	// set is empty unless a Tag injector wraps the medium's injector; on a
+	// backbone medium, digest frames are additionally tagged with the
+	// segment they summarize (their mid param).
+	Segments can.NodeSet
 }
 
 // Decision is the outcome imposed on a transmission.

@@ -239,3 +239,108 @@ func TestAnyTypeWildcard(t *testing.T) {
 		t.Fatal("a zero-Type literal must not wildcard")
 	}
 }
+
+func TestSegmentScopedMatch(t *testing.T) {
+	// The empty Segments set is the zero value, so every pre-federation
+	// Match literal keeps matching transmissions regardless of tagging.
+	els := ctxAt(0, elsFrame(3), can.MakeSet(3), can.EmptySet, 1)
+	any := Match{Type: AnyType, Param: AnyParam, Sender: AnySender}
+	if !any.matches(els) {
+		t.Fatal("untagged transmission must match a segment-wildcard rule")
+	}
+	tagged := els
+	tagged.Segments = can.MakeSet(2)
+	if !any.matches(tagged) {
+		t.Fatal("tagged transmission must match a segment-wildcard rule")
+	}
+
+	seg2 := Match{Type: AnyType, Param: AnyParam, Sender: AnySender, Segments: can.MakeSet(2)}
+	if seg2.matches(els) {
+		t.Fatal("segment-scoped rule fired on an untagged transmission")
+	}
+	if !seg2.matches(tagged) {
+		t.Fatal("segment-scoped rule missed its own segment")
+	}
+	other := els
+	other.Segments = can.MakeSet(3)
+	if seg2.matches(other) {
+		t.Fatal("segment-scoped rule fired on another segment")
+	}
+	// A multi-segment scope matches on any overlap.
+	multi := Match{Type: AnyType, Param: AnyParam, Sender: AnySender, Segments: can.MakeSet(1, 2)}
+	if !multi.matches(tagged) || multi.matches(other) {
+		t.Fatal("multi-segment scope intersected wrongly")
+	}
+}
+
+func TestTagScopesScriptToOneMedium(t *testing.T) {
+	// One stateful script shared across two segment media behind tags: the
+	// segment-1 rule must fire only for transmissions of segment 1.
+	script := NewScript(Rule{
+		Match:    Match{Type: AnyType, Param: AnyParam, Sender: AnySender, Segments: can.MakeSet(1)},
+		Decision: Decision{Corrupt: true},
+		Repeat:   true,
+	})
+	seg0 := Tag{Segment: 0, Inner: script}
+	seg1 := Tag{Segment: 1, Inner: script}
+	ctx := ctxAt(0, elsFrame(3), can.MakeSet(3), can.EmptySet, 1)
+	if d := seg0.Decide(ctx); !d.Clean() {
+		t.Fatal("segment-1 rule fired on segment 0")
+	}
+	if d := seg1.Decide(ctx); !d.Corrupt {
+		t.Fatal("segment-1 rule did not fire on segment 1")
+	}
+	// Tagging without an inner injector is a clean pass-through.
+	if d := (Tag{Segment: 5}).Decide(ctx); !d.Clean() {
+		t.Fatal("bare Tag injected")
+	}
+}
+
+func TestTagDigestsTargetsOneSegmentsDigests(t *testing.T) {
+	// The scripted segment-partition fault: on a backbone medium, corrupt
+	// every digest summarizing segment 2, touch nothing else.
+	script := NewScript(Rule{
+		Match:    Match{Type: can.TypeFed, Param: AnyParam, Sender: AnySender, Segments: can.MakeSet(2)},
+		Decision: Decision{Corrupt: true},
+		Repeat:   true,
+	})
+	backbone := TagDigests{Inner: script}
+	dig := func(seg can.NodeID, gw can.NodeID) TxContext {
+		f := can.Frame{ID: can.FedDigestSign(seg, gw).Encode()}
+		f.SetPayload(can.MakeSet(0, 1).Bytes())
+		return ctxAt(0, f, can.MakeSet(gw), can.EmptySet, 1)
+	}
+	if d := backbone.Decide(dig(2, 4)); !d.Corrupt {
+		t.Fatal("segment-2 digest not partitioned")
+	}
+	if d := backbone.Decide(dig(3, 6)); !d.Clean() {
+		t.Fatal("segment-3 digest partitioned")
+	}
+	if d := backbone.Decide(ctxAt(0, elsFrame(1), can.MakeSet(1), can.EmptySet, 1)); !d.Clean() {
+		t.Fatal("non-digest backbone frame partitioned")
+	}
+}
+
+func TestMatchTargetsGatewayDigests(t *testing.T) {
+	// The scripted gateway-crash fault: the Occurrence-th digest transmitted
+	// by one gateway crashes it, digests from other gateways pass.
+	script := NewScript(Rule{
+		Match:      Match{Type: can.TypeFed, Param: AnyParam, Sender: 4},
+		Occurrence: 2,
+		Decision:   Decision{CrashSenders: true},
+	})
+	dig := func(gw can.NodeID) TxContext {
+		f := can.Frame{ID: can.FedDigestSign(1, gw).Encode()}
+		f.SetPayload(can.MakeSet(0).Bytes())
+		return ctxAt(0, f, can.MakeSet(gw), can.EmptySet, 1)
+	}
+	if d := script.Decide(dig(5)); !d.Clean() {
+		t.Fatal("rule fired on the wrong gateway")
+	}
+	if d := script.Decide(dig(4)); !d.Clean() {
+		t.Fatal("rule fired before its occurrence")
+	}
+	if d := script.Decide(dig(4)); !d.CrashSenders {
+		t.Fatal("rule did not crash the targeted gateway")
+	}
+}

@@ -23,6 +23,11 @@ type Match struct {
 	// MinAttempt restricts to retransmissions (attempt >= MinAttempt);
 	// zero matches the first attempt onward.
 	MinAttempt int
+	// Segments restricts to transmissions tagged with at least one of these
+	// federation segments (see TxContext.Segments and Tag). The empty set —
+	// the zero value, so every pre-federation Match literal keeps its
+	// meaning — matches any transmission, tagged or not.
+	Segments can.NodeSet
 }
 
 // Wildcards for Match fields.
@@ -60,6 +65,9 @@ func (m Match) matches(ctx TxContext) bool {
 		return false
 	}
 	if m.MinAttempt != 0 && ctx.Attempt < m.MinAttempt {
+		return false
+	}
+	if !m.Segments.Empty() && m.Segments.Intersect(ctx.Segments).Empty() {
 		return false
 	}
 	return true

@@ -24,12 +24,16 @@ import (
 	"canely/internal/can"
 	"canely/internal/core"
 	"canely/internal/core/proto"
+	"canely/internal/federation"
 )
 
-// NodeConfig is the recorded configuration of one node's composite core.
+// NodeConfig is the recorded configuration of one node's core: a composite
+// protocol core (Core) or a gateway's federation core (Fed) — exactly one
+// is set.
 type NodeConfig struct {
-	ID   can.NodeID  `json:"id"`
-	Core core.Config `json:"core"`
+	ID   can.NodeID         `json:"id"`
+	Core *core.Config       `json:"core,omitempty"`
+	Fed  *federation.Config `json:"fed,omitempty"`
 }
 
 // Record is one Step of one node: the event consumed and the fully-routed
@@ -50,10 +54,18 @@ type Log struct {
 // New creates an empty log.
 func New() *Log { return &Log{} }
 
-// Register adds a node's core configuration. Must be called before any of
-// the node's records are appended.
+// Register adds a node's composite-core configuration. Must be called
+// before any of the node's records are appended.
 func (l *Log) Register(id can.NodeID, cfg core.Config) {
-	l.Nodes = append(l.Nodes, NodeConfig{ID: id, Core: cfg})
+	l.Nodes = append(l.Nodes, NodeConfig{ID: id, Core: &cfg})
+}
+
+// RegisterFed adds a gateway's federation-core configuration. Must be
+// called before any of the gateway's records are appended. Gateway and
+// node ids share one namespace per log; drivers keep separate logs when
+// they collide.
+func (l *Log) RegisterFed(id can.NodeID, cfg federation.Config) {
+	l.Nodes = append(l.Nodes, NodeConfig{ID: id, Fed: &cfg})
 }
 
 // Append records one Step. The command slice is copied: callers (the stack
@@ -84,16 +96,32 @@ func Load(r io.Reader) (*Log, error) {
 	return &l, nil
 }
 
+// stepper is the replayable surface both core kinds share.
+type stepper interface {
+	StepInto(proto.Event, *proto.CommandBuf)
+}
+
 // Verify re-executes the log on fresh cores and checks command-for-command
 // equality. It returns nil when the replay reproduces the capture exactly.
 func (l *Log) Verify() error {
-	nodes := make(map[can.NodeID]*core.Node, len(l.Nodes))
+	nodes := make(map[can.NodeID]stepper, len(l.Nodes))
 	for _, nc := range l.Nodes {
-		n, err := core.New(nc.ID, nc.Core)
-		if err != nil {
-			return fmt.Errorf("replay: rebuilding core %v: %w", nc.ID, err)
+		switch {
+		case nc.Fed != nil:
+			n, err := federation.New(*nc.Fed)
+			if err != nil {
+				return fmt.Errorf("replay: rebuilding federation core %v: %w", nc.ID, err)
+			}
+			nodes[nc.ID] = n
+		case nc.Core != nil:
+			n, err := core.New(nc.ID, *nc.Core)
+			if err != nil {
+				return fmt.Errorf("replay: rebuilding core %v: %w", nc.ID, err)
+			}
+			nodes[nc.ID] = n
+		default:
+			return fmt.Errorf("replay: node %v registered without a core configuration", nc.ID)
 		}
-		nodes[nc.ID] = n
 	}
 	var buf proto.CommandBuf
 	for i, rec := range l.Records {

@@ -46,6 +46,10 @@ type Broker struct {
 	// currently-bound connections.
 	clients  map[can.NodeID]*brokerClient
 	handlers map[can.NodeID]*brokerHandler
+	// digests retains the last site digest per gateway client — the
+	// broker-side observability point for cross-segment agreement. It is
+	// loop-owned.
+	digests map[can.NodeID]wire.Msg
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -91,6 +95,7 @@ func ListenBroker(addr string, cfg BrokerConfig) (*Broker, error) {
 		loop:     StartLoop(),
 		clients:  make(map[can.NodeID]*brokerClient),
 		handlers: make(map[can.NodeID]*brokerHandler),
+		digests:  make(map[can.NodeID]wire.Msg),
 		closed:   make(chan struct{}),
 	}
 	b.bus = fastbus.New(b.loop.Scheduler(), fastbus.Config{Rate: cfg.Rate})
@@ -150,7 +155,7 @@ func (b *Broker) serveConn(conn net.Conn) {
 	if !b.loop.Call(func() { b.register(cl) }) {
 		return // broker shut down mid-handshake
 	}
-	b.logf("canelyd: %v attached from %v", id, conn.RemoteAddr())
+	b.logf("canelyd: %v %v attached from %v", hello.Role, id, conn.RemoteAddr())
 
 	for {
 		msg, err := wire.Read(conn)
@@ -176,6 +181,10 @@ func (b *Broker) serveConn(conn net.Conn) {
 					p.Crash()
 				}
 			})
+		case wire.KindDigest:
+			d := msg
+			b.loop.Post(func() { b.digests[d.Node] = d })
+			b.logf("canelyd: gateway %v site digest for segment %v: %v", msg.Node, msg.Seg, msg.View)
 		default:
 			b.loop.Post(func() { b.unregister(cl) })
 			b.logf("canelyd: %v sent unexpected %v; dropping", id, msg.Kind)
@@ -296,6 +305,17 @@ func (h *brokerHandler) pushState() {
 		Kind: wire.KindState, State: p.State(),
 		TEC: clampU16(tec), REC: clampU16(rec),
 	})
+}
+
+// SiteDigest returns the last site digest a gateway pushed, if any.
+func (b *Broker) SiteDigest(gw can.NodeID) (seg can.NodeID, view can.NodeSet, ok bool) {
+	b.loop.Call(func() {
+		var d wire.Msg
+		if d, ok = b.digests[gw]; ok {
+			seg, view = d.Seg, d.View
+		}
+	})
+	return seg, view, ok
 }
 
 func clampU16(v int) uint16 {

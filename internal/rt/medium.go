@@ -28,6 +28,9 @@ type DialConfig struct {
 	BackoffMin, BackoffMax time.Duration
 	// WriteTimeout bounds one message write to the broker. Defaults 2 s.
 	WriteTimeout time.Duration
+	// Role classifies the client at the broker (Hello): the zero value is
+	// a plain node; gateways dial their raw digest links with RoleGateway.
+	Role wire.Role
 	// OnStatus, when non-nil, observes link transitions (true = connected)
 	// on the loop goroutine. Test hook.
 	OnStatus func(up bool)
@@ -122,7 +125,7 @@ func (m *Medium) dialOnce(deadline time.Time) (net.Conn, can.BitRate, error) {
 		return nil, 0, err
 	}
 	_ = conn.SetDeadline(deadline)
-	if err := wire.Write(conn, wire.Msg{Kind: wire.KindHello, Node: m.id}); err != nil {
+	if err := wire.Write(conn, wire.Msg{Kind: wire.KindHello, Node: m.id, Role: m.cfg.Role}); err != nil {
 		conn.Close()
 		return nil, 0, fmt.Errorf("hello: %w", err)
 	}
@@ -203,6 +206,14 @@ func (m *Medium) logf(format string, args ...any) {
 	if m.cfg.Logf != nil {
 		m.cfg.Logf(format, args...)
 	}
+}
+
+// PushDigest reports a gateway's current site view to the broker (a
+// KindDigest record): pure observability, never interpreted by the MAC
+// emulation. Loop-owned, like every port operation — gateways call it from
+// site-change callbacks, which already run on the loop.
+func (m *Medium) PushDigest(seg can.NodeID, view can.NodeSet) {
+	m.port.forward(wire.Msg{Kind: wire.KindDigest, Seg: seg, Node: m.id, View: view})
 }
 
 // Close tears the medium down: no further reconnects, connection closed.

@@ -33,6 +33,8 @@ const (
 	KindViewChange   Kind = "view-change"
 	KindJoinRequest  Kind = "join-req"
 	KindLeaveRequest Kind = "leave-req"
+	KindFedDigest    Kind = "fed-digest"
+	KindSiteChange   Kind = "site-change"
 )
 
 // Event is one timestamped occurrence.

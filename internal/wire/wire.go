@@ -29,7 +29,12 @@ import (
 
 // Version is the protocol version carried in Hello/Welcome. A broker
 // rejects clients speaking a different version.
-const Version = 1
+//
+// Version 2 added the Hello role byte and the Digest record (multi-segment
+// federation): a version-1 Hello (role byte absent, i.e. zero) decodes as a
+// plain node, but version-1 brokers reject version-2 clients outright, so
+// mixed deployments fail fast at the handshake instead of mid-protocol.
+const Version = 2
 
 // MsgSize is the fixed on-wire size of every message, in bytes.
 const MsgSize = 16
@@ -59,7 +64,37 @@ const (
 	// KindState reports a fault-confinement transition with the error
 	// counters; a transition to bus-off is terminal.
 	KindState
+	// KindDigest travels client → broker from gateway-role clients: the
+	// gateway's current federation site view for the segment this broker
+	// emulates. The broker does not interpret it — digests between gateways
+	// travel as ordinary TypeFed CAN frames — but logs and retains the last
+	// one per gateway, giving live deployments a broker-side observability
+	// point for cross-segment agreement.
+	KindDigest
 )
+
+// Role classifies a Hello: a plain protocol node or a federation gateway.
+// The zero value is RoleNode, so version-1 captures replayed against a
+// version-2 decoder keep their meaning.
+type Role byte
+
+// Hello roles.
+const (
+	RoleNode Role = iota
+	RoleGateway
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleNode:
+		return "node"
+	case RoleGateway:
+		return "gateway"
+	default:
+		return fmt.Sprintf("role(%d)", byte(r))
+	}
+}
 
 // String names the kind for diagnostics.
 func (k Kind) String() string {
@@ -80,6 +115,8 @@ func (k Kind) String() string {
 		return "confirm"
 	case KindState:
 		return "state"
+	case KindDigest:
+		return "digest"
 	default:
 		return fmt.Sprintf("kind(%d)", byte(k))
 	}
@@ -90,8 +127,16 @@ func (k Kind) String() string {
 type Msg struct {
 	Kind Kind
 
-	// Node is the client identity (Hello).
+	// Node is the client identity (Hello) or the reporting gateway
+	// (Digest).
 	Node can.NodeID
+	// Role classifies the client (Hello): plain node or gateway.
+	Role Role
+	// Seg is the segment this broker emulates, as the gateway knows it
+	// (Digest).
+	Seg can.NodeID
+	// View is the gateway's current site view (Digest).
+	View can.NodeSet
 	// Rate is the broker's signalling rate (Welcome).
 	Rate can.BitRate
 	// Frame carries the CAN frame of Request, Frame and Confirm.
@@ -119,6 +164,7 @@ func (m Msg) Encode(b *[MsgSize]byte) {
 	case KindHello:
 		b[1] = Version
 		b[2] = byte(m.Node)
+		b[3] = byte(m.Role)
 	case KindWelcome:
 		b[1] = Version
 		binary.BigEndian.PutUint32(b[2:6], uint32(m.Rate))
@@ -140,6 +186,10 @@ func (m Msg) Encode(b *[MsgSize]byte) {
 		b[1] = byte(m.State)
 		binary.BigEndian.PutUint16(b[2:4], m.TEC)
 		binary.BigEndian.PutUint16(b[4:6], m.REC)
+	case KindDigest:
+		b[1] = byte(m.Seg)
+		b[2] = byte(m.Node)
+		copy(b[3:11], m.View.Bytes())
 	}
 }
 
@@ -154,6 +204,10 @@ func Decode(b [MsgSize]byte) (Msg, error) {
 		m.Node = can.NodeID(b[2])
 		if !m.Node.Valid() {
 			return Msg{}, fmt.Errorf("wire: invalid node id %d", b[2])
+		}
+		m.Role = Role(b[3])
+		if m.Role > RoleGateway {
+			return Msg{}, fmt.Errorf("wire: invalid hello role %d", b[3])
 		}
 	case KindWelcome:
 		if b[1] != Version {
@@ -183,6 +237,17 @@ func Decode(b [MsgSize]byte) (Msg, error) {
 		}
 		m.TEC = binary.BigEndian.Uint16(b[2:4])
 		m.REC = binary.BigEndian.Uint16(b[4:6])
+	case KindDigest:
+		m.Seg = can.NodeID(b[1])
+		m.Node = can.NodeID(b[2])
+		if !m.Seg.Valid() || !m.Node.Valid() {
+			return Msg{}, fmt.Errorf("wire: invalid digest ids seg=%d gw=%d", b[1], b[2])
+		}
+		view, err := can.SetFromBytes(b[3:11])
+		if err != nil {
+			return Msg{}, fmt.Errorf("wire: digest view: %w", err)
+		}
+		m.View = view
 	default:
 		return Msg{}, fmt.Errorf("wire: unknown message kind %d", b[0])
 	}

@@ -18,6 +18,8 @@ func roundTripMsgs() []Msg {
 	rtr := can.Frame{ID: can.FDASign(9).Encode(), RTR: true, DLC: 0}
 	return []Msg{
 		{Kind: KindHello, Node: 63},
+		{Kind: KindHello, Node: 9, Role: RoleGateway},
+		{Kind: KindDigest, Seg: 1, Node: 9, View: can.MakeSet(0, 1)},
 		{Kind: KindWelcome, Rate: can.Rate125Kbps},
 		{Kind: KindRequest, Frame: f},
 		{Kind: KindRequest, Frame: rtr},
@@ -105,6 +107,20 @@ func TestDecodeRejectsMalformedRecords(t *testing.T) {
 		var b [MsgSize]byte
 		Msg{Kind: KindState}.Encode(&b)
 		b[1] = 99
+		return b
+	}()
+
+	cases["bad hello role"] = func() [MsgSize]byte {
+		var b [MsgSize]byte
+		Msg{Kind: KindHello, Node: 1}.Encode(&b)
+		b[3] = byte(RoleGateway) + 1
+		return b
+	}()
+
+	cases["bad digest segment"] = func() [MsgSize]byte {
+		var b [MsgSize]byte
+		Msg{Kind: KindDigest, Seg: 1, Node: 9}.Encode(&b)
+		b[1] = can.MaxNodes
 		return b
 	}()
 

@@ -1,0 +1,162 @@
+package canely
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"canely/internal/replay"
+)
+
+// TestLiveProcessFederation is the multi-process federation acceptance run:
+// two canelyd brokers emulating two CAN segments, one canelyfed gateway
+// dual-homed across them, and three canelynode processes per segment — all
+// over real unix sockets with wall-clock timers. Every node must converge
+// on its segment view including the gateway's member identity, the gateway
+// must report the full two-segment site, and its recorded federation
+// streams must verify under pure replay.
+func TestLiveProcessFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process live federation in -short mode")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	canelyd, canelynode, canelyfed := build("canelyd"), build("canelynode"), build("canelyfed")
+
+	socks := []string{
+		"unix:" + filepath.Join(dir, "seg0.sock"),
+		"unix:" + filepath.Join(dir, "seg1.sock"),
+	}
+	for _, sock := range socks {
+		broker := exec.Command(canelyd, "-listen", sock, "-rate", "125000", "-quiet")
+		if err := broker.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			broker.Process.Kill()
+			broker.Wait()
+		})
+		waitForSocket(t, strings.TrimPrefix(sock, "unix:"), 5*time.Second)
+	}
+
+	record := filepath.Join(dir, "gateway.replay.json")
+	timing := []string{
+		"-tb", "150ms", "-ttd", "50ms", "-tm", "400ms",
+		"-tjoinwait", "2s", "-trha", "100ms", "-duration", "6s",
+	}
+	// Each segment bootstraps {n00,n01,n02,n05}: three plain nodes plus the
+	// gateway's member identity. The gateway bootstraps the site {s0,s1}.
+	gw := exec.Command(canelyfed, append([]string{
+		"-brokers", socks[0] + "," + socks[1],
+		"-id", "9", "-member", "5", "-views", "0-2,5;0-2,5",
+		"-tann", "300ms", "-tstale", "1200ms",
+		"-record", record,
+	}, timing...)...)
+	gw.Stderr = os.Stderr
+	var gwOut strings.Builder
+	gw.Stdout = &gwOut
+	if err := gw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Process.Kill(); gw.Wait() })
+
+	type proc struct {
+		seg, id int
+		cmd     *exec.Cmd
+		buf     *strings.Builder
+	}
+	var nodes []*proc
+	for seg := 0; seg < 2; seg++ {
+		for id := 0; id < 3; id++ {
+			cmd := exec.Command(canelynode, append([]string{
+				"-broker", socks[seg], "-id", strconv.Itoa(id), "-bootstrap", "0-2,5",
+			}, timing...)...)
+			cmd.Stderr = os.Stderr
+			p := &proc{seg: seg, id: id, cmd: cmd, buf: &strings.Builder{}}
+			cmd.Stdout = p.buf
+			nodes = append(nodes, p)
+		}
+	}
+
+	done := make(chan *proc, len(nodes)+1)
+	for _, p := range nodes {
+		if err := p.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.cmd.Process.Kill(); p.cmd.Wait() })
+		go func(p *proc) {
+			if err := p.cmd.Wait(); err != nil {
+				t.Errorf("segment %d node %d: %v\n%s", p.seg, p.id, err, p.buf.String())
+			}
+			done <- p
+		}(p)
+	}
+	go func() {
+		if err := gw.Wait(); err != nil {
+			t.Errorf("gateway: %v\n%s", err, gwOut.String())
+		}
+		done <- nil
+	}()
+
+	deadline := time.After(40 * time.Second)
+	for i := 0; i < len(nodes)+1; i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatal("federation processes did not exit in time (wedged cluster)")
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every node in every segment agrees on the segment view, gateway
+	// member included.
+	for _, p := range nodes {
+		out := strings.TrimSpace(p.buf.String())
+		if v := viewOf(t, out); v != "{n00,n01,n02,n05}" {
+			t.Errorf("segment %d node %d view %s, want {n00,n01,n02,n05}\nfull: %s",
+				p.seg, p.id, v, out)
+		}
+		if !strings.Contains(out, "member=true alive=true") {
+			t.Errorf("segment %d node %d not a live member: %s", p.seg, p.id, out)
+		}
+	}
+	// The gateway holds both segments in its site view.
+	gwLine := strings.TrimSpace(gwOut.String())
+	if v := viewOf(t, gwLine); v != "{n00,n01}" {
+		t.Errorf("gateway site %s, want {n00,n01}\nfull: %s", v, gwLine)
+	}
+	if !strings.Contains(gwLine, "alive=true") {
+		t.Errorf("gateway not alive: %s", gwLine)
+	}
+
+	// The recorded live federation run must reproduce exactly on a fresh
+	// pure federation core.
+	f, err := os.Open(record)
+	if err != nil {
+		t.Fatalf("recorded log missing: %v", err)
+	}
+	defer f.Close()
+	log, err := replay.Load(f)
+	if err != nil {
+		t.Fatalf("loading recorded log: %v", err)
+	}
+	if len(log.Records) == 0 {
+		t.Fatal("recorded log is empty")
+	}
+	if err := log.Verify(); err != nil {
+		t.Fatalf("live federation capture does not replay: %v", err)
+	}
+}

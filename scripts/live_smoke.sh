@@ -1,30 +1,42 @@
 #!/usr/bin/env bash
-# Deadline-bounded smoke of the live runtime: one canelyd broker plus a
-# three-node wall-clock cluster over a unix socket. Passes when every node
-# exits cleanly and all three print the same full final view.
+# Deadline-bounded smoke of the live runtime, in two stages:
+#
+#   1. One canelyd broker plus a three-node wall-clock cluster over a unix
+#      socket; every node must exit printing the same full final view.
+#   2. A two-segment federation: two brokers, one canelyfed gateway
+#      dual-homed across them, three canelynode processes per segment.
+#      Every node must converge on its segment view (gateway member
+#      included) and the gateway must report the full two-segment site.
 set -euo pipefail
 
 workdir="$(mktemp -d)"
-trap 'kill "${broker_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/canelyd" ./cmd/canelyd
 go build -o "$workdir/canelynode" ./cmd/canelynode
+go build -o "$workdir/canelyfed" ./cmd/canelyfed
 
+# wait_sock PATH blocks until a unix socket appears (or fails after 5 s).
+wait_sock() {
+  for _ in $(seq 50); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "broker socket $1 never appeared" >&2
+  return 1
+}
+
+### Stage 1: single-segment three-node cluster.
 sock="unix:$workdir/bus.sock"
 "$workdir/canelyd" -listen "$sock" -rate 125000 -quiet &
-broker_pid=$!
-for _ in $(seq 50); do
-  [ -S "$workdir/bus.sock" ] && break
-  sleep 0.1
-done
-[ -S "$workdir/bus.sock" ] || { echo "broker socket never appeared" >&2; exit 1; }
+wait_sock "$workdir/bus.sock"
 
 # Short timers, short run; `timeout` bounds a wedged cluster.
-common=(-broker "$sock" -bootstrap 0-2 -duration 3s
-        -tb 150ms -ttd 50ms -tm 400ms -tjoinwait 2s -trha 100ms)
+timing=(-tb 150ms -ttd 50ms -tm 400ms -tjoinwait 2s -trha 100ms)
 pids=()
 for id in 0 1 2; do
-  timeout 60 "$workdir/canelynode" -id "$id" "${common[@]}" \
+  timeout 60 "$workdir/canelynode" -broker "$sock" -id "$id" \
+    -bootstrap 0-2 -duration 3s "${timing[@]}" \
     > "$workdir/node$id.out" &
   pids+=($!)
 done
@@ -40,3 +52,48 @@ if [ "$views" != "{n00,n01,n02}" ]; then
   exit 1
 fi
 echo "live smoke OK: three processes agree on $views"
+
+### Stage 2: two-segment federation through a gateway.
+seg0="unix:$workdir/seg0.sock"
+seg1="unix:$workdir/seg1.sock"
+"$workdir/canelyd" -listen "$seg0" -rate 125000 -quiet &
+"$workdir/canelyd" -listen "$seg1" -rate 125000 -quiet &
+wait_sock "$workdir/seg0.sock"
+wait_sock "$workdir/seg1.sock"
+
+timeout 90 "$workdir/canelyfed" -brokers "$seg0,$seg1" -id 9 -member 5 \
+  -views "0-2,5;0-2,5" -tann 300ms -tstale 1200ms -duration 6s \
+  "${timing[@]}" > "$workdir/gateway.out" &
+gw_pid=$!
+
+pids=()
+for seg in 0 1; do
+  for id in 0 1 2; do
+    sock_var="seg$seg"
+    timeout 90 "$workdir/canelynode" -broker "${!sock_var}" -id "$id" \
+      -bootstrap 0-2,5 -duration 6s "${timing[@]}" \
+      > "$workdir/fed-s$seg-n$id.out" &
+    pids+=($!)
+  done
+done
+for pid in "${pids[@]}" "$gw_pid"; do
+  wait "$pid" || {
+    echo "a federation process failed" >&2
+    cat "$workdir"/fed-*.out "$workdir/gateway.out" >&2
+    exit 1
+  }
+done
+
+cat "$workdir"/fed-*.out "$workdir/gateway.out"
+fed_views="$(sed -n 's/.*final view \({[^}]*}\).*/\1/p' "$workdir"/fed-*.out | sort -u)"
+if [ "$fed_views" != "{n00,n01,n02,n05}" ]; then
+  echo "federation segment views diverged or incomplete:" >&2
+  echo "$fed_views" >&2
+  exit 1
+fi
+site="$(sed -n 's/.*final site \({[^}]*}\).*/\1/p' "$workdir/gateway.out")"
+if [ "$site" != "{n00,n01}" ]; then
+  echo "gateway site view $site, want {n00,n01}" >&2
+  exit 1
+fi
+echo "federation smoke OK: six processes agree on $fed_views, gateway site $site"

@@ -234,6 +234,180 @@ func TestSubstrateEquivalence(t *testing.T) {
 	}
 }
 
+// The federation scenario family: a multi-segment gateway topology must
+// deliver identical per-segment frame sequences, identical gateway site
+// transitions and identical final site views on both substrates. Logs are
+// compared per segment — node ids repeat across segments, and cross-medium
+// interleaving at equal instants is a scheduler artifact, not protocol
+// behaviour — which is exactly the delivered-frame-sequence guarantee the
+// single-segment suite pins, once per segment bus.
+
+// fedEqRecorder captures per-segment hook logs plus per-gateway site
+// transitions and final site views.
+type fedEqRecorder struct {
+	segLogs map[NodeID][]string
+	site    map[NodeID][]string
+	finals  map[NodeID]NodeSet
+}
+
+func newFedEqRecorder() *fedEqRecorder {
+	return &fedEqRecorder{
+		segLogs: make(map[NodeID][]string),
+		site:    make(map[NodeID][]string),
+		finals:  make(map[NodeID]NodeSet),
+	}
+}
+
+// segmentHooks returns the hooks of one segment, appending to its log.
+func (r *fedEqRecorder) segmentHooks(seg NodeID) *Hooks {
+	return &Hooks{
+		OnIndication: func(node NodeID, f can.Frame, own bool) {
+			r.segLogs[seg] = append(r.segLogs[seg], fmt.Sprintf("n%02d ind %08x rtr=%t dlc=%d data=%x own=%t",
+				node, f.ID, f.RTR, f.DLC, f.Data, own))
+		},
+		OnConfirm: func(node NodeID, f can.Frame) {
+			r.segLogs[seg] = append(r.segLogs[seg], fmt.Sprintf("n%02d cnf %08x rtr=%t", node, f.ID, f.RTR))
+		},
+		OnViewChange: func(node NodeID, ch Change) {
+			r.segLogs[seg] = append(r.segLogs[seg], fmt.Sprintf("n%02d view active=%v failed=%v left=%t",
+				node, ch.Active, ch.Failed, ch.Left))
+		},
+	}
+}
+
+// fedEqScenario is one federation table entry; cfg must build a fresh
+// config per call (fault scripts are stateful).
+type fedEqScenario struct {
+	name  string
+	cfg   func() FederationConfig
+	drive func(fed *Federation)
+}
+
+func federationEquivalenceScenarios() []fedEqScenario {
+	base := func() FederationConfig {
+		cfg := DefaultFederationConfig()
+		cfg.Node.Seed = 42
+		cfg.NodesPerSegment = 3
+		return cfg
+	}
+	return []fedEqScenario{
+		{
+			name: "fed-steady-state",
+			cfg:  base,
+			drive: func(fed *Federation) {
+				fed.BootstrapAll()
+				fed.Run(250 * time.Millisecond)
+			},
+		},
+		{
+			name: "fed-gateway-failover",
+			cfg: func() FederationConfig {
+				cfg := base()
+				cfg.RedundantGateways = true
+				return cfg
+			},
+			drive: func(fed *Federation) {
+				fed.BootstrapAll()
+				fed.Run(100 * time.Millisecond)
+				fed.Gateway(1, 0).Crash()
+				fed.Run(200 * time.Millisecond)
+			},
+		},
+		{
+			name: "fed-segment-partition",
+			cfg: func() FederationConfig {
+				cfg := base()
+				cfg.BackboneScript = fault.NewScript(fault.Rule{
+					Match: fault.Match{Type: can.TypeFed, Param: fault.AnyParam,
+						Sender: fault.AnySender, Segments: MakeSet(2)},
+					Occurrence: 6,
+					Repeat:     true,
+					Decision:   fault.Decision{Corrupt: true},
+				})
+				return cfg
+			},
+			drive: func(fed *Federation) {
+				fed.BootstrapAll()
+				fed.Run(300 * time.Millisecond)
+			},
+		},
+		{
+			name: "fed-segment-crash",
+			cfg:  base,
+			drive: func(fed *Federation) {
+				fed.BootstrapAll()
+				fed.Run(120 * time.Millisecond)
+				fed.CrashSegment(3)
+				fed.Run(200 * time.Millisecond)
+			},
+		},
+	}
+}
+
+// runFedScenario executes one federation scenario on one substrate.
+func runFedScenario(sc fedEqScenario, sub Substrate) *fedEqRecorder {
+	rec := newFedEqRecorder()
+	cfg := sc.cfg()
+	cfg.Node.Substrate = sub
+	cfg.SegmentHooks = rec.segmentHooks
+	fed := NewFederation(cfg)
+	for _, g := range fed.Gateways() {
+		id := g.ID()
+		g.OnSiteChange(func(active, failed NodeSet) {
+			rec.site[id] = append(rec.site[id], fmt.Sprintf("site active=%v failed=%v", active, failed))
+		})
+	}
+	sc.drive(fed)
+	for _, g := range fed.Gateways() {
+		rec.finals[g.ID()] = g.SiteView()
+	}
+	return rec
+}
+
+func TestSubstrateEquivalenceFederation(t *testing.T) {
+	for _, sc := range federationEquivalenceScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			bit := runFedScenario(sc, SubstrateBitAccurate)
+			fast := runFedScenario(sc, SubstrateFast)
+
+			total := 0
+			for seg, bitLog := range bit.segLogs {
+				total += len(bitLog)
+				fastLog := fast.segLogs[seg]
+				for i := range bitLog {
+					if i >= len(fastLog) {
+						t.Fatalf("segment %v: fast log ends at %d/%d events; next bit event: %s",
+							seg, i, len(bitLog), bitLog[i])
+					}
+					if bitLog[i] != fastLog[i] {
+						t.Fatalf("segment %v logs diverge at event %d:\n  bit:  %s\n  fast: %s",
+							seg, i, bitLog[i], fastLog[i])
+					}
+				}
+				if len(fastLog) > len(bitLog) {
+					t.Fatalf("segment %v: fast log has %d extra events; first: %s",
+						seg, len(fastLog)-len(bitLog), fastLog[len(bitLog)])
+				}
+			}
+			if total == 0 {
+				t.Fatal("scenario produced no segment events; the comparison is vacuous")
+			}
+
+			for gw, bitSite := range bit.site {
+				if got := strings.Join(fast.site[gw], "\n"); got != strings.Join(bitSite, "\n") {
+					t.Errorf("gateway %v site transitions differ:\n  bit:\n%s\n  fast:\n%s",
+						gw, strings.Join(bitSite, "\n"), got)
+				}
+			}
+			for gw, v := range bit.finals {
+				if fast.finals[gw] != v {
+					t.Errorf("final site view of gateway %v: bit=%v fast=%v", gw, v, fast.finals[gw])
+				}
+			}
+		})
+	}
+}
+
 // TestSubstrateEquivalenceDualMedia exercises the media-redundancy path:
 // the selection unit must behave identically over both substrates.
 func TestSubstrateEquivalenceDualMedia(t *testing.T) {
