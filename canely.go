@@ -161,6 +161,15 @@ type Config struct {
 	// set) applies to medium B. Both media use Config.Substrate.
 	DualMedia     bool
 	MediumBScript Injector
+
+	// Scheduler, when non-nil, is Reset and reused as the network's event
+	// scheduler instead of allocating a fresh one. Campaign workers pool a
+	// scheduler per goroutine this way, so steady-state run churn reuses
+	// one warm arena instead of regrowing heap and slot storage every run.
+	// The network takes ownership for its lifetime: do not share one
+	// scheduler between two live networks. Behaviour is identical either
+	// way — a Reset scheduler is indistinguishable from a fresh one.
+	Scheduler *sim.Scheduler
 }
 
 // DefaultConfig returns the parameterization used throughout the paper's
@@ -243,7 +252,12 @@ func NewNetwork(cfg Config, n int) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("canely: invalid config: %v", err))
 	}
-	sched := sim.NewScheduler()
+	sched := cfg.Scheduler
+	if sched != nil {
+		sched.Reset()
+	} else {
+		sched = sim.NewScheduler()
+	}
 	rng := sim.NewRNG(cfg.Seed)
 	// The fast substrate never traces; leaving tr nil turns every Emit in
 	// the protocol stack into a nil-receiver no-op.

@@ -1,0 +1,260 @@
+// Command brokerload drives a sharded rt.Broker with a large population of
+// concurrent connections — a handful of raw protocol nodes generating frame
+// traffic plus hundreds-to-thousands of passive wire.RoleTap observers —
+// and reports what the broker sustained: connection counts, delivered
+// frames, tap fan-out throughput, queue depths and drops.
+//
+// By default it starts its own broker (with /metrics) and loads it:
+//
+//	brokerload -conns 1200 -duration 10s
+//
+// Point it at an existing broker with -addr; -metrics then names the
+// broker's metrics endpoint (optional, for the final scrape).
+//
+// The exit status is the verdict: 0 when every requested connection held
+// for the whole run, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/rt"
+	"canely/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "broker address (unix:/path or host:port); empty starts an in-process broker")
+		conns    = flag.Int("conns", 1200, "total concurrent connections (nodes + taps)")
+		nodes    = flag.Int("nodes", 16, "traffic-generating node connections (rest are taps)")
+		period   = flag.Duration("period", 8*time.Millisecond, "per-node transmit request period (fan-out load = nodes/period x taps msgs/s)")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		rate     = flag.Int("rate", int(can.Rate1Mbps), "broker bit rate when starting in-process")
+		metrics  = flag.String("metrics", "", "metrics URL to scrape at the end (defaults to the in-process broker's)")
+		verbose  = flag.Bool("v", false, "log broker connection lifecycle")
+	)
+	flag.Parse()
+	if *nodes < 1 || *nodes > int(can.MaxNodes) {
+		fmt.Fprintf(os.Stderr, "brokerload: -nodes must be 1..%d (CAN node identities)\n", can.MaxNodes)
+		os.Exit(2)
+	}
+	if *conns < *nodes {
+		fmt.Fprintf(os.Stderr, "brokerload: -conns (%d) must be >= -nodes (%d)\n", *conns, *nodes)
+		os.Exit(2)
+	}
+	if err := run(*addr, *conns, *nodes, *period, *duration, can.BitRate(*rate), *metrics, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "brokerload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// counters aggregates what the client population observed.
+type counters struct {
+	dialFailures atomic.Int64
+	lost         atomic.Int64 // connections that died before the deadline
+	tapFrames    atomic.Int64 // frame indications across all taps
+	ownFrames    atomic.Int64 // self-receptions across all nodes
+	requests     atomic.Int64 // transmit requests issued
+}
+
+func run(addr string, conns, nodes int, period, duration time.Duration, rate can.BitRate, metricsURL string, verbose bool) error {
+	if addr == "" {
+		cfg := rt.BrokerConfig{Rate: rate, MetricsAddr: "127.0.0.1:0"}
+		if verbose {
+			cfg.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+		}
+		b, err := rt.ListenBroker("127.0.0.1:0", cfg)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		addr = b.Addr().String()
+		if metricsURL == "" {
+			metricsURL = b.MetricsURL()
+		}
+		fmt.Printf("broker: %s (metrics %s)\n", addr, metricsURL)
+	}
+	network, address := rt.SplitAddr(addr)
+
+	var c counters
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Taps first: the observers must be attached before traffic starts or
+	// the early frames are invisible to them.
+	taps := conns - nodes
+	for i := 0; i < taps; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tap(network, address, stop, &c)
+		}()
+	}
+	// Stagger node start so arbitration sees overlapping requests quickly
+	// without a thundering-herd handshake.
+	for i := 0; i < nodes; i++ {
+		id := can.NodeID(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node(network, address, id, period, stop, &c)
+		}()
+	}
+
+	start := time.Now()
+	time.Sleep(duration)
+	// Scrape under load, before teardown, so the gauges are meaningful.
+	var liveMetrics string
+	if metricsURL != "" {
+		if body, err := scrape(metricsURL); err == nil {
+			liveMetrics = body
+		} else {
+			fmt.Fprintf(os.Stderr, "brokerload: metrics scrape: %v\n", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	held := int64(conns) - c.dialFailures.Load() - c.lost.Load()
+	fmt.Printf("connections: %d requested, %d held for %v (%d dial failures, %d lost)\n",
+		conns, held, elapsed.Round(time.Millisecond), c.dialFailures.Load(), c.lost.Load())
+	fmt.Printf("traffic: %d requests, %d own-frame confirm indications\n",
+		c.requests.Load(), c.ownFrames.Load())
+	tapped := c.tapFrames.Load()
+	fmt.Printf("tap fan-out: %d frame indications across %d taps (%.0f msgs/s)\n",
+		tapped, taps, float64(tapped)/elapsed.Seconds())
+
+	if liveMetrics != "" {
+		fmt.Printf("broker /metrics (under load):\n%s", liveMetrics)
+	}
+	if held < int64(conns) {
+		return fmt.Errorf("only %d of %d connections survived the run", held, conns)
+	}
+	return nil
+}
+
+// dial connects and handshakes one client.
+func dial(network, address string, id can.NodeID, role wire.Role) (net.Conn, error) {
+	conn, err := net.DialTimeout(network, address, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.Write(conn, wire.Msg{Kind: wire.KindHello, Node: id, Role: role}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	welcome, err := wire.Read(conn)
+	if err != nil || welcome.Kind != wire.KindWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("bad welcome: %v", err)
+	}
+	return conn, nil
+}
+
+// tap holds one passive observer connection: count every frame indication
+// until told to stop.
+func tap(network, address string, stop <-chan struct{}, c *counters) {
+	conn, err := dial(network, address, 0, wire.RoleTap)
+	if err != nil {
+		c.dialFailures.Add(1)
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Buffered reads: at full fan-out a tap sees hundreds of thousands
+		// of 16-byte records per second; one syscall each would make the
+		// load generator, not the broker, the bottleneck.
+		r := bufio.NewReaderSize(conn, 16<<10)
+		for {
+			m, err := wire.Read(r)
+			if err != nil {
+				return
+			}
+			if m.Kind == wire.KindFrame {
+				c.tapFrames.Add(1)
+			}
+		}
+	}()
+	select {
+	case <-stop:
+		conn.Close()
+		<-done
+	case <-done:
+		c.lost.Add(1)
+		conn.Close()
+	}
+}
+
+// node holds one traffic-generating connection: request a frame every
+// period and drain indications.
+func node(network, address string, id can.NodeID, period time.Duration, stop <-chan struct{}, c *counters) {
+	conn, err := dial(network, address, id, wire.RoleNode)
+	if err != nil {
+		c.dialFailures.Add(1)
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := bufio.NewReaderSize(conn, 16<<10)
+		for {
+			m, err := wire.Read(r)
+			if err != nil {
+				return
+			}
+			if m.Kind == wire.KindFrame && m.Own {
+				c.ownFrames.Add(1)
+			}
+		}
+	}()
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	seq := uint32(0)
+	for {
+		select {
+		case <-stop:
+			conn.Close()
+			<-done
+			return
+		case <-done:
+			c.lost.Add(1)
+			conn.Close()
+			return
+		case <-tick.C:
+			f := can.Frame{ID: uint32(id)<<16 | (seq & 0xffff), DLC: 4}
+			f.Data[0], f.Data[1] = byte(id), byte(seq)
+			seq++
+			if err := wire.Write(conn, wire.Msg{Kind: wire.KindRequest, Frame: f}); err != nil {
+				c.lost.Add(1)
+				conn.Close()
+				<-done
+				return
+			}
+			c.requests.Add(1)
+		}
+	}
+}
+
+// scrape fetches the metrics endpoint body.
+func scrape(url string) (string, error) {
+	cl := http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	return string(body), err
+}

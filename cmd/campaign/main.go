@@ -103,14 +103,14 @@ func parseGrid(spec string) ([]campaign.Axis, error) {
 // the perf baseline future changes regress against. FastVsBitSpeedup is the
 // single-worker runs/sec ratio, the honest per-core comparison.
 type benchReport struct {
-	Benchmark        string            `json:"benchmark"`
-	Nodes            int               `json:"nodes"`
-	Grid             string            `json:"grid"`
-	RunsPerLadder    int               `json:"runs_per_ladder"`
-	// HostNote pins the measurement conditions next to the numbers: on a
+	Benchmark     string `json:"benchmark"`
+	Nodes         int    `json:"nodes"`
+	Grid          string `json:"grid"`
+	RunsPerLadder int    `json:"runs_per_ladder"`
+	// Host pins the measurement conditions next to the numbers: on a
 	// 1-core host the worker ladder can only show contention overhead, so a
 	// flat speedup column there says nothing about the engine's scaling.
-	HostNote         string            `json:"host_note"`
+	Host             hostInfo          `json:"host"`
 	Substrates       []substrateSeries `json:"substrates"`
 	FastVsBitSpeedup float64           `json:"fast_vs_bit_speedup"`
 	P99DetectionMs   float64           `json:"p99_detection_ms"`
@@ -163,6 +163,26 @@ func measureFederation() *federationStats {
 	return fs
 }
 
+// hostInfo records the machine the ladder was measured on, so numbers from
+// different hosts are never compared as if they were one series.
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func currentHost() hostInfo {
+	return hostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
 type substrateSeries struct {
 	Substrate string       `json:"substrate"`
 	Workers   []benchPoint `json:"workers"`
@@ -172,6 +192,10 @@ type benchPoint struct {
 	Workers    int     `json:"workers"`
 	RunsPerSec float64 `json:"runs_per_sec"`
 	Speedup    float64 `json:"speedup_vs_1"`
+	// AllocsPerRun is the whole-process heap churn per campaign run at this
+	// worker count: if per-worker state is shared or false-shared, allocator
+	// contention shows up here as data instead of ladder guesswork.
+	AllocsPerRun float64 `json:"allocs_per_run"`
 }
 
 // Pre-PR steady-state baseline (BenchmarkSteadyStateStep on the command
@@ -234,9 +258,7 @@ func measureSteadyState() *steadyStateStats {
 // over the full grid × seeds run, best of reps to shed scheduler noise.
 func measureThroughput(grid string, nodes, seeds int) benchReport {
 	rep := benchReport{Benchmark: "campaign-throughput", Nodes: nodes, Grid: grid}
-	rep.HostNote = fmt.Sprintf(
-		"measured on a %d-CPU host; on 1 CPU the worker ladder can only show contention overhead, not scaling",
-		runtime.NumCPU())
+	rep.Host = currentHost()
 	ladder := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
 	const reps = 3
 	for _, sub := range []canely.Substrate{canely.SubstrateBitAccurate, canely.SubstrateFast} {
@@ -248,7 +270,7 @@ func measureThroughput(grid string, nodes, seeds int) benchReport {
 				continue
 			}
 			seen[w] = true
-			var best float64
+			var best, cellAllocs float64
 			for attempt := 0; attempt < reps; attempt++ {
 				axes, err := parseGrid(grid)
 				if err != nil {
@@ -259,7 +281,7 @@ func measureThroughput(grid string, nodes, seeds int) benchReport {
 				spec := experiments.CrashQoSSpec(cfg, nodes, axes,
 					campaign.SeedRange{Base: 1, N: seeds})
 				runner := campaign.Runner{Workers: w}
-				measureAllocs := sub == canely.SubstrateFast && w == 1 && attempt == 0
+				measureAllocs := attempt == 0
 				var before runtime.MemStats
 				if measureAllocs {
 					runtime.GC()
@@ -276,8 +298,11 @@ func measureThroughput(grid string, nodes, seeds int) benchReport {
 				if measureAllocs {
 					var after runtime.MemStats
 					runtime.ReadMemStats(&after)
-					rep.AllocsPerRun = float64(after.Mallocs-before.Mallocs) / float64(len(results))
-					rep.BytesPerRun = float64(after.TotalAlloc-before.TotalAlloc) / float64(len(results))
+					cellAllocs = float64(after.Mallocs-before.Mallocs) / float64(len(results))
+					if sub == canely.SubstrateFast && w == 1 {
+						rep.AllocsPerRun = cellAllocs
+						rep.BytesPerRun = float64(after.TotalAlloc-before.TotalAlloc) / float64(len(results))
+					}
 				}
 				rep.RunsPerLadder = len(results)
 				if rep.P99DetectionMs == 0 {
@@ -287,7 +312,10 @@ func measureThroughput(grid string, nodes, seeds int) benchReport {
 			if base == 0 {
 				base = best
 			}
-			series.Workers = append(series.Workers, benchPoint{Workers: w, RunsPerSec: best, Speedup: best / base})
+			series.Workers = append(series.Workers, benchPoint{
+				Workers: w, RunsPerSec: best, Speedup: best / base,
+				AllocsPerRun: cellAllocs,
+			})
 		}
 		rep.Substrates = append(rep.Substrates, series)
 	}

@@ -25,13 +25,21 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", ":8964", "listen address, unix:/path or [tcp:]host:port")
-		rate   = flag.Int("rate", int(can.Rate1Mbps), "emulated bit rate (bit/s)")
-		quiet  = flag.Bool("quiet", false, "suppress connection lifecycle logging")
+		listen  = flag.String("listen", ":8964", "listen address, unix:/path or [tcp:]host:port")
+		rate    = flag.Int("rate", int(can.Rate1Mbps), "emulated bit rate (bit/s)")
+		metrics = flag.String("metrics", "", "serve /metrics on this host:port (empty disables)")
+		shards  = flag.Int("shards", 0, "writer-shard count (0 picks a CPU-proportional default)")
+		queue   = flag.Int("queue", 0, "per-client outbound queue bound in messages (0 = default)")
+		quiet   = flag.Bool("quiet", false, "suppress connection lifecycle logging")
 	)
 	flag.Parse()
 
-	cfg := rt.BrokerConfig{Rate: can.BitRate(*rate)}
+	cfg := rt.BrokerConfig{
+		Rate:        can.BitRate(*rate),
+		MetricsAddr: *metrics,
+		Shards:      *shards,
+		QueueDepth:  *queue,
+	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -43,6 +51,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("canelyd: bus up on %v at %d bit/s\n", b.Addr(), b.Rate())
+	if url := b.MetricsURL(); url != "" {
+		fmt.Printf("canelyd: metrics at %s\n", url)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

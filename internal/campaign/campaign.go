@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"canely"
+	"canely/internal/sim"
 )
 
 // Label is one axis coordinate of a grid point, e.g. {"tb", "10ms"}.
@@ -225,8 +226,13 @@ type RunResult struct {
 // Failed reports whether the run is a failed trial.
 func (r RunResult) Failed() bool { return r.Err != "" }
 
-// execute runs one trial with panic isolation.
-func (s *Spec) execute(i int) (res RunResult) {
+// execute runs one trial with panic isolation. sched, when non-nil, is the
+// worker's pooled scheduler: it is handed to the extractor through
+// Params.Config.Scheduler so canely.NewNetwork resets and reuses its arena
+// instead of growing a fresh one per run. The retained result keeps
+// Config.Scheduler as derived from the spec (normally nil), so results are
+// byte-identical whether or not pooling was in effect.
+func (s *Spec) execute(i int, sched *sim.Scheduler) (res RunResult) {
 	res.Params = s.params(i)
 	defer func() {
 		if r := recover(); r != nil {
@@ -234,7 +240,11 @@ func (s *Spec) execute(i int) (res RunResult) {
 			res.Err = fmt.Sprintf("panic: %v", r)
 		}
 	}()
-	m, err := s.Run(res.Params)
+	p := res.Params
+	if sched != nil {
+		p.Config.Scheduler = sched
+	}
+	m, err := s.Run(p)
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -259,14 +269,16 @@ type Runner struct {
 	WorkerRuns []int
 }
 
-// workerScratch is one worker's private hot state. Padded to a full 64-byte
-// cache line so that slice-adjacent workers bumping their counters never
-// write-share a line: with the old design every completed run touched
-// cross-worker shared state (an unbuffered channel handoff plus a progress
-// mutex), which flattened worker scaling on multi-core hosts.
+// workerScratch is one worker's private hot state: the pooled scheduler its
+// runs reuse and its completed-run counter. Padded to 128 bytes — two cache
+// lines — so slice-adjacent workers never write-share a line even through
+// the adjacent-line spatial prefetcher: with the old design every completed
+// run touched cross-worker shared state (an unbuffered channel handoff plus
+// a progress mutex), which flattened worker scaling on multi-core hosts.
 type workerScratch struct {
-	runs int64
-	_    [56]byte
+	sched *sim.Scheduler
+	runs  int64
+	_     [112]byte
 }
 
 // Run executes every run of the spec and returns the results ordered by run
@@ -281,6 +293,12 @@ type workerScratch struct {
 // add, with no channel handoff. Runs within a chunk share grid-point cache
 // locality (runs are enumerated point-major), and the chunk size caps at a
 // small fraction of total/workers so tail imbalance stays bounded.
+//
+// Each worker owns one arena-backed scheduler for its whole lifetime,
+// injected into every run through Config.Scheduler (see execute): after the
+// first few runs the arena has grown to the campaign's peak live-event
+// population and run churn stops touching the allocator, which is what
+// keeps the w1→wN ladder off the allocator's shared locks.
 func (r *Runner) Run(ctx context.Context, spec *Spec) ([]RunResult, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
@@ -313,6 +331,7 @@ func (r *Runner) Run(ctx context.Context, spec *Spec) ([]RunResult, error) {
 		wg.Add(1)
 		go func(ws *workerScratch) {
 			defer wg.Done()
+			ws.sched = sim.NewScheduler()
 			for {
 				if ctx.Err() != nil {
 					skipped.Store(true)
@@ -331,7 +350,7 @@ func (r *Runner) Run(ctx context.Context, spec *Spec) ([]RunResult, error) {
 						skipped.Store(true)
 						return
 					}
-					results[i] = spec.execute(i)
+					results[i] = spec.execute(i, ws.sched)
 					ws.runs++
 					if r.Progress != nil {
 						mu.Lock()

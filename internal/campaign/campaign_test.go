@@ -335,3 +335,42 @@ func TestMergeMetric(t *testing.T) {
 		t.Fatalf("merged x: n=%d mean=%v", s.N(), s.Mean())
 	}
 }
+
+// TestSchedulerPoolingTransparent: runs executed through the worker pool
+// (which injects a reused, Reset scheduler per worker) must produce exactly
+// the metrics of the same extractor invoked standalone on a fresh scheduler,
+// and the retained results must not leak the pooled scheduler out of the
+// worker (Params.Config.Scheduler stays as the spec derived it: nil).
+func TestSchedulerPoolingTransparent(t *testing.T) {
+	spec := &Spec{
+		Name:  "pool-transparent",
+		Base:  canely.DefaultConfig(),
+		Seeds: SeedRange{Base: 7, N: 8},
+		Run: func(p Params) (map[string]float64, error) {
+			net := canely.NewNetwork(p.Config, 5)
+			net.BootstrapAll()
+			net.Run(200 * time.Millisecond)
+			net.Node(2).Crash()
+			net.Run(p.Config.DetectionLatencyBound() + p.Config.Tm)
+			m := net.Node(0).View()
+			return map[string]float64{"members": float64(m.Count())}, nil
+		},
+	}
+	runs := mustRun(t, spec, 2)
+	for _, res := range runs {
+		if res.Failed() {
+			t.Fatalf("run %d failed: %s", res.Params.Index, res.Err)
+		}
+		if res.Params.Config.Scheduler != nil {
+			t.Fatalf("run %d retained the pooled scheduler in its Params", res.Params.Index)
+		}
+		fresh, err := spec.Run(res.Params) // Scheduler nil: standalone, unpooled
+		if err != nil {
+			t.Fatalf("standalone rerun %d: %v", res.Params.Index, err)
+		}
+		if len(fresh) != len(res.Metrics) || fresh["members"] != res.Metrics["members"] {
+			t.Fatalf("run %d: pooled metrics %v != fresh metrics %v",
+				res.Params.Index, res.Metrics, fresh)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package fastbus
+
+import (
+	"testing"
+
+	"canely/internal/can"
+	"canely/internal/sim"
+)
+
+// sink is a minimal bus.Handler for driving the bus directly in tests.
+type sink struct {
+	frames []can.Frame
+}
+
+func (s *sink) OnFrame(f can.Frame, own bool) {
+	if !own {
+		s.frames = append(s.frames, f)
+	}
+}
+func (s *sink) OnConfirm(can.Frame) {}
+func (s *sink) OnBusOff()           {}
+
+func frame(id uint16) can.Frame {
+	return can.Frame{ID: uint32(id), DLC: 1, Data: [can.MaxData]byte{0x01}}
+}
+
+// TestAdvancesBatchedWhenIdle: a lone transmission with no follow-up work
+// must skip its trailing-overhead gap analytically — no alarm, one batched
+// advance, zero stepped advances.
+func TestAdvancesBatchedWhenIdle(t *testing.T) {
+	sched := sim.NewScheduler()
+	b := New(sched, Config{Rate: can.Rate1Mbps})
+	tx, rx := b.Attach(1), b.Attach(2)
+	tx.SetHandler(&sink{})
+	rxh := &sink{}
+	rx.SetHandler(rxh)
+
+	if err := tx.Request(frame(0x100)); err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	sched.Run()
+
+	if len(rxh.frames) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(rxh.frames))
+	}
+	batched, stepped := b.Advances()
+	if batched != 1 || stepped != 0 {
+		t.Fatalf("advances = (batched=%d, stepped=%d), want (1, 0)", batched, stepped)
+	}
+}
+
+// TestAdvancesSteppedWhenBackToBack: with a second frame already queued when
+// the first completes, the bus must schedule exactly one alarm at the end of
+// the trailing overhead (a stepped advance) and still deliver both frames.
+func TestAdvancesSteppedWhenBackToBack(t *testing.T) {
+	sched := sim.NewScheduler()
+	b := New(sched, Config{Rate: can.Rate1Mbps})
+	tx, rx := b.Attach(1), b.Attach(2)
+	tx.SetHandler(&sink{})
+	rxh := &sink{}
+	rx.SetHandler(rxh)
+
+	if err := tx.Request(frame(0x100)); err != nil {
+		t.Fatalf("request 1: %v", err)
+	}
+	if err := tx.Request(frame(0x101)); err != nil {
+		t.Fatalf("request 2: %v", err)
+	}
+	sched.Run()
+
+	if len(rxh.frames) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(rxh.frames))
+	}
+	batched, stepped := b.Advances()
+	if stepped != 1 {
+		t.Fatalf("stepped advances = %d, want 1 (second frame waits out the first's tail)", stepped)
+	}
+	if batched != 1 {
+		t.Fatalf("batched advances = %d, want 1 (final tail has no waiter)", batched)
+	}
+}
+
+// TestBackToBackSpacing: the second of two back-to-back frames must start
+// only after the first frame's full wire occupancy (frame + trailing
+// overhead) — batching the idle-gap bookkeeping must not let it start early.
+func TestBackToBackSpacing(t *testing.T) {
+	run := func(requests int) sim.Time {
+		sched := sim.NewScheduler()
+		b := New(sched, Config{Rate: can.Rate1Mbps})
+		tx, rx := b.Attach(1), b.Attach(2)
+		tx.SetHandler(&sink{})
+		rxh := &sink{}
+		rx.SetHandler(rxh)
+		for i := 0; i < requests; i++ {
+			if err := tx.Request(frame(uint16(0x100 + i))); err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+		}
+		sched.Run()
+		if len(rxh.frames) != requests {
+			t.Fatalf("delivered %d frames, want %d", len(rxh.frames), requests)
+		}
+		return sched.Now()
+	}
+
+	one, two, three := run(1), run(2), run(3)
+	// run(1) ends at the complete event (the tail is analytic, no alarm), so
+	// each extra frame must add exactly tail + frame-time: strictly more
+	// than a lone frame, and the same increment at every queue depth.
+	if two-one <= one {
+		t.Fatalf("second frame added %v, want more than a frame-time %v (tail was skipped)",
+			sim.Duration(two-one), sim.Duration(one))
+	}
+	if two-one != three-two {
+		t.Fatalf("frame spacing drifts: +%v then +%v", sim.Duration(two-one), sim.Duration(three-two))
+	}
+}
+
+// TestObserverSeesDeliveredFrames: the bus-level tap must see each
+// physically delivered frame exactly once, regardless of receiver count.
+func TestObserverSeesDeliveredFrames(t *testing.T) {
+	sched := sim.NewScheduler()
+	b := New(sched, Config{Rate: can.Rate1Mbps})
+	tx := b.Attach(1)
+	tx.SetHandler(&sink{})
+	for id := can.NodeID(2); id <= 4; id++ {
+		p := b.Attach(id)
+		p.SetHandler(&sink{})
+	}
+
+	var tapped []can.Frame
+	b.SetObserver(func(f can.Frame) { tapped = append(tapped, f) })
+
+	if err := tx.Request(frame(0x100)); err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if err := tx.Request(frame(0x101)); err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	sched.Run()
+
+	if len(tapped) != 2 {
+		t.Fatalf("observer saw %d frames, want 2 (once per physical frame)", len(tapped))
+	}
+	if tapped[0].ID != 0x100 || tapped[1].ID != 0x101 {
+		t.Fatalf("observer frames out of order: %v, %v", tapped[0].ID, tapped[1].ID)
+	}
+
+	b.SetObserver(nil)
+	if err := tx.Request(frame(0x102)); err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	sched.Run()
+	if len(tapped) != 2 {
+		t.Fatalf("detached observer still saw frames: %d", len(tapped))
+	}
+}

@@ -54,16 +54,32 @@ type Bus struct {
 	// transitions, so incremental removal is exact.
 	alive can.NodeSet
 
+	// busy is true while a frame is on the wire (the complete event is
+	// pending); the trailing overhead after complete is tracked analytically
+	// by busyUntil instead of occupying an event of its own.
 	busy         bool
+	busyUntil    sim.Time
 	arbScheduled bool
 	current      transmission
 	onWire       bool // current is valid
 
+	// kickEv is the pending re-arbitration alarm, if any: the single event
+	// that steps over a wire-occupancy gap (frame tail or error-passive
+	// suspension) when — and only when — transmit work is actually queued.
+	// An idle gap with no queued work costs no event at all: the bus state
+	// advances analytically when the next request arrives (see kick).
+	kickEv sim.Event
+
 	// Pre-bound event callbacks: scheduling a method value allocates, so
-	// the three per-frame events reuse these.
+	// the per-frame events reuse these.
 	arbitrateFn func()
 	completeFn  func()
-	unlockFn    func()
+	kickFn      func()
+
+	// observer, when non-nil, sees every physically delivered frame once
+	// (after MAC resolution, before per-port dispatch) — the bus-tap hook
+	// live brokers and traffic analyzers attach to.
+	observer func(f can.Frame)
 
 	stats counters
 }
@@ -89,7 +105,10 @@ func New(sched *sim.Scheduler, cfg Config) *Bus {
 	b := &Bus{sched: sched, rate: cfg.Rate, inj: cfg.Injector}
 	b.arbitrateFn = b.arbitrate
 	b.completeFn = b.complete
-	b.unlockFn = b.unlock
+	b.kickFn = func() {
+		b.kickEv = sim.Event{}
+		b.kick()
+	}
 	return b
 }
 
@@ -102,6 +121,18 @@ func (b *Bus) Scheduler() *sim.Scheduler { return b.sched }
 // Stats synthesizes a bit-accurate-compatible statistics snapshot from the
 // counters.
 func (b *Bus) Stats() bus.Stats { return b.stats.snapshot() }
+
+// Advances reports how the bus stepped over post-frame wire-occupancy gaps:
+// batched gaps were skipped analytically (no scheduler event — the next
+// request re-arbitrates directly), stepped gaps needed one alarm at the
+// gap's end because transmit work was already waiting.
+func (b *Bus) Advances() (batched, stepped uint64) {
+	return b.stats.advBatched, b.stats.advStepped
+}
+
+// SetObserver installs a bus-level tap that sees every physically delivered
+// frame once, before per-port dispatch. Pass nil to detach.
+func (b *Bus) SetObserver(fn func(f can.Frame)) { b.observer = fn }
 
 // Elapsed returns the bus time base for utilization computations.
 func (b *Bus) Elapsed() time.Duration { return time.Duration(b.sched.Now()) }
@@ -137,21 +168,48 @@ func (b *Bus) AliveSet() can.NodeSet { return b.alive }
 // drop removes a node from the cached operational set (crash or bus-off).
 func (b *Bus) drop(id can.NodeID) { b.alive = b.alive.Remove(id) }
 
-// kick schedules an arbitration pass if the bus is idle and work is queued.
+// kick schedules an arbitration pass if the bus is free and work is queued.
 // Arbitration runs as its own event at the current instant so that every
 // same-instant transmit request joins it — that is what clusters identical
-// remote frames requested simultaneously into one physical frame.
+// remote frames requested simultaneously into one physical frame. While the
+// trailing overhead of the previous frame still occupies the wire, kick
+// steps once to the end of that gap (scheduleKick) instead of relying on a
+// per-frame unlock event.
 func (b *Bus) kick() {
 	if b.busy || b.arbScheduled {
 		return
 	}
+	if !b.haveWork() {
+		return
+	}
+	if now := b.sched.Now(); now < b.busyUntil {
+		b.scheduleKick(b.busyUntil)
+		return
+	}
+	b.arbScheduled = true
+	b.sched.At(b.sched.Now(), b.arbitrateFn)
+}
+
+// haveWork reports whether any operational port has a queued request.
+func (b *Bus) haveWork() bool {
 	for _, id := range b.order {
 		if p := b.ports[id]; p.operational() && len(p.queue) > 0 {
-			b.arbScheduled = true
-			b.sched.At(b.sched.Now(), b.arbitrateFn)
-			return
+			return true
 		}
 	}
+	return false
+}
+
+// scheduleKick arranges for kick to run at instant t — the next instant the
+// wire could be re-arbitrated — unless a kick at or before t is already
+// pending. Chasing the minimum keeps at most one alarm live regardless of
+// how many gaps (frame tails, suspensions) overlap.
+func (b *Bus) scheduleKick(t sim.Time) {
+	if b.kickEv.Pending() && b.kickEv.When() <= t {
+		return
+	}
+	b.kickEv.Cancel()
+	b.kickEv = b.sched.At(t, b.kickFn)
 }
 
 // arbitrate resolves the next transmission: the lowest pending identifier
@@ -185,7 +243,9 @@ func (b *Bus) arbitrate() {
 	}
 	if winner == nil {
 		if suspendedWork != sim.Never {
-			b.sched.At(suspendedWork, b.kick)
+			// Step directly to the earliest suspend expiry; a request from a
+			// non-suspended node arriving earlier re-arbitrates immediately.
+			b.scheduleKick(suspendedWork)
 		}
 		return
 	}
@@ -303,6 +363,9 @@ func (b *Bus) complete() {
 // deliver dispatches a frame indication to receivers and self-reception to
 // senders, in deterministic node order.
 func (b *Bus) deliver(f can.Frame, receivers, senders can.NodeSet) {
+	if b.observer != nil {
+		b.observer(f)
+	}
 	for _, id := range b.order {
 		p := b.ports[id]
 		if !p.operational() || p.handler == nil {
@@ -333,8 +396,12 @@ func (b *Bus) bumpErrorCounters(senders, victims can.NodeSet) {
 	}
 }
 
-// finish occupies the wire for the trailing overhead then frees the bus,
-// applying the suspend-transmission penalty to error-passive senders.
+// finish accounts the trailing overhead analytically: instead of occupying
+// an unconditional per-frame unlock event, the gap's end is recorded in
+// busyUntil and an alarm is scheduled only when transmit work is already
+// waiting for it (a stepped advance); otherwise the gap costs nothing (a
+// batched advance). It also applies the suspend-transmission penalty to
+// error-passive senders.
 func (b *Bus) finish(overheadBits int) {
 	senders := can.EmptySet
 	if b.onWire {
@@ -350,14 +417,14 @@ func (b *Bus) finish(overheadBits int) {
 	}
 	b.stats.recordOverhead(overheadBits, b.rate)
 	b.onWire = false
-	b.sched.At(busFree, b.unlockFn)
-}
-
-// unlock frees the bus at the end of the trailing overhead and re-enters
-// arbitration if work is queued.
-func (b *Bus) unlock() {
 	b.busy = false
+	b.busyUntil = busFree
 	b.kick()
+	if b.kickEv.Pending() {
+		b.stats.advStepped++
+	} else {
+		b.stats.advBatched++
+	}
 }
 
 // transmitting reports whether the given identifier is on the wire now.

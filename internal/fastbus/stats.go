@@ -11,6 +11,10 @@ import (
 // map-backed Stats: every per-frame update is an integer bump, and the
 // bus.Stats shape is synthesized only when a snapshot is requested.
 type counters struct {
+	// Batched-vs-stepped idle-gap advances (see Bus.Advances).
+	advBatched uint64
+	advStepped uint64
+
 	framesOK           int
 	framesError        int
 	framesInconsistent int

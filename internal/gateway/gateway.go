@@ -115,7 +115,7 @@ type Gateway struct {
 	// Binding-owned alarm machinery for the federation core, mirroring the
 	// stack binding: a lazy announce timer and a raw chasing scan event.
 	annTimer *sim.Timer
-	scanEv   *sim.Event
+	scanEv   sim.Event
 
 	// onSite fans out fed-can.nty consumers in registration order.
 	onSite []func(active, failed can.NodeSet)
@@ -271,10 +271,8 @@ func (g *Gateway) Crash() {
 		l.port.Crash()
 	}
 	g.annTimer.Stop()
-	if g.scanEv != nil {
-		g.scanEv.Cancel()
-		g.scanEv = nil
-	}
+	g.scanEv.Cancel()
+	g.scanEv = sim.Event{}
 	if g.cfg.Trace != nil {
 		g.cfg.Trace.Emit(trace.KindCrash, int(g.cfg.ID), "gateway crash")
 	}
@@ -387,13 +385,11 @@ func (g *Gateway) fedExec(cmds []proto.Command) {
 			case proto.TimerFedAnnounce:
 				g.annTimer.Start(c.Delay)
 			case proto.TimerFedScan:
-				if g.scanEv != nil {
-					g.scanEv.Cancel()
-				}
+				g.scanEv.Cancel()
 				g.scanEv = g.sched.After(c.Delay, func() {
-					// Drop the handle before reuse: the scheduler may recycle
+					// Drop the handle before reuse: the scheduler recycles
 					// the fired event (see stack.New's scan machinery).
-					g.scanEv = nil
+					g.scanEv = sim.Event{}
 					g.fedStep(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerFedScan})
 				})
 			}
@@ -402,10 +398,8 @@ func (g *Gateway) fedExec(cmds []proto.Command) {
 			case proto.TimerFedAnnounce:
 				g.annTimer.Stop()
 			case proto.TimerFedScan:
-				if g.scanEv != nil {
-					g.scanEv.Cancel()
-					g.scanEv = nil
-				}
+				g.scanEv.Cancel()
+				g.scanEv = sim.Event{}
 			}
 		case proto.CmdTrace:
 			if g.cfg.Trace != nil {

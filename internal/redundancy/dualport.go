@@ -40,7 +40,7 @@ type DualPort struct {
 	// identity; values are the virtual delivery instants.
 	recent [2]map[frameKey][]sim.Time
 	// waiting tracks standby frames pending an active match.
-	waiting map[frameKey]*sim.Event
+	waiting map[frameKey]sim.Event
 
 	// Failovers counts medium switches (diagnostics).
 	Failovers int
@@ -83,7 +83,7 @@ func NewDualPort(sched *sim.Scheduler, a, b Port, grace time.Duration) *DualPort
 		sched:   sched,
 		ports:   [2]Port{a, b},
 		grace:   grace,
-		waiting: make(map[frameKey]*sim.Event),
+		waiting: make(map[frameKey]sim.Event),
 	}
 	d.recent[0] = make(map[frameKey][]sim.Time)
 	d.recent[1] = make(map[frameKey][]sim.Time)

@@ -53,66 +53,207 @@ func (t Time) String() string {
 	return Duration(t).String()
 }
 
-// Event is a scheduled callback and the handle to cancel it: the heap node
-// itself is handed back to the scheduler's callers, so scheduling costs one
-// allocation, not two. Events with equal deadlines fire in scheduling order
-// (seq), which keeps runs deterministic.
+// Event is the opaque handle to a scheduled callback: a (slot, generation)
+// reference into the scheduler's arena. The zero value refers to no event
+// (Cancel is a no-op, Pending is false, When is Never).
+//
+// The handle stays valid while the event is pending. Once the event has
+// fired (and its callback returned) or was cancelled, the scheduler recycles
+// the slot and bumps its generation, so every operation on a stale handle
+// degrades to a harmless no-op — a stale Cancel can never hit an unrelated
+// event. Handles are values: copy them freely, compare them to the zero
+// Event to test "never scheduled".
 type Event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	fired bool
-	gone  bool // cancelled
+	s    *Scheduler
+	slot int32
+	gen  uint32
+}
+
+// live reports whether the handle still names its original event.
+func (e Event) live() bool {
+	return e.s != nil && int(e.slot) < len(e.s.gens) && e.s.gens[e.slot] == e.gen
 }
 
 // Cancel prevents the event from firing. It is a no-op if the event already
-// fired or was already cancelled. It reports whether the event was live.
-func (e *Event) Cancel() bool {
-	if e == nil || e.fired || e.gone {
+// fired, was already cancelled, or the handle is stale or zero. It reports
+// whether the event was live.
+func (e Event) Cancel() bool {
+	if !e.live() || e.s.state[e.slot] != slotPending {
 		return false
 	}
-	e.gone = true
+	e.s.state[e.slot] = slotGone
 	return true
 }
 
 // Pending reports whether the event is still scheduled to fire.
-func (e *Event) Pending() bool {
-	return e != nil && !e.fired && !e.gone
+func (e Event) Pending() bool {
+	return e.live() && e.s.state[e.slot] == slotPending
 }
 
-// When returns the instant the event fires (or fired).
-func (e *Event) When() Time {
-	if e == nil {
+// When returns the instant the event fires (or, from inside its own
+// callback, the instant it is firing). Stale and zero handles return Never.
+func (e Event) When() Time {
+	if !e.live() {
 		return Never
 	}
-	return e.at
+	return e.s.at[e.slot]
 }
 
-// eventQueue is a hand-rolled 4-ary min-heap of events ordered by (at, seq).
-// The ordering key is total (seq is unique), so the pop order is independent
-// of the heap shape; the concrete sift code exists purely to keep the
-// scheduler's hottest operations free of interface dispatch and boxing. The
-// wide fan-out halves the sift-up depth against a binary heap, which is
-// where the scheduler spends its comparisons: pushes outnumber pops'
-// sift-down work on the shallow queues the simulations carry.
-type eventQueue []*Event
+// Slot lifecycle states in the arena.
+const (
+	slotPending uint8 = iota // queued, will fire
+	slotGone                 // cancelled, awaiting reap from the heap
+	slotFiring               // callback executing right now
+)
 
-// before reports whether event a fires before event b.
-func before(a, b *Event) bool {
+// heapEntry is one element of the scheduler's priority queue. The ordering
+// key (at, seq) is stored inline so the hot sift loops compare within one
+// contiguous array and never chase into the arena — the struct-of-arrays
+// counterpart of the old *Event heap.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+// entryBefore reports whether entry a fires before entry b. The key is
+// total (seq is unique), so pop order is independent of heap shape.
+func entryBefore(a, b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-func (q *eventQueue) push(ev *Event) {
-	h := append(*q, ev)
-	*q = h
-	// Sift up.
+// Scheduler is a deterministic discrete-event scheduler. The zero value is
+// not usable; create one with NewScheduler.
+//
+// Storage is struct-of-arrays: callbacks, deadlines and lifecycle state live
+// in parallel slices indexed by dense slots; the 4-ary min-heap orders
+// (at, seq) pairs carried inline in its entries. Slots are recycled through
+// a free list with a per-slot generation counter, so steady-state event
+// churn costs no allocation and stale handles are detectable. The wide heap
+// fan-out halves sift-up depth against a binary heap, which is where the
+// scheduler spends its comparisons: pushes outnumber pops' sift-down work
+// on the shallow queues the simulations carry.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	running bool
+	stopped bool
+	fired   uint64
+
+	heap []heapEntry
+
+	// The arena: parallel per-slot slices. at is kept for When queries;
+	// the ordering copy travels inside heap entries.
+	at    []Time
+	fns   []func()
+	state []uint8
+	gens  []uint32
+	free  []int32
+}
+
+// NewScheduler returns a scheduler positioned at virtual time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Reset returns the scheduler to virtual time zero, dropping every queued
+// event while keeping the arena and heap capacity. Every handle issued
+// before the Reset is invalidated (its generation is bumped), so a retained
+// pre-Reset Event degrades to the usual stale no-op. Reset is what makes
+// per-worker scheduler pooling allocation-free: a campaign worker reuses
+// one scheduler across thousands of runs and the arena only ever grows to
+// the peak live-event population of the largest run.
+func (s *Scheduler) Reset() {
+	s.now, s.seq, s.fired = 0, 0, 0
+	s.running, s.stopped = false, false
+	s.heap = s.heap[:0]
+	s.free = s.free[:0]
+	for i := range s.fns {
+		s.fns[i] = nil // release closures promptly
+		s.gens[i]++    // invalidate all pre-Reset handles
+		s.state[i] = slotGone
+		s.free = append(s.free, int32(i))
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (excluding cancelled
+// events not yet reaped).
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.heap {
+		if s.state[e.slot] == slotPending {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at the given instant. Scheduling in the past
+// (before Now) panics: in a discrete-event simulation that is always a bug.
+//
+// The returned handle is valid while the event is pending; once the event
+// has fired (and its callback returned) or was cancelled, the handle goes
+// stale and every operation on it is a no-op (see Event).
+func (s *Scheduler) At(t Time, fn func()) Event {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		slot = int32(len(s.fns))
+		s.at = append(s.at, 0)
+		s.fns = append(s.fns, nil)
+		s.state = append(s.state, 0)
+		s.gens = append(s.gens, 0)
+	}
+	s.at[slot] = t
+	s.fns[slot] = fn
+	s.state[slot] = slotPending
+	s.push(heapEntry{at: t, seq: s.seq, slot: slot})
+	s.seq++
+	return Event{s: s, slot: slot, gen: s.gens[slot]}
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (s *Scheduler) After(d Duration, fn func()) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After with negative duration %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// release recycles a slot whose event's lifetime ended (fired with the
+// callback returned, or cancelled and reaped from the heap). The generation
+// bump is what turns retained handles stale.
+func (s *Scheduler) release(slot int32) {
+	s.gens[slot]++
+	s.fns[slot] = nil
+	s.free = append(s.free, slot)
+}
+
+// push inserts an entry into the 4-ary min-heap.
+func (s *Scheduler) push(e heapEntry) {
+	h := append(s.heap, e)
+	s.heap = h
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !before(h[i], h[parent]) {
+		if !entryBefore(h[i], h[parent]) {
 			break
 		}
 		h[i], h[parent] = h[parent], h[i]
@@ -120,16 +261,14 @@ func (q *eventQueue) push(ev *Event) {
 	}
 }
 
-// pop removes and returns the minimum event. The queue must be non-empty.
-func (q *eventQueue) pop() *Event {
-	h := *q
+// pop removes and returns the minimum entry. The heap must be non-empty.
+func (s *Scheduler) pop() heapEntry {
+	h := s.heap
 	n := len(h) - 1
 	min := h[0]
 	h[0] = h[n]
-	h[n] = nil
 	h = h[:n]
-	*q = h
-	// Sift down.
+	s.heap = h
 	i := 0
 	for {
 		first := 4*i + 1
@@ -142,11 +281,11 @@ func (q *eventQueue) pop() *Event {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if before(h[c], h[j]) {
+			if entryBefore(h[c], h[j]) {
 				j = c
 			}
 		}
-		if !before(h[j], h[i]) {
+		if !entryBefore(h[j], h[i]) {
 			break
 		}
 		h[i], h[j] = h[j], h[i]
@@ -155,111 +294,26 @@ func (q *eventQueue) pop() *Event {
 	return min
 }
 
-// Scheduler is a deterministic discrete-event scheduler. The zero value is
-// not usable; create one with NewScheduler.
-type Scheduler struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	running bool
-	stopped bool
-	fired   uint64
-	// slab is the tail of the current event allocation chunk. Carving events
-	// out of chunks instead of allocating one object per At call takes the
-	// allocator off the scheduler's hot path.
-	slab []Event
-	// free recycles events whose lifetime has ended (fired with the callback
-	// returned, or cancelled and reaped from the queue). With it, the
-	// steady-state event churn costs no allocation at all: the slab only
-	// grows to the peak number of simultaneously live events. Recycling is
-	// what makes the handle-validity contract of At load-bearing.
-	free []*Event
-}
-
-// NewScheduler returns a scheduler positioned at virtual time zero.
-func NewScheduler() *Scheduler {
-	return &Scheduler{}
-}
-
-// Now returns the current virtual time.
-func (s *Scheduler) Now() Time { return s.now }
-
-// Fired returns the total number of events executed so far.
-func (s *Scheduler) Fired() uint64 { return s.fired }
-
-// Pending returns the number of events still queued (including cancelled
-// events not yet reaped).
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.gone {
-			n++
-		}
-	}
-	return n
-}
-
-// At schedules fn to run at the given instant. Scheduling in the past
-// (before Now) panics: in a discrete-event simulation that is always a bug.
-//
-// The returned handle is valid while the event is pending. Once the event
-// has fired (and its callback returned) or was cancelled, the scheduler may
-// recycle the Event for a later At, so holders must drop or replace stale
-// references instead of calling Cancel/Pending/When on them — the
-// sim.Timer/Ticker machinery and the stack binding follow this discipline.
-func (s *Scheduler) At(t Time, fn func()) *Event {
-	if fn == nil {
-		panic("sim: At with nil callback")
-	}
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
-	var ev *Event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free = s.free[:n-1]
-		ev.fired, ev.gone = false, false
-	} else {
-		if len(s.slab) == 0 {
-			s.slab = make([]Event, 128)
-		}
-		ev = &s.slab[0]
-		s.slab = s.slab[1:]
-	}
-	ev.at, ev.seq, ev.fn = t, s.seq, fn
-	s.seq++
-	s.queue.push(ev)
-	return ev
-}
-
-// After schedules fn to run d from now. Negative d panics.
-func (s *Scheduler) After(d Duration, fn func()) *Event {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: After with negative duration %v", d))
-	}
-	return s.At(s.now.Add(d), fn)
-}
-
 // Step executes the next pending event, advancing virtual time to its
 // deadline. It reports whether an event was executed.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev := s.queue.pop()
-		if ev.gone {
-			s.free = append(s.free, ev)
+	for len(s.heap) > 0 {
+		e := s.pop()
+		if s.state[e.slot] == slotGone {
+			s.release(e.slot)
 			continue
 		}
-		s.now = ev.at
-		ev.fired = true
+		s.now = e.at
+		s.state[e.slot] = slotFiring
 		s.fired++
-		fn := ev.fn
-		ev.fn = nil // release the closure before the callback reschedules
+		fn := s.fns[e.slot]
+		s.fns[e.slot] = nil // release the closure before the callback reschedules
 		fn()
-		// Recycle only now: during fn the handle is still the firing event's
-		// (holders clear their references from inside the callback), and an
-		// At call made by fn must not be handed this very event while the
-		// holder can still observe it.
-		s.free = append(s.free, ev)
+		// Recycle only now: during fn the handle is still the firing
+		// event's (When answers, Cancel/Pending report not-pending), and an
+		// At call made by fn can never be handed a slot the holder could
+		// still observe under the old generation.
+		s.release(e.slot)
 		return true
 	}
 	return false
@@ -303,13 +357,14 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // peek returns the deadline of the next live event.
 func (s *Scheduler) peek() (Time, bool) {
-	for len(s.queue) > 0 {
-		ev := s.queue[0]
-		if ev.gone {
-			s.free = append(s.free, s.queue.pop())
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		if s.state[e.slot] == slotGone {
+			s.pop()
+			s.release(e.slot)
 			continue
 		}
-		return ev.at, true
+		return e.at, true
 	}
 	return 0, false
 }

@@ -383,9 +383,9 @@ func TestAccessorsAndGuards(t *testing.T) {
 	if ev.When() != Time(Millisecond) {
 		t.Fatalf("When = %v", ev.When())
 	}
-	var nilEv *Event
-	if nilEv.When() != Never || nilEv.Pending() || nilEv.Cancel() {
-		t.Fatal("nil event accessors wrong")
+	var zeroEv Event
+	if zeroEv.When() != Never || zeroEv.Pending() || zeroEv.Cancel() {
+		t.Fatal("zero event accessors wrong")
 	}
 	s.Run()
 	if s.Fired() != 1 {
@@ -447,6 +447,118 @@ func TestRNGDrawSurface(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// The handle-validity contract against the arena storage: a handle kept
+// past its event's lifetime must degrade to a no-op, never reach into a
+// recycled slot.
+
+func TestHandleCancelAfterFire(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	ev := s.After(Millisecond, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if ev.Cancel() {
+		t.Fatal("Cancel after fire reported a live event")
+	}
+	if ev.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	if ev.When() != Never {
+		t.Fatalf("stale When = %v, want Never", ev.When())
+	}
+}
+
+func TestHandleReuseStaleCancelIsNoOp(t *testing.T) {
+	// Fire an event, then keep scheduling until its arena slot is reused.
+	// The stale handle must not cancel (or even observe) the new tenant.
+	s := NewScheduler()
+	stale := s.After(Millisecond, func() {})
+	s.Run()
+
+	// The freed slot is handed to the next At; the stale handle's
+	// generation no longer matches.
+	ran := false
+	fresh := s.After(Millisecond, func() { ran = true })
+	if stale.Cancel() {
+		t.Fatal("stale Cancel reported success")
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle claims pending")
+	}
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel killed an unrelated event")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("reused-slot event did not fire")
+	}
+}
+
+func TestHandleStaleAcrossCancelReap(t *testing.T) {
+	// Cancelled-then-reaped slots go through the same generation bump.
+	s := NewScheduler()
+	ev := s.After(Millisecond, func() { t.Fatal("cancelled event ran") })
+	if !ev.Cancel() {
+		t.Fatal("first Cancel should succeed")
+	}
+	s.Run() // reaps the cancelled entry, recycling the slot
+	ran := false
+	fresh := s.After(Millisecond, func() { ran = true })
+	if ev.Cancel() || ev.Pending() {
+		t.Fatal("handle survived reap")
+	}
+	s.Run()
+	if !ran || fresh.Pending() {
+		t.Fatal("fresh event disturbed by stale handle")
+	}
+}
+
+func TestSchedulerResetInvalidatesHandles(t *testing.T) {
+	s := NewScheduler()
+	ev := s.After(Millisecond, func() { t.Fatal("pre-Reset event survived Reset") })
+	s.Reset()
+	if ev.Cancel() || ev.Pending() || ev.When() != Never {
+		t.Fatal("pre-Reset handle still live")
+	}
+	if s.Now() != 0 || s.Fired() != 0 || s.Pending() != 0 {
+		t.Fatalf("Reset state: now=%v fired=%d pending=%d", s.Now(), s.Fired(), s.Pending())
+	}
+	// The reset scheduler must behave exactly like a fresh one.
+	var got []int
+	s.After(2*Millisecond, func() { got = append(got, 2) })
+	s.After(Millisecond, func() { got = append(got, 1) })
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("post-Reset order = %v", got)
+	}
+	if s.Now() != Time(2*Millisecond) {
+		t.Fatalf("post-Reset Now = %v", s.Now())
+	}
+}
+
+func TestSchedulerResetReusesArena(t *testing.T) {
+	// After a warm-up run, Reset + an equal-sized run must not allocate:
+	// the arena, heap and free list retain their capacity.
+	s := NewScheduler()
+	load := func() {
+		for i := 0; i < 64; i++ {
+			d := Duration(i+1) * Microsecond
+			s.After(d, func() {})
+		}
+		s.Run()
+	}
+	load()
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Reset()
+		load()
+	})
+	if allocs > 0 {
+		t.Fatalf("Reset+run allocated %v times per run, want 0", allocs)
 	}
 }
 

@@ -19,7 +19,7 @@ type Timer struct {
 	// expireFn is the pre-bound method value: a `t.expire` expression at
 	// every (re)schedule would allocate a fresh closure each time.
 	expireFn func()
-	ev       *Event
+	ev       Event
 	period   Duration
 	deadline Time
 	armed    bool
@@ -50,7 +50,7 @@ func (t *Timer) Start(d Duration) {
 	t.deadline = t.s.Now().Add(d)
 	// Invariant while armed: ev is pending and ev.When() <= deadline, so the
 	// placeholder always fires at or before the real deadline and can re-arm.
-	if t.ev != nil && t.ev.Pending() && t.ev.When() <= t.deadline {
+	if t.ev.Pending() && t.ev.When() <= t.deadline {
 		return
 	}
 	t.ev.Cancel()
@@ -87,7 +87,7 @@ func (t *Timer) Deadline() Time {
 }
 
 func (t *Timer) expire() {
-	t.ev = nil
+	t.ev = Event{}
 	if !t.armed {
 		return // stopped after the placeholder was scheduled
 	}
@@ -108,7 +108,7 @@ type Ticker struct {
 	fn     func()
 	tickFn func() // pre-bound t.tick, see Timer.expireFn
 	period Duration
-	ev     *Event
+	ev     Event
 }
 
 // NewTicker creates a stopped ticker.
@@ -152,14 +152,12 @@ func (t *Ticker) StartAt(first, period Duration) {
 
 // Stop halts the ticker.
 func (t *Ticker) Stop() {
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.ev.Cancel()
+	t.ev = Event{}
 }
 
 // Running reports whether the ticker is active.
-func (t *Ticker) Running() bool { return t.ev != nil && t.ev.Pending() }
+func (t *Ticker) Running() bool { return t.ev.Pending() }
 
 func (t *Ticker) tick() {
 	// Re-arm before invoking the callback so the callback may Stop the

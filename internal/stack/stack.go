@@ -163,7 +163,7 @@ type Stack struct {
 
 	// Binding-owned alarm machinery: the failure detector's scan event and
 	// the lazy membership-cycle and RHA-termination timers.
-	scanEv   *sim.Event
+	scanEv   sim.Event
 	scanFire func()
 	mshTimer *sim.Timer
 	rhaTimer *sim.Timer
@@ -222,10 +222,11 @@ func New(sched *sim.Scheduler, media []Medium, id can.NodeID, cfg Config, tr *tr
 	// the earliest deadline); the cycle and termination alarms are lazy
 	// timers.
 	st.scanFire = func() {
-		// Drop the handle first: once this callback returns the scheduler
-		// may recycle the fired event, and a stale Cancel would then hit an
-		// unrelated event.
-		st.scanEv = nil
+		// Drop the handle: the scheduler recycles the fired event's slot
+		// once this callback returns. Generation-checked handles make a
+		// stale Cancel a no-op anyway, but clearing keeps the invariant
+		// "scanEv names the pending scan or nothing" explicit.
+		st.scanEv = sim.Event{}
 		st.inject(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerFDScan})
 	}
 	st.mshTimer = sim.NewTimer(sched, func() {
@@ -314,9 +315,7 @@ func (st *Stack) exec(cmds []proto.Command) {
 		case proto.CmdSetTimer:
 			switch c.Timer {
 			case proto.TimerFDScan:
-				if st.scanEv != nil {
-					st.scanEv.Cancel()
-				}
+				st.scanEv.Cancel()
 				st.scanEv = st.sched.After(c.Delay, st.scanFire)
 			case proto.TimerMshCycle:
 				st.mshTimer.Start(c.Delay)
@@ -326,10 +325,8 @@ func (st *Stack) exec(cmds []proto.Command) {
 		case proto.CmdCancelTimer:
 			switch c.Timer {
 			case proto.TimerFDScan:
-				if st.scanEv != nil {
-					st.scanEv.Cancel()
-					st.scanEv = nil
-				}
+				st.scanEv.Cancel()
+				st.scanEv = sim.Event{}
 			case proto.TimerMshCycle:
 				st.mshTimer.Stop()
 			case proto.TimerRHATerm:

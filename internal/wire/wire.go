@@ -82,6 +82,13 @@ type Role byte
 const (
 	RoleNode Role = iota
 	RoleGateway
+	// RoleTap is a passive bus observer: it owns no controller and no node
+	// identity (the Hello node id is ignored), sends nothing after Hello,
+	// and receives every physically delivered frame as a Frame indication.
+	// Taps are how load generators and traffic analyzers watch a broker
+	// without consuming one of the MaxNodes controller identities — the
+	// 1000-connection load test is mostly taps.
+	RoleTap
 )
 
 // String names the role.
@@ -91,6 +98,8 @@ func (r Role) String() string {
 		return "node"
 	case RoleGateway:
 		return "gateway"
+	case RoleTap:
+		return "tap"
 	default:
 		return fmt.Sprintf("role(%d)", byte(r))
 	}
@@ -201,13 +210,14 @@ func Decode(b [MsgSize]byte) (Msg, error) {
 		if b[1] != Version {
 			return Msg{}, fmt.Errorf("wire: protocol version %d, want %d", b[1], Version)
 		}
-		m.Node = can.NodeID(b[2])
-		if !m.Node.Valid() {
-			return Msg{}, fmt.Errorf("wire: invalid node id %d", b[2])
-		}
 		m.Role = Role(b[3])
-		if m.Role > RoleGateway {
+		if m.Role > RoleTap {
 			return Msg{}, fmt.Errorf("wire: invalid hello role %d", b[3])
+		}
+		m.Node = can.NodeID(b[2])
+		// Taps carry no node identity; everyone else must name a valid one.
+		if m.Role != RoleTap && !m.Node.Valid() {
+			return Msg{}, fmt.Errorf("wire: invalid node id %d", b[2])
 		}
 	case KindWelcome:
 		if b[1] != Version {

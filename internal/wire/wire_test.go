@@ -113,7 +113,7 @@ func TestDecodeRejectsMalformedRecords(t *testing.T) {
 	cases["bad hello role"] = func() [MsgSize]byte {
 		var b [MsgSize]byte
 		Msg{Kind: KindHello, Node: 1}.Encode(&b)
-		b[3] = byte(RoleGateway) + 1
+		b[3] = byte(RoleTap) + 1
 		return b
 	}()
 

@@ -105,16 +105,16 @@ func TestReplayDetectsDivergence(t *testing.T) {
 	}
 }
 
-// TestGoldenCrashTrace pins the exact rendered command stream of one seeded
-// crash scenario. Any change to this file is a behavior change of the
-// protocol cores and must be deliberate: regenerate with GOLDEN_UPDATE=1.
-func TestGoldenCrashTrace(t *testing.T) {
-	sc := eqScenario{
+// goldenCrashScenario is the seeded scenario whose rendered command stream
+// is pinned in testdata/golden_crash_trace.txt.
+func goldenCrashScenario(sub Substrate) eqScenario {
+	return eqScenario{
 		name:  "golden-crash",
 		nodes: 3,
 		cfg: func() Config {
 			cfg := DefaultConfig()
 			cfg.Seed = 42
+			cfg.Substrate = sub
 			return cfg
 		},
 		drive: func(net *Network) {
@@ -124,7 +124,13 @@ func TestGoldenCrashTrace(t *testing.T) {
 			net.Run(100 * time.Millisecond)
 		},
 	}
-	got := recordScenario(t, sc).Render()
+}
+
+// TestGoldenCrashTrace pins the exact rendered command stream of one seeded
+// crash scenario. Any change to this file is a behavior change of the
+// protocol cores and must be deliberate: regenerate with GOLDEN_UPDATE=1.
+func TestGoldenCrashTrace(t *testing.T) {
+	got := recordScenario(t, goldenCrashScenario(SubstrateBitAccurate)).Render()
 	golden := filepath.Join("testdata", "golden_crash_trace.txt")
 	if os.Getenv("GOLDEN_UPDATE") != "" {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -148,5 +154,46 @@ func TestGoldenCrashTrace(t *testing.T) {
 		}
 		t.Fatalf("golden trace length changed: got %d lines, want %d (regenerate with GOLDEN_UPDATE=1 if deliberate)",
 			len(gl), len(wl))
+	}
+}
+
+// TestGoldenTraceSubstrateIndependent runs the pinned golden scenario on BOTH
+// simulation substrates and demands the byte-identical rendered command
+// stream from each, plus replay (==) equality of every recorded run. This is
+// the regression tripwire for scheduler and bus-stepping rewrites: an arena
+// scheduler that reorders same-instant events, or a batched fastbus advance
+// that lands an arbitration one microsecond late, shows up here as a one-line
+// diff against testdata/golden_crash_trace.txt instead of a silent drift.
+func TestGoldenTraceSubstrateIndependent(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_crash_trace.txt")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with GOLDEN_UPDATE=1)", err)
+	}
+	for _, sub := range []struct {
+		name string
+		sub  Substrate
+	}{
+		{"bit-accurate", SubstrateBitAccurate},
+		{"fast", SubstrateFast},
+	} {
+		t.Run(sub.name, func(t *testing.T) {
+			log := recordScenario(t, goldenCrashScenario(sub.sub))
+			if got := log.Render(); got != string(want) {
+				gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+				for i := 0; i < len(gl) && i < len(wl); i++ {
+					if gl[i] != wl[i] {
+						t.Fatalf("substrate %s diverges from golden trace at line %d:\n got: %s\nwant: %s",
+							sub.name, i+1, gl[i], wl[i])
+					}
+				}
+				t.Fatalf("substrate %s trace length: got %d lines, want %d", sub.name, len(gl), len(wl))
+			}
+			// Replay equality: re-executing the recorded inputs on fresh
+			// cores must reproduce the command stream exactly (==).
+			if err := log.Verify(); err != nil {
+				t.Fatalf("substrate %s replay: %v", sub.name, err)
+			}
+		})
 	}
 }
