@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"canely/internal/replay"
+)
+
+// TestRunSmoke searches a bounded slice of the reduced tree and checks the
+// clean-exit contract: code 0, a final stats line and no counterexample.
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(&out, &errOut, options{
+		workers:   2,
+		schedules: 2000,
+		out:       filepath.Join(t.TempDir(), "cx.json"),
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"schedules=", "distinct=", "no violation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunExhausts explores a shallow tree to exhaustion: the walk must
+// terminate on its own and say so.
+func TestRunExhausts(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(&out, &errOut, options{
+		workers: 1,
+		depth:   6,
+		out:     filepath.Join(t.TempDir(), "cx.json"),
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "frontier exhausted") {
+		t.Fatalf("output lacks exhaustion notice:\n%s", out.String())
+	}
+}
+
+// TestRunFaultCounterexample injects the reception fault and checks the
+// violation contract end to end: exit 1, a saved replay log that loads and
+// re-executes byte-for-byte — the artifact canelysim -replay consumes.
+func TestRunFaultCounterexample(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cx.json")
+	var out, errOut strings.Builder
+	code := run(&out, &errOut, options{
+		workers:   2,
+		schedules: 200000,
+		deadline:  time.Minute,
+		drop:      "0:fda",
+		out:       path,
+	})
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "VIOLATION") {
+		t.Fatalf("output lacks violation notice:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, err := replay.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Verify(); err != nil {
+		t.Fatalf("saved counterexample does not re-execute: %v", err)
+	}
+}
+
+// TestRunBadOptions: malformed fault specs must exit 2 before any search.
+func TestRunBadOptions(t *testing.T) {
+	for _, drop := range []string{"0", "9:fda", "0:warp", "x:fda"} {
+		var out, errOut strings.Builder
+		if code := run(&out, &errOut, options{drop: drop}); code != 2 {
+			t.Errorf("drop %q: exit code %d, want 2", drop, code)
+		}
+	}
+}

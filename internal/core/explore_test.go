@@ -1,351 +1,53 @@
 package core_test
 
-// Interleaving explorer: because the protocol cores are sans-I/O, a whole
+// Interleaving exploration: because the protocol cores are sans-I/O, a whole
 // 3-node system can be driven through systematically permuted event
-// orderings with no bus, scheduler or real time — a bounded stateless
-// search in the spirit of model checkers like CHESS/dPOR over the join and
-// crash scenario of the paper's Figures 8/9.
-//
-// The harness models the properties the protocols actually assume of the
-// MAC layer — broadcast with identical delivery order everywhere, identical
-// remote frames merging into one transmission (the FDA's clustering), and a
-// bounded delivery delay Ttd — but leaves everything else (which queued
-// frame wins arbitration, whether a due timer beats a pending frame, when
-// the crash hits) to the explorer. Every schedule must preserve agreement
-// (all full members hold identical views containing themselves) and
-// liveness (the joiner integrates, the crash is expelled, survivors
-// converge on exactly the alive set).
+// orderings with no bus, scheduler or real time. The harness that used to
+// live in this file — the modelled MAC layer, the decision-vector DFS, the
+// safety/liveness checks — grew into the parallel exploration engine at
+// internal/explore; this test is now a thin wrapper that drives the engine
+// in its pinned compatibility mode (one worker, no pruning, no partial-order
+// reduction) and asserts the walk still visits the exact schedule tree the
+// historical in-test DFS visited.
 
 import (
-	"fmt"
-	"sort"
+	"context"
 	"testing"
-	"time"
 
-	"canely/internal/can"
-	"canely/internal/core"
-	"canely/internal/core/fd"
-	"canely/internal/core/membership"
-	"canely/internal/core/proto"
-	"canely/internal/sim"
+	"canely/internal/explore"
 )
-
-const (
-	expTtd   = 2 * time.Millisecond
-	expSkew  = time.Millisecond // clock-jitter window for timer races
-	expEnd   = sim.Time(500 * time.Millisecond)
-	expCrash = sim.Time(150 * time.Millisecond) // crash eligible until here
-	maxSteps = 6000
-	maxDepth = 25 // decision points the search branches on
-)
-
-func expConfig() core.Config {
-	return core.Config{
-		FD: fd.Config{Tb: 10 * time.Millisecond, Ttd: expTtd},
-		Membership: membership.Config{
-			Tm:        50 * time.Millisecond,
-			TjoinWait: 120 * time.Millisecond,
-			RHA:       membership.RHAConfig{Trha: 5 * time.Millisecond, J: 2},
-		},
-	}
-}
-
-type expFrame struct {
-	mid    can.MID
-	rtr    bool
-	data   []byte
-	sender can.NodeID
-	sentAt sim.Time
-}
-
-type timerKey struct {
-	node can.NodeID
-	id   proto.TimerID
-}
-
-// expSystem is one 3-node system under exploration.
-type expSystem struct {
-	now     sim.Time
-	nodes   []*core.Node
-	alive   []bool
-	frames  []expFrame
-	timers  map[timerKey]sim.Time
-	crashed bool
-}
-
-func newExpSystem(t *testing.T) *expSystem {
-	t.Helper()
-	s := &expSystem{timers: map[timerKey]sim.Time{}}
-	for i := 0; i < 3; i++ {
-		n, err := core.New(can.NodeID(i), expConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
-		s.nodes = append(s.nodes, n)
-		s.alive = append(s.alive, true)
-	}
-	// Nodes 0 and 1 come up on a pre-agreed view; node 2 requests to join.
-	view := can.MakeSet(0, 1)
-	for i := 0; i < 2; i++ {
-		s.exec(can.NodeID(i), s.nodes[i].Step(proto.Event{Kind: proto.EvBootstrap, View: view}))
-	}
-	s.exec(2, s.nodes[2].Step(proto.Event{Kind: proto.EvJoin}))
-	return s
-}
-
-// exec applies a core's command stream to the modelled bus and alarms.
-// Inter-core commands were already routed by the composite core; the
-// marker/trace kinds are no-ops here.
-func (s *expSystem) exec(n can.NodeID, cmds []proto.Command) {
-	for _, c := range cmds {
-		switch c.Kind {
-		case proto.CmdSendRTR:
-			if c.UnlessPending && s.pendingRTR(c.MID) {
-				continue
-			}
-			s.frames = append(s.frames, expFrame{mid: c.MID, rtr: true, sender: n, sentAt: s.now})
-		case proto.CmdSendData:
-			s.frames = append(s.frames, expFrame{
-				mid: c.MID, data: append([]byte(nil), c.Payload()...), sender: n, sentAt: s.now,
-			})
-		case proto.CmdAbort:
-			for i, f := range s.frames {
-				if f.sender == n && f.mid == c.MID {
-					s.frames = append(s.frames[:i], s.frames[i+1:]...)
-					break
-				}
-			}
-		case proto.CmdSetTimer:
-			s.timers[timerKey{n, c.Timer}] = s.now.Add(time.Duration(c.Delay))
-		case proto.CmdCancelTimer:
-			delete(s.timers, timerKey{n, c.Timer})
-		}
-	}
-}
-
-func (s *expSystem) pendingRTR(mid can.MID) bool {
-	for _, f := range s.frames {
-		if f.rtr && f.mid == mid {
-			return true
-		}
-	}
-	return false
-}
-
-// horizon is the latest instant a timer may fire at: every pending frame
-// must have been delivered within Ttd of its transmit request.
-func (s *expSystem) horizon() sim.Time {
-	h := sim.Time(1 << 62)
-	for _, f := range s.frames {
-		if d := f.sentAt.Add(expTtd); d < h {
-			h = d
-		}
-	}
-	return h
-}
-
-// expAction is one schedulable step. Exactly one of the fields is active.
-type expAction struct {
-	frame int  // index into frames, or -1
-	timer *timerKey
-	crash bool
-}
-
-// enabled lists the schedulable actions in deterministic order: pending
-// frames (in queue order), due timers (deadline order), the crash.
-//
-// A timer is schedulable when its deadline respects the frame-delivery
-// bound (horizon) and lies within expSkew of the earliest armed deadline:
-// timers on one virtual clock fire in deadline order, but near-simultaneous
-// deadlines (bootstrap-synchronized scans, the members' cycle timers) race
-// within clock jitter — exactly the races worth exploring. Without the
-// bound the search would "explore" unreal schedules that starve a node's
-// timers forever.
-func (s *expSystem) enabled() []expAction {
-	var out []expAction
-	for i := range s.frames {
-		out = append(out, expAction{frame: i})
-	}
-	h := s.horizon()
-	minD := sim.Time(1 << 62)
-	for _, d := range s.timers {
-		if d < minD {
-			minD = d
-		}
-	}
-	var due []timerKey
-	for n := can.NodeID(0); n < 3; n++ {
-		for id := proto.TimerID(0); id < proto.NumTimers; id++ {
-			k := timerKey{n, id}
-			if d, ok := s.timers[k]; ok && d <= h && d <= minD.Add(expSkew) {
-				due = append(due, k)
-			}
-		}
-	}
-	sort.Slice(due, func(i, j int) bool {
-		di, dj := s.timers[due[i]], s.timers[due[j]]
-		if di != dj {
-			return di < dj
-		}
-		if due[i].node != due[j].node {
-			return due[i].node < due[j].node
-		}
-		return due[i].id < due[j].id
-	})
-	for i := range due {
-		k := due[i]
-		out = append(out, expAction{frame: -1, timer: &k})
-	}
-	if !s.crashed && s.now <= expCrash {
-		out = append(out, expAction{frame: -1, crash: true})
-	}
-	return out
-}
-
-func (s *expSystem) apply(a expAction) {
-	switch {
-	case a.crash:
-		s.crashed = true
-		s.alive[1] = false
-		var keep []expFrame
-		for _, f := range s.frames {
-			if f.sender != 1 {
-				keep = append(keep, f)
-			}
-		}
-		s.frames = keep
-		for k := range s.timers {
-			if k.node == 1 {
-				delete(s.timers, k)
-			}
-		}
-	case a.timer != nil:
-		k := *a.timer
-		d := s.timers[k]
-		delete(s.timers, k)
-		if d > s.now {
-			s.now = d
-		}
-		s.exec(k.node, s.nodes[k.node].Step(proto.Event{
-			Kind: proto.EvTimerFired, Timer: k.id, At: s.now, Node: k.node,
-		}))
-	default:
-		f := s.frames[a.frame]
-		// Identical remote frames merge into the one transmission the
-		// receivers observe (the clustering property the FDA relies on).
-		var keep []expFrame
-		for _, g := range s.frames {
-			if g.rtr && f.rtr && g.mid == f.mid {
-				continue
-			}
-			if !f.rtr && g.sender == f.sender && g.mid == f.mid && g.rtr == f.rtr {
-				continue
-			}
-			keep = append(keep, g)
-		}
-		s.frames = keep
-		for n := can.NodeID(0); n < 3; n++ {
-			if !s.alive[n] {
-				continue
-			}
-			if f.rtr {
-				s.exec(n, s.nodes[n].Step(proto.Event{Kind: proto.EvRTRInd, MID: f.mid, At: s.now}))
-			} else {
-				s.exec(n, s.nodes[n].Step(proto.Event{Kind: proto.EvDataNty, MID: f.mid, At: s.now}))
-				s.exec(n, s.nodes[n].Step(proto.Event{Kind: proto.EvDataInd, MID: f.mid, At: s.now}.WithPayload(f.data)))
-			}
-		}
-	}
-}
-
-// runSchedule executes one schedule described by the decision vector vec
-// (choice 0 assumed past its end) and returns the observed branching count
-// at each decision point (capped at maxDepth) plus a violation, if any.
-func runSchedule(t *testing.T, vec []int) (counts []int, crashed bool, err error) {
-	s := newExpSystem(t)
-	decision := 0
-	for step := 0; step < maxSteps && s.now < expEnd; step++ {
-		en := s.enabled()
-		if len(en) == 0 {
-			break
-		}
-		choice := 0
-		if len(en) > 1 && decision < maxDepth {
-			if decision < len(counts) {
-				panic("unreachable")
-			}
-			counts = append(counts, len(en))
-			if decision < len(vec) {
-				choice = vec[decision]
-			}
-			decision++
-		}
-		if choice >= len(en) {
-			choice = len(en) - 1
-		}
-		s.apply(en[choice])
-
-		// Safety, on every step: a full member's view contains itself.
-		for n := can.NodeID(0); n < 3; n++ {
-			if s.alive[n] && s.nodes[n].Msh.Member() && !s.nodes[n].Msh.View().Contains(n) {
-				return counts, s.crashed, fmt.Errorf("node %v is a member of a view %v omitting itself", n, s.nodes[n].Msh.View())
-			}
-		}
-	}
-	// Liveness + agreement at the end of the schedule.
-	want := can.MakeSet(0, 1, 2)
-	if s.crashed {
-		want = can.MakeSet(0, 2)
-	}
-	for n := can.NodeID(0); n < 3; n++ {
-		if !s.alive[n] {
-			continue
-		}
-		if !s.nodes[n].Msh.Member() {
-			return counts, s.crashed, fmt.Errorf("node %v never (re)integrated; view=%v", n, s.nodes[n].Msh.View())
-		}
-		if got := s.nodes[n].Msh.View(); got != want {
-			return counts, s.crashed, fmt.Errorf("node %v converged on %v, want %v", n, got, want)
-		}
-	}
-	return counts, s.crashed, nil
-}
 
 // TestInterleavingExplorer searches the schedule tree of the 3-node
 // join+crash scenario: ≥1000 distinct schedules, every one of which must
-// satisfy agreement and liveness.
+// satisfy agreement and liveness. The counts are pinned to the historical
+// DFS (1200 schedules, 641 exercising the crash): any drift means either
+// the engine's harness semantics or the cores' command streams changed.
 func TestInterleavingExplorer(t *testing.T) {
 	const target = 1200
-	type prefix struct{ vec []int }
-	stack := []prefix{{nil}}
-	schedules, crashSchedules := 0, 0
-	for len(stack) > 0 && schedules < target {
-		p := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		counts, crashed, err := runSchedule(t, p.vec)
-		schedules++
-		if crashed {
-			crashSchedules++
-		}
-		if err != nil {
-			t.Fatalf("schedule %v violates the protocol: %v", p.vec, err)
-		}
-		// Branch on every decision point past the explored prefix: choice 0
-		// is the schedule just run, alternatives are new schedules.
-		for i := len(p.vec); i < len(counts); i++ {
-			for c := counts[i] - 1; c >= 1; c-- {
-				child := make([]int, i+1)
-				copy(child, p.vec)
-				child[i] = c
-				stack = append(stack, prefix{child})
-			}
-		}
+	e, err := explore.New(explore.Config{
+		Scenario: explore.DefaultScenario(),
+		Workers:  1,
+		Target:   target,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if schedules < 1000 {
-		t.Fatalf("explored only %d schedules, want >= 1000", schedules)
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if crashSchedules == 0 {
+	if v := res.Violation; v != nil {
+		t.Fatalf("schedule %v violates the protocol: %s", v.Vec, v.Msg)
+	}
+	if res.Schedules < 1000 {
+		t.Fatalf("explored only %d schedules, want >= 1000", res.Schedules)
+	}
+	if res.CrashSchedules == 0 {
 		t.Fatal("no explored schedule exercised the crash")
 	}
-	t.Logf("explored %d schedules (%d with a crash), no violation", schedules, crashSchedules)
+	if res.Schedules != target || res.CrashSchedules != 641 {
+		t.Fatalf("explored %d schedules (%d with a crash), the historical DFS explored %d (641)",
+			res.Schedules, res.CrashSchedules, target)
+	}
+	t.Logf("explored %d schedules (%d with a crash), no violation", res.Schedules, res.CrashSchedules)
 }

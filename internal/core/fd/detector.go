@@ -2,6 +2,7 @@ package fd
 
 import (
 	"fmt"
+	"hash/maphash"
 	"time"
 
 	"canely/internal/can"
@@ -127,6 +128,27 @@ func (d *Detector) StepInto(ev proto.Event, buf *proto.CommandBuf) {
 	case proto.EvFDANty:
 		d.onFDANty(ev.Node, buf)
 	}
+}
+
+// Fingerprint writes the detector's complete mutable state into h. A
+// deadline slot is meaningful only while its armed bit is set, and scanAt
+// only while the scan timer is pending, so unguarded residue is skipped —
+// logically equal states hash equal.
+func (d *Detector) Fingerprint(h *maphash.Hash) {
+	proto.HashU64(h, uint64(d.local))
+	proto.HashU64(h, uint64(d.armed))
+	for s := d.armed; !s.Empty(); {
+		r := s.Lowest()
+		s = s.Remove(r)
+		proto.HashU64(h, uint64(d.deadlines[r]))
+	}
+	proto.HashBool(h, d.scanPending)
+	if d.scanPending {
+		proto.HashU64(h, uint64(d.scanAt))
+	}
+	proto.HashU64(h, uint64(d.fdaInFlight))
+	proto.HashU64(h, uint64(d.suppress))
+	proto.HashU64(h, uint64(d.lifeSigns))
 }
 
 // Monitoring reports whether node r is under surveillance.

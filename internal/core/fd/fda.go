@@ -21,6 +21,8 @@
 package fd
 
 import (
+	"hash/maphash"
+
 	"canely/internal/can"
 	"canely/internal/core/proto"
 )
@@ -52,6 +54,10 @@ func (f *FDA) StepInto(ev proto.Event, buf *proto.CommandBuf) {
 		f.request(ev.Node, buf)
 	case proto.EvFDACancel:
 		f.cancel(ev.Node, buf)
+	case proto.EvFDAForget:
+		if ev.Node.Valid() {
+			f.Forget(ev.Node)
+		}
 	case proto.EvRTRInd:
 		f.onRTRInd(ev.MID, buf)
 	}
@@ -105,6 +111,26 @@ func (f *FDA) onRTRInd(mid can.MID, buf *proto.CommandBuf) {
 	f.fsNreq[failed]++
 	if f.fsNreq[failed] == 1 {
 		buf.Put(proto.SendRTRUnlessPending(mid))
+	}
+}
+
+// Fingerprint writes the core's complete mutable state into h (see the
+// encoding rules in proto's fingerprint helpers). The counter arrays are
+// sparse, so only non-zero slots are written, preceded by their count.
+func (f *FDA) Fingerprint(h *maphash.Hash) {
+	n := 0
+	for i := range f.fsNdup {
+		if f.fsNdup[i] != 0 || f.fsNreq[i] != 0 {
+			n++
+		}
+	}
+	proto.HashU64(h, uint64(n))
+	for i := range f.fsNdup {
+		if f.fsNdup[i] != 0 || f.fsNreq[i] != 0 {
+			proto.HashU64(h, uint64(i))
+			proto.HashU64(h, uint64(f.fsNdup[i]))
+			proto.HashU64(h, uint64(f.fsNreq[i]))
+		}
 	}
 }
 

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/core"
+	"canely/internal/core/fd"
+	"canely/internal/core/membership"
+	"canely/internal/core/proto"
+	"canely/internal/fptest"
+	"canely/internal/sim"
+)
+
+func fpAt(ms int) sim.Time { return sim.Time(time.Duration(ms) * time.Millisecond) }
+
+// TestNodeFingerprint checks the composite core's fingerprint: it must
+// cover every sub-core, so events that only touch one layer (a join sign
+// reaches membership, a life-sign reaches the detector) still perturb the
+// whole-node hash, while idempotent re-deliveries leave it unchanged.
+func TestNodeFingerprint(t *testing.T) {
+	cfg := core.Config{
+		FD: fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond},
+		Membership: membership.Config{
+			Tm:        50 * time.Millisecond,
+			TjoinWait: 120 * time.Millisecond,
+			RHA:       membership.RHAConfig{Trha: 5 * time.Millisecond, J: 2},
+		},
+	}
+	fresh := func() fptest.Core {
+		n, err := core.New(0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	fptest.Check(t, fresh, []fptest.Step{
+		{Name: "bootstrap", Ev: proto.Event{Kind: proto.EvBootstrap, View: can.MakeSet(0, 1), At: fpAt(0)}, Mutates: true},
+		{Name: "join sign reaches membership", Ev: proto.Event{Kind: proto.EvRTRInd, MID: can.JoinSign(2), At: fpAt(1)}, Mutates: true},
+		{Name: "life-sign restarts surveillance", Ev: proto.Event{Kind: proto.EvRTRInd, MID: can.ELSSign(1), At: fpAt(5)}, Mutates: true},
+		{Name: "equal life-sign is idempotent", Ev: proto.Event{Kind: proto.EvRTRInd, MID: can.ELSSign(1), At: fpAt(5)}},
+		{Name: "membership cycle", Ev: proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerMshCycle, At: fpAt(50), Node: 0}, Mutates: true},
+	})
+}

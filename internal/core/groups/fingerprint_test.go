@@ -1,0 +1,78 @@
+package groups
+
+import (
+	"hash/maphash"
+	"testing"
+
+	"canely/internal/can"
+	"canely/internal/core/membership"
+)
+
+type fpSite struct{ view can.NodeSet }
+
+func (s *fpSite) View() can.NodeSet                { return s.view }
+func (s *fpSite) OnChange(func(membership.Change)) {}
+
+// TestServiceFingerprint checks the fingerprint properties on the group
+// layer, which is driven by RELCAN deliveries and site view changes rather
+// than proto events: every registration change and site-driven pruning
+// perturbs the hash, idempotent re-deliveries and foreign payloads do not,
+// and an independent replay of the same delivery sequence reproduces every
+// fingerprint (the map folding is order-independent).
+func TestServiceFingerprint(t *testing.T) {
+	seed := maphash.MakeSeed()
+	sum := func(s *Service) uint64 {
+		var h maphash.Hash
+		h.SetSeed(seed)
+		s.Fingerprint(&h)
+		return h.Sum64()
+	}
+	fresh := func() (*Service, *fpSite) {
+		site := &fpSite{view: can.MakeSet(0, 1, 2)}
+		return &Service{local: 0, site: site, registered: map[GroupID]can.NodeSet{}}, site
+	}
+	type step struct {
+		name    string
+		apply   func(*Service, *fpSite)
+		mutates bool
+	}
+	script := []step{
+		{"join announcement", func(s *Service, _ *fpSite) { s.onAnnouncement(2, 0, []byte{actJoin, 1, 2}) }, true},
+		{"duplicate join", func(s *Service, _ *fpSite) { s.onAnnouncement(2, 0, []byte{actJoin, 1, 2}) }, false},
+		{"second member", func(s *Service, _ *fpSite) { s.onAnnouncement(0, 0, []byte{actJoin, 1, 0}) }, true},
+		{"second group", func(s *Service, _ *fpSite) { s.onAnnouncement(0, 0, []byte{actJoin, 7, 0}) }, true},
+		{"foreign payload ignored", func(s *Service, _ *fpSite) { s.onAnnouncement(0, 0, []byte{actJoin, 1}) }, false},
+		{"leave announcement", func(s *Service, _ *fpSite) { s.onAnnouncement(0, 0, []byte{actLeave, 1, 0}) }, true},
+		{"site change prunes registrations", func(s *Service, site *fpSite) {
+			site.view = can.MakeSet(0, 1)
+			s.reconcile()
+		}, true},
+	}
+
+	a, siteA := fresh()
+	fps := []uint64{sum(a)}
+	for i, st := range script {
+		st.apply(a, siteA)
+		fp := sum(a)
+		prev := fps[len(fps)-1]
+		if st.mutates && fp == prev {
+			t.Errorf("step %d (%s): state-mutating step left the fingerprint unchanged", i, st.name)
+		}
+		if !st.mutates && fp != prev {
+			t.Errorf("step %d (%s): step marked non-mutating perturbed the fingerprint", i, st.name)
+		}
+		fps = append(fps, fp)
+	}
+
+	b, siteB := fresh()
+	if got := sum(b); got != fps[0] {
+		t.Errorf("fresh services disagree: %#x vs %#x", got, fps[0])
+	}
+	for i, st := range script {
+		st.apply(b, siteB)
+		if got := sum(b); got != fps[i+1] {
+			t.Errorf("step %d (%s): replay reached fingerprint %#x, original run had %#x",
+				i, st.name, got, fps[i+1])
+		}
+	}
+}

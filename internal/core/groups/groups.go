@@ -18,9 +18,11 @@ package groups
 
 import (
 	"fmt"
+	"hash/maphash"
 
 	"canely/internal/can"
 	"canely/internal/core/membership"
+	"canely/internal/core/proto"
 	"canely/internal/edcan"
 )
 
@@ -76,6 +78,22 @@ func New(rel *edcan.RELCAN, site SiteView, local can.NodeID) *Service {
 
 // OnChange registers a group view change consumer.
 func (s *Service) OnChange(fn func(Change)) { s.onChange = append(s.onChange, fn) }
+
+// Fingerprint writes the layer's complete mutable state into h: the agreed
+// registration sets, folded order-independently (the map has no canonical
+// iteration order). A group whose registration set became empty is
+// indistinguishable from an absent entry everywhere the state is read, so
+// empty sets are skipped — logically equal states hash equal.
+func (s *Service) Fingerprint(h *maphash.Hash) {
+	proto.HashU64(h, uint64(s.local))
+	var acc uint64
+	for g, reg := range s.registered {
+		if reg != can.EmptySet {
+			acc ^= proto.MixPair(uint64(g), uint64(reg))
+		}
+	}
+	proto.HashU64(h, acc)
+}
 
 // Join announces a local process joining a group.
 func (s *Service) Join(g GroupID) error {

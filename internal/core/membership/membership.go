@@ -2,6 +2,7 @@ package membership
 
 import (
 	"fmt"
+	"hash/maphash"
 	"time"
 
 	"canely/internal/can"
@@ -113,6 +114,21 @@ func (p *Protocol) View() can.NodeSet { return p.rf }
 
 // Member reports whether the local node is currently a full member.
 func (p *Protocol) Member() bool { return p.rf.Contains(p.local) }
+
+// Fingerprint writes the protocol's complete mutable state into h: the
+// five protocol data sets of Figure 9 plus the cycle counter and the two
+// boolean latches.
+func (p *Protocol) Fingerprint(h *maphash.Hash) {
+	proto.HashU64(h, uint64(p.local))
+	proto.HashU64(h, uint64(p.rf))
+	proto.HashU64(h, uint64(p.rj))
+	proto.HashU64(h, uint64(p.rjPrev))
+	proto.HashU64(h, uint64(p.rl))
+	proto.HashU64(h, uint64(p.fset))
+	proto.HashU64(h, uint64(p.Cycles))
+	proto.HashBool(h, p.left)
+	proto.HashBool(h, p.sawActivity)
+}
 
 // Step consumes one event and returns a fresh command slice (nil when the
 // event produced no action). Compatibility wrapper over StepInto.
@@ -264,14 +280,15 @@ func (p *Protocol) cycle(timerExpired bool, buf *proto.CommandBuf) {
 
 // onRHAEnd applies the agreed reception history vector (lines s28–s34).
 func (p *Protocol) onRHAEnd(rhv can.NodeSet, buf *proto.CommandBuf) {
-	wasMember := p.rf.Contains(p.local)
+	old := p.rf
+	wasMember := old.Contains(p.local)
 	p.viewProc(rhv, buf)
 	joinersIn := !p.rj.Intersect(p.rf).Empty()
 	leaversOut := !p.rl.Diff(p.rf).Empty()
 	if joinersIn || leaversOut {
 		p.changeNty(p.rf, can.EmptySet, buf)
 	}
-	p.dataProc(wasMember, buf)
+	p.dataProc(wasMember, p.rf.Diff(old), buf)
 }
 
 // viewProc implements msh-view-proc (lines a00–a02): the new view is the
@@ -286,10 +303,25 @@ func (p *Protocol) viewProc(rw can.NodeSet, buf *proto.CommandBuf) {
 }
 
 // dataProc implements msh-data-proc (lines a03–a09): start failure
-// detection for integrated joiners, expire stale join requests after two
-// cycles (footnote 10), stop surveillance of withdrawn nodes.
-func (p *Protocol) dataProc(wasMember bool, buf *proto.CommandBuf) {
-	toStart := p.rj.Intersect(p.rf)
+// detection for integrated joiners and every node that (re)entered the
+// agreed view, expire stale join requests after two cycles (footnote 10),
+// stop surveillance of withdrawn nodes.
+//
+// entered is Rf − Rf_old: the nodes this view change admitted. Surveillance
+// must cover them even when they never filed a join request — an agreed
+// vector built from a peer's not-yet-folded Rf can readmit a node whose
+// failure this node already folded, and without re-monitoring (and without
+// resetting the FDA diffusion counters) such a resurrected node could never
+// be expelled again: the stale counters would swallow the fresh
+// failure-sign request. The interleaving explorer finds exactly this
+// divergence when a failure agreement races the RHA termination alarms.
+func (p *Protocol) dataProc(wasMember bool, entered can.NodeSet, buf *proto.CommandBuf) {
+	for s := entered; !s.Empty(); {
+		r := s.Lowest()
+		s = s.Remove(r)
+		buf.Put(proto.FDAForget(r))
+	}
+	toStart := p.rj.Intersect(p.rf).Union(entered)
 	if !wasMember && p.rf.Contains(p.local) {
 		// The local node just became a member: begin surveillance of the
 		// entire view (the paper omits this detail; existing members

@@ -11,6 +11,7 @@ package membership
 
 import (
 	"fmt"
+	"hash/maphash"
 	"time"
 
 	"canely/internal/can"
@@ -84,6 +85,28 @@ func NewRHA(local can.NodeID, cfg RHAConfig, env SharedSets) (*RHA, error) {
 
 // Running reports whether an execution is in progress.
 func (r *RHA) Running() bool { return r.running }
+
+// Fingerprint writes the core's complete mutable state into h. The ndup
+// map has no canonical iteration order, so its entries are folded
+// order-independently with MixPair/XOR; the pending mid is meaningful only
+// while hasPend is set and is skipped otherwise.
+func (r *RHA) Fingerprint(h *maphash.Hash) {
+	proto.HashU64(h, uint64(r.local))
+	proto.HashBool(h, r.running)
+	proto.HashU64(h, uint64(r.rhv))
+	var acc uint64
+	for k, v := range r.ndup {
+		if v != 0 {
+			acc ^= proto.MixPair(uint64(k), uint64(v))
+		}
+	}
+	proto.HashU64(h, acc)
+	proto.HashBool(h, r.hasPend)
+	if r.hasPend {
+		proto.HashU64(h, uint64(r.pending.Encode()))
+	}
+	proto.HashU64(h, uint64(r.Executions))
+}
 
 // Step consumes one event and returns a fresh command slice (nil when the
 // event produced no action). Compatibility wrapper over StepInto.

@@ -21,6 +21,8 @@
 package core
 
 import (
+	"hash/maphash"
+
 	"canely/internal/can"
 	"canely/internal/core/fd"
 	"canely/internal/core/membership"
@@ -73,6 +75,18 @@ func New(id can.NodeID, cfg Config) (*Node, error) {
 	return &Node{ID: id, FDA: fd.NewFDA(), Det: det, Msh: msh, RHA: rha}, nil
 }
 
+// Fingerprint writes the composite core's complete mutable state into h:
+// the node identity followed by every sub-core's fingerprint in a fixed
+// order. The scratch routing buffer is transient (empty between steps) and
+// carries no state, so it is excluded.
+func (n *Node) Fingerprint(h *maphash.Hash) {
+	proto.HashU64(h, uint64(n.ID))
+	n.FDA.Fingerprint(h)
+	n.Det.Fingerprint(h)
+	n.Msh.Fingerprint(h)
+	n.RHA.Fingerprint(h)
+}
+
 // Step consumes one event and returns the fully-expanded command stream as
 // a fresh slice. Compatibility wrapper over StepInto.
 func (n *Node) Step(ev proto.Event) []proto.Command {
@@ -111,7 +125,7 @@ func (n *Node) StepInto(ev proto.Event, out *proto.CommandBuf) {
 		n.subStep(n.Msh, ev, out)
 	case proto.EvFDStart, proto.EvFDStop, proto.EvFDANty:
 		n.subStep(n.Det, ev, out)
-	case proto.EvFDARequest, proto.EvFDACancel:
+	case proto.EvFDARequest, proto.EvFDACancel, proto.EvFDAForget:
 		n.subStep(n.FDA, ev, out)
 	case proto.EvRHARequest:
 		n.subStep(n.RHA, ev, out)
@@ -147,6 +161,8 @@ func (n *Node) expand(c proto.Command, at sim.Time, out *proto.CommandBuf) {
 		n.subStep(n.FDA, proto.Event{Kind: proto.EvFDARequest, At: at, Node: c.Node}, out)
 	case proto.CmdFDACancel:
 		n.subStep(n.FDA, proto.Event{Kind: proto.EvFDACancel, At: at, Node: c.Node}, out)
+	case proto.CmdFDAForget:
+		n.subStep(n.FDA, proto.Event{Kind: proto.EvFDAForget, At: at, Node: c.Node}, out)
 	case proto.CmdFDANty:
 		n.subStep(n.Det, proto.Event{Kind: proto.EvFDANty, At: at, Node: c.Node}, out)
 	case proto.CmdFDNty:

@@ -1,0 +1,63 @@
+package proto
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+)
+
+// Fingerprint hashing helpers. Every pure protocol core exposes a canonical
+//
+//	Fingerprint(h *maphash.Hash)
+//
+// method that writes its complete mutable state into h in a fixed,
+// documented order, so a whole system state (cores + modelled bus + timers)
+// reduces to a stable 64-bit key. The state-space exploration engine
+// (internal/explore) uses these keys to prune converged schedule branches:
+// two states with equal fingerprints are treated as the same state, so a
+// hash collision can only hide a schedule, never invent a violation.
+//
+// Encoding rules the core methods follow:
+//
+//   - fixed-width writes only (HashU64/HashBool), so streams of adjacent
+//     cores cannot alias each other across a boundary;
+//   - variable-length sections (sparse arrays, maps) are preceded by their
+//     element count, or folded order-independently with Mix64 when the
+//     container has no canonical iteration order;
+//   - fields that are only meaningful under a guard (a pending timer's
+//     instant, a pending frame's mid) are hashed only when the guard is
+//     set, so logically equal states with different stale residue hash
+//     equal.
+
+// HashU64 writes v into h with a fixed 8-byte width.
+func HashU64(h *maphash.Hash, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:])
+}
+
+// HashBool writes v into h as one byte.
+func HashBool(h *maphash.Hash, v bool) {
+	if v {
+		h.WriteByte(1)
+	} else {
+		h.WriteByte(0)
+	}
+}
+
+// Mix64 is the splitmix64 finalizer: a fast bijective mixer used to fold
+// unordered containers (maps) into a single order-independent word — each
+// entry is mixed on its own and the results XORed, so iteration order does
+// not matter.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// MixPair folds a key/value pair into one word for XOR accumulation.
+func MixPair(k, v uint64) uint64 {
+	return Mix64(k*0x9e3779b97f4a7c15 ^ v)
+}

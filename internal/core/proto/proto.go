@@ -130,6 +130,10 @@ const (
 	// federation core: Node carries the segment id, View the segment's
 	// current member set (fed-can.nty in the hierarchical layer).
 	EvFedLocalView
+	// EvFDAForget clears the FDA diffusion counters for Node: the node
+	// (re)entered the agreed membership view, so a later crash must be
+	// agreeable afresh (fd.FDA.Forget's reintegration contract).
+	EvFDAForget
 )
 
 // String names the event kind.
@@ -169,6 +173,8 @@ func (k EventKind) String() string {
 		return "rha-end"
 	case EvFedLocalView:
 		return "fed-local-view"
+	case EvFDAForget:
+		return "fda-forget"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -279,6 +285,12 @@ const (
 	// (Active = live segment set, Failed = segments removed by this change)
 	// to the application.
 	CmdNotifySite
+	// CmdFDAForget asks the FDA core to clear its diffusion counters for
+	// Node, which just (re)entered the agreed membership view. Without it
+	// a node expelled by a failure agreement and later readmitted could
+	// never be expelled again: the stale counters swallow the new
+	// failure-sign request.
+	CmdFDAForget
 )
 
 // String names the command kind.
@@ -318,6 +330,8 @@ func (k CommandKind) String() string {
 		return "rha-end"
 	case CmdNotifySite:
 		return "notify-site"
+	case CmdFDAForget:
+		return "fda-forget"
 	}
 	return fmt.Sprintf("command(%d)", uint8(k))
 }
@@ -382,7 +396,7 @@ func (c Command) String() string {
 		fmt.Fprintf(&sb, " %s %q", c.TraceKind, c.TraceText())
 	case CmdNotifyView:
 		fmt.Fprintf(&sb, " active=%v failed=%v left=%t", c.Active, c.Failed, c.Left)
-	case CmdFDARequest, CmdFDACancel, CmdFDANty, CmdFDNty, CmdFDStart, CmdFDStop:
+	case CmdFDARequest, CmdFDACancel, CmdFDAForget, CmdFDANty, CmdFDNty, CmdFDStart, CmdFDStop:
 		fmt.Fprintf(&sb, " %v", c.Node)
 	case CmdRHAEnd:
 		fmt.Fprintf(&sb, " %v", c.View)
@@ -575,6 +589,10 @@ func FDARequest(failed can.NodeID) Command { return Command{Kind: CmdFDARequest,
 
 // FDACancel retracts a local failure-sign request.
 func FDACancel(failed can.NodeID) Command { return Command{Kind: CmdFDACancel, Node: failed} }
+
+// FDAForget clears the FDA diffusion counters for a node that (re)entered
+// the agreed membership view.
+func FDAForget(node can.NodeID) Command { return Command{Kind: CmdFDAForget, Node: node} }
 
 // FDANty delivers fda-can.nty.
 func FDANty(failed can.NodeID) Command { return Command{Kind: CmdFDANty, Node: failed} }

@@ -1,0 +1,269 @@
+package explore
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/replay"
+)
+
+// TestPinnedBaseline pins the exact schedule counts of the historical
+// in-test DFS (internal/core's TestInterleavingExplorer before the engine
+// was extracted): one worker, no pruning, no POR must walk the identical
+// tree in the identical order — 1200 schedules, 641 of them exercising the
+// crash. Any drift here means the extraction changed harness semantics.
+func TestPinnedBaseline(t *testing.T) {
+	e, err := New(Config{Scenario: DefaultScenario(), Workers: 1, Target: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("schedule %v violates the protocol: %s", res.Violation.Vec, res.Violation.Msg)
+	}
+	if res.Schedules != 1200 || res.CrashSchedules != 641 {
+		t.Fatalf("explored %d schedules (%d with a crash), the historical DFS explored 1200 (641)",
+			res.Schedules, res.CrashSchedules)
+	}
+	if res.Pruned != 0 || res.Slept != 0 {
+		t.Fatalf("naive mode pruned %d / slept %d runs, want 0/0", res.Pruned, res.Slept)
+	}
+}
+
+// TestReduction exhausts a depth-bounded tree twice — naively and with
+// pruning + POR — and checks the issue's reduction claim: the reduced walk
+// covers the same bounded state space (both exhaust, both violation-free)
+// in less than half the runs.
+func TestReduction(t *testing.T) {
+	sc := DefaultScenario()
+	sc.MaxDepth = 8
+
+	naive, err := New(Config{Scenario: sc, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := naive.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Violation != nil || !rn.Exhausted {
+		t.Fatalf("naive: violation=%+v exhausted=%v", rn.Violation, rn.Exhausted)
+	}
+
+	red, err := New(Config{Scenario: sc, Workers: 1, Prune: true, POR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := red.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Violation != nil || !rr.Exhausted {
+		t.Fatalf("reduced: violation=%+v exhausted=%v", rr.Violation, rr.Exhausted)
+	}
+
+	if rr.Runs()*2 >= rn.Runs() {
+		t.Fatalf("hash pruning + POR explored %d runs vs %d naive: want >2x reduction",
+			rr.Runs(), rn.Runs())
+	}
+	if rr.Distinct == 0 || rr.Pruned == 0 {
+		t.Fatalf("reduced walk recorded distinct=%d pruned=%d, expected both nonzero",
+			rr.Distinct, rr.Pruned)
+	}
+	t.Logf("naive %d runs, reduced %d runs (%d completed, %d pruned, %d slept, %d distinct states): %.1fx",
+		rn.Runs(), rr.Runs(), rr.Schedules, rr.Pruned, rr.Slept, rr.Distinct,
+		float64(rn.Runs())/float64(rr.Runs()))
+}
+
+// TestParallelExhaustsReducedTree runs the worker pool with work stealing
+// over a depth-bounded tree and checks it reaches the same exhaustion with
+// zero violations regardless of the nondeterministic work split.
+func TestParallelExhaustsReducedTree(t *testing.T) {
+	sc := DefaultScenario()
+	sc.MaxDepth = 12
+	ref, err := New(Config{Scenario: sc, Workers: 1, Prune: true, POR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ref.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		e, err := New(Config{Scenario: sc, Workers: workers, Prune: true, POR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("w=%d: schedule %v violates the protocol: %s",
+				workers, res.Violation.Vec, res.Violation.Msg)
+		}
+		if !res.Exhausted {
+			t.Fatalf("w=%d: frontier not exhausted (outstanding=%d)", workers, res.Frontier)
+		}
+		// Prune interleavings differ across worker counts (whichever run
+		// reaches a state first inserts it), so run counts may differ
+		// slightly — but the distinct-state space is schedule-independent.
+		if res.Distinct != rs.Distinct {
+			t.Fatalf("w=%d visited %d distinct states, single worker visited %d",
+				workers, res.Distinct, rs.Distinct)
+		}
+	}
+}
+
+// TestFaultCounterexample injects a reception fault outside the model's
+// assumptions (node 0 silently misses every failure-sign frame) and checks
+// the full counterexample pipeline: the explorer finds the violated
+// agreement, captures the schedule as a replay log, the log verifies
+// byte-for-byte against fresh cores, and it round-trips through
+// Save/Load — the exact artifact `canelysim -replay` consumes.
+func TestFaultCounterexample(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Drop = true
+	sc.DropNode = 0
+	sc.DropType = can.TypeFDA
+	e, err := New(Config{Scenario: sc, Workers: 2, Target: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := e.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Violation
+	if v == nil {
+		t.Fatalf("no violation found in %d runs, the drop fault must break agreement", res.Runs())
+	}
+	if !v.Crashed {
+		t.Fatalf("the counterexample must exercise the crash, got %q", v.Msg)
+	}
+	if len(v.Log.Records) == 0 {
+		t.Fatal("counterexample log is empty")
+	}
+	if err := v.Log.Verify(); err != nil {
+		t.Fatalf("counterexample log does not re-execute: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "counterexample.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Log.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := replay.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Records) != len(v.Log.Records) {
+		t.Fatalf("round-trip lost records: %d != %d", len(loaded.Records), len(v.Log.Records))
+	}
+	if err := loaded.Verify(); err != nil {
+		t.Fatalf("loaded counterexample does not re-execute: %v", err)
+	}
+	t.Logf("violation after %d runs: %s (|vec|=%d, %d records)",
+		res.Runs(), v.Msg, len(v.Vec), len(v.Log.Records))
+}
+
+// TestDeterministicReplay re-runs one decision vector several times and
+// checks the run is a pure function of the vector: same counts, same
+// choices, same outcome. This is what makes counterexample capture and the
+// stateless frontier sound.
+func TestDeterministicReplay(t *testing.T) {
+	e, err := New(Config{Scenario: DefaultScenario(), Workers: 1, POR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := []int{1, 0, 2, 0, 1}
+	first := e.run(vec, nil, false)
+	if first.err != nil {
+		t.Fatalf("vector %v unexpectedly violates: %v", vec, first.err)
+	}
+	for i := 0; i < 3; i++ {
+		again := e.run(vec, nil, false)
+		if len(again.counts) != len(first.counts) || len(again.fullVec) != len(first.fullVec) {
+			t.Fatalf("replay %d diverged: counts %v vs %v", i, again.counts, first.counts)
+		}
+		for j := range first.counts {
+			if again.counts[j] != first.counts[j] {
+				t.Fatalf("replay %d: branch count %d changed %d -> %d", i, j, first.counts[j], again.counts[j])
+			}
+		}
+		for j := range first.fullVec {
+			if again.fullVec[j] != first.fullVec[j] {
+				t.Fatalf("replay %d: choice %d changed", i, j)
+			}
+		}
+	}
+}
+
+// TestScenarioValidate exercises the scenario validation paths.
+func TestScenarioValidate(t *testing.T) {
+	good := DefaultScenario()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default scenario invalid: %v", err)
+	}
+	cases := []func(*Scenario){
+		func(s *Scenario) { s.Nodes = 1 },
+		func(s *Scenario) { s.Nodes = can.MaxNodes + 1 },
+		func(s *Scenario) { s.MaxSteps = 0 },
+		func(s *Scenario) { s.MaxDepth = 0 },
+		func(s *Scenario) { s.Bootstrap = can.EmptySet },
+		func(s *Scenario) { s.Joiners = s.Bootstrap },
+		func(s *Scenario) { s.Crash = 63 },
+	}
+	for i, mut := range cases {
+		sc := DefaultScenario()
+		mut(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Fatalf("case %d: invalid scenario accepted", i)
+		}
+	}
+	if _, err := New(Config{Scenario: Scenario{}}); err == nil {
+		t.Fatal("zero scenario accepted")
+	}
+}
+
+// BenchmarkExploreThroughput measures naive single-worker schedule
+// execution — the per-run cost that every reduction multiplies.
+func BenchmarkExploreThroughput(b *testing.B) {
+	e, err := New(Config{Scenario: DefaultScenario(), Workers: 1, Target: uint64(b.N)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := e.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Violation != nil {
+		b.Fatalf("violation: %s", res.Violation.Msg)
+	}
+	b.StopTimer()
+	if res.Schedules > 0 {
+		b.ReportMetric(float64(e.steps.Load())/float64(res.Schedules), "steps/schedule")
+	}
+}

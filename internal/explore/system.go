@@ -1,0 +1,704 @@
+package explore
+
+import (
+	"fmt"
+	"hash/maphash"
+	"time"
+
+	"canely/internal/can"
+	"canely/internal/core"
+	"canely/internal/core/fd"
+	"canely/internal/core/membership"
+	"canely/internal/core/proto"
+	"canely/internal/replay"
+	"canely/internal/sim"
+)
+
+// never is the horizon sentinel: after every reachable instant, but far
+// enough from overflow that adding a skew to it stays ordered.
+const never = sim.Time(1 << 62)
+
+// Scenario parameterizes the system under exploration: the join+crash
+// workload of the paper's Figures 8/9 generalized over population size,
+// horizon and fault injection.
+type Scenario struct {
+	// Nodes is the population size; node ids run 0..Nodes-1.
+	Nodes int
+	// Config parameterizes every node's protocol cores.
+	Config core.Config
+	// Bootstrap is the pre-agreed initial view; its members come up
+	// integrated. Joiners request integration at t=0.
+	Bootstrap can.NodeSet
+	Joiners   can.NodeSet
+	// Crash selects the crash-fault branch: when HasCrash is set, the
+	// explorer may crash node Crash at any decision point up to CrashBy.
+	Crash    can.NodeID
+	HasCrash bool
+	CrashBy  sim.Time
+	// End bounds the nondeterministic schedule horizon; MaxSteps bounds
+	// the whole run's length in steps.
+	End sim.Time
+	// Settle extends the run past End deterministically (pending frames
+	// first, then earliest timers; no branching, no crash) before the
+	// terminal liveness check. A bounded horizon can cut a legal recovery
+	// mid-flight — a falsely-suspected node rejoins within TjoinWait, but
+	// not within an arbitrary cutoff — and flagging that as a violation
+	// would be a horizon artifact, not a protocol defect. Genuinely stuck
+	// states (divergent views with no agreement pending) survive any
+	// settle window and are still caught. Cover at least two full rejoin
+	// rounds: 2*(TjoinWait + Tm + Trha + detection latency).
+	Settle   time.Duration
+	MaxSteps int
+	// MaxDepth caps the number of decision points the search branches on.
+	MaxDepth int
+	// Ttd is the bounded frame-delivery delay: every pending frame must be
+	// delivered within Ttd of its transmit request, which bounds how far a
+	// timer may fire ahead of the pending queue.
+	Ttd time.Duration
+	// Skew is the clock-jitter window for timer races: a due timer is
+	// schedulable only within Skew of the earliest armed deadline.
+	Skew time.Duration
+	// Drop, when set, injects a reception fault outside the model's fault
+	// assumptions: DropNode silently misses every frame of type DropType.
+	// This deliberately breaks the MAC broadcast property the protocols
+	// rely on, so the engine can demonstrate counterexample capture.
+	Drop     bool
+	DropNode can.NodeID
+	DropType can.MsgType
+}
+
+// DefaultScenario returns the 3-node join+crash scenario the original
+// in-test explorer searched: nodes 0,1 bootstrap a pre-agreed view, node 2
+// requests to join, node 1 may crash up to 150ms in.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Nodes: 3,
+		Config: core.Config{
+			FD: fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond},
+			Membership: membership.Config{
+				Tm:        50 * time.Millisecond,
+				TjoinWait: 120 * time.Millisecond,
+				RHA:       membership.RHAConfig{Trha: 5 * time.Millisecond, J: 2},
+			},
+		},
+		Bootstrap: can.MakeSet(0, 1),
+		Joiners:   can.MakeSet(2),
+		Crash:     1,
+		HasCrash:  true,
+		CrashBy:   sim.Time(150 * time.Millisecond),
+		End:       sim.Time(500 * time.Millisecond),
+		Settle:    400 * time.Millisecond,
+		MaxSteps:  6000,
+		MaxDepth:  25,
+		Ttd:       2 * time.Millisecond,
+		Skew:      time.Millisecond,
+	}
+}
+
+// Validate rejects malformed scenarios.
+func (sc *Scenario) Validate() error {
+	if sc.Nodes < 2 || sc.Nodes > can.MaxNodes {
+		return fmt.Errorf("explore: scenario wants %d nodes, supported range is [2,%d]", sc.Nodes, can.MaxNodes)
+	}
+	if sc.MaxSteps <= 0 || sc.MaxDepth <= 0 {
+		return fmt.Errorf("explore: MaxSteps and MaxDepth must be positive")
+	}
+	if sc.Settle < 0 {
+		return fmt.Errorf("explore: negative settle window")
+	}
+	if sc.Bootstrap.Empty() {
+		return fmt.Errorf("explore: empty bootstrap view")
+	}
+	if !sc.Bootstrap.Intersect(sc.Joiners).Empty() {
+		return fmt.Errorf("explore: bootstrap view %v overlaps joiners %v", sc.Bootstrap, sc.Joiners)
+	}
+	if sc.HasCrash && !sc.Bootstrap.Union(sc.Joiners).Contains(sc.Crash) {
+		return fmt.Errorf("explore: crash node %v is not part of the population", sc.Crash)
+	}
+	return sc.Config.FD.Validate()
+}
+
+// want is the membership view every surviving full member must converge on.
+func (sc *Scenario) want(crashed bool) can.NodeSet {
+	w := sc.Bootstrap.Union(sc.Joiners)
+	if crashed {
+		w = w.Remove(sc.Crash)
+	}
+	return w
+}
+
+// frame is one pending transmission on the modelled bus.
+type frame struct {
+	mid     can.MID
+	rtr     bool
+	data    [can.MaxData]byte
+	dataLen uint8
+	sender  can.NodeID
+	sentAt  sim.Time
+}
+
+// pendKey indexes the pending queue by (sender, mid). A mid's type
+// determines its frame kind, so a chain under one key is homogeneous in
+// rtr/data.
+type pendKey struct {
+	sender can.NodeID
+	mid    can.MID
+}
+
+// entry is one slot of the pending-frame arena. Slots are append-only
+// between compactions; removal marks dead and unlinks from the two index
+// chains, so aborts and lookups are O(chain) instead of the old harness's
+// O(queue) scan (which made deep schedules quadratic).
+type entry struct {
+	f       frame
+	dead    bool
+	nextKey int32 // next live entry with the same (sender, mid), -1 ends
+	nextMID int32 // next live rtr entry with the same mid, -1 ends
+}
+
+// actionKind discriminates action.
+type actionKind uint8
+
+const (
+	actFrame actionKind = iota // deliver a pending frame
+	actTimer                   // fire a due timer
+	actCrash                   // crash the scenario's crash node
+)
+
+// action is one schedulable step.
+type action struct {
+	kind  actionKind
+	frame int32 // entries index, actFrame only
+	node  can.NodeID
+	timer proto.TimerID
+}
+
+// actionID is a frame action's schedule-independent identity, the unit the
+// POR sleep sets track: delivering "the frame (sender, mid, rtr, payload)"
+// commutes or conflicts with other actions regardless of its queue
+// position. The payload is part of the identity (exactly, not hashed —
+// can.MaxData is 8, so it fits a uint64): two pending data frames under the
+// same (sender, mid) but with different payloads are distinct actions, and
+// sleeping one must not silence the other.
+type actionID struct {
+	sender can.NodeID
+	mid    can.MID
+	rtr    bool
+	payLen uint8
+	pay    uint64
+}
+
+// System is one system instance under exploration: the pure cores of every
+// node plus the modelled MAC layer (pending-frame queue with the broadcast,
+// clustering and bounded-delay properties the protocols assume) and the
+// per-node logical timers. It is rebuilt per schedule and driven through
+// one decision vector.
+type System struct {
+	scen *Scenario
+
+	now     sim.Time
+	nodes   []*core.Node
+	alive   []bool
+	crashed bool
+
+	// Pending-frame queue: arena + (sender,mid) chains + per-mid rtr
+	// chains. liveFrames counts non-dead entries.
+	entries    []entry
+	byKey      map[pendKey]int32
+	byMID      map[can.MID]int32
+	liveFrames int
+
+	// timers[n][id] is node n's armed deadline for logical timer id;
+	// armedTimers[n] is the bitmask of armed ids.
+	timers      [][proto.NumTimers]sim.Time
+	armedTimers []uint8
+
+	// rec, when non-nil, captures every core Step for counterexample
+	// replay.
+	rec *replay.Log
+
+	// Reused scratch.
+	buf     proto.CommandBuf
+	actions []action
+	due     []action
+}
+
+// NewSystem builds a fresh system at its initial state: bootstrap members
+// installed, joiners requesting integration. The scenario must outlive the
+// system. rec, when non-nil, records every core step (replay capture).
+func NewSystem(scen *Scenario, rec *replay.Log) (*System, error) {
+	s := &System{scen: scen, rec: rec}
+	s.byKey = make(map[pendKey]int32, 16)
+	s.byMID = make(map[can.MID]int32, 16)
+	s.timers = make([][proto.NumTimers]sim.Time, scen.Nodes)
+	s.armedTimers = make([]uint8, scen.Nodes)
+	for i := 0; i < scen.Nodes; i++ {
+		n, err := core.New(can.NodeID(i), scen.Config)
+		if err != nil {
+			return nil, err
+		}
+		s.nodes = append(s.nodes, n)
+		s.alive = append(s.alive, true)
+		if rec != nil {
+			rec.Register(can.NodeID(i), scen.Config)
+		}
+	}
+	for v := scen.Bootstrap; !v.Empty(); {
+		r := v.Lowest()
+		v = v.Remove(r)
+		s.step(r, proto.Event{Kind: proto.EvBootstrap, View: scen.Bootstrap})
+	}
+	for v := scen.Joiners; !v.Empty(); {
+		r := v.Lowest()
+		v = v.Remove(r)
+		s.step(r, proto.Event{Kind: proto.EvJoin})
+	}
+	return s, nil
+}
+
+// step pumps one event into a node's composite core and applies the
+// resulting command stream to the modelled bus and alarms. Inter-core
+// commands were already routed by the composite; marker/trace kinds are
+// no-ops here.
+func (s *System) step(n can.NodeID, ev proto.Event) {
+	s.buf.Reset()
+	s.nodes[n].StepInto(ev, &s.buf)
+	if s.rec != nil {
+		s.rec.Append(n, ev, s.buf.Commands())
+	}
+	for i := 0; i < s.buf.Len(); i++ {
+		c := s.buf.At(i)
+		switch c.Kind {
+		case proto.CmdSendRTR:
+			if c.UnlessPending && s.pendingRTR(c.MID) {
+				continue
+			}
+			s.push(frame{mid: c.MID, rtr: true, sender: n, sentAt: s.now})
+		case proto.CmdSendData:
+			f := frame{mid: c.MID, sender: n, sentAt: s.now}
+			f.dataLen = uint8(copy(f.data[:], c.Payload()))
+			s.push(f)
+		case proto.CmdAbort:
+			s.abort(n, c.MID)
+		case proto.CmdSetTimer:
+			s.timers[n][c.Timer] = s.now.Add(time.Duration(c.Delay))
+			s.armedTimers[n] |= 1 << c.Timer
+		case proto.CmdCancelTimer:
+			s.armedTimers[n] &^= 1 << c.Timer
+		}
+	}
+}
+
+// push appends a frame to the pending queue and links it into both index
+// chains (tail insertion keeps chains in queue order).
+func (s *System) push(f frame) {
+	idx := int32(len(s.entries))
+	s.entries = append(s.entries, entry{f: f, nextKey: -1, nextMID: -1})
+	s.liveFrames++
+	k := pendKey{f.sender, f.mid}
+	if head, ok := s.byKey[k]; ok {
+		i := head
+		for s.entries[i].nextKey >= 0 {
+			i = s.entries[i].nextKey
+		}
+		s.entries[i].nextKey = idx
+	} else {
+		s.byKey[k] = idx
+	}
+	if f.rtr {
+		if head, ok := s.byMID[f.mid]; ok {
+			i := head
+			for s.entries[i].nextMID >= 0 {
+				i = s.entries[i].nextMID
+			}
+			s.entries[i].nextMID = idx
+		} else {
+			s.byMID[f.mid] = idx
+		}
+	}
+}
+
+// pendingRTR reports whether any remote frame with the mid is queued: an
+// O(1) head lookup replacing the old harness's queue scan.
+func (s *System) pendingRTR(mid can.MID) bool {
+	_, ok := s.byMID[mid]
+	return ok
+}
+
+// abort removes the oldest pending frame of (sender, mid), mirroring the
+// old harness's first-match removal — an O(chain) operation on the
+// (sender, mid) index instead of an O(queue) scan.
+func (s *System) abort(sender can.NodeID, mid can.MID) {
+	k := pendKey{sender, mid}
+	head, ok := s.byKey[k]
+	if !ok {
+		return
+	}
+	e := &s.entries[head]
+	if e.nextKey >= 0 {
+		s.byKey[k] = e.nextKey
+	} else {
+		delete(s.byKey, k)
+	}
+	e.nextKey = -1
+	if e.f.rtr {
+		s.unlinkMID(head)
+	}
+	e.dead = true
+	s.liveFrames--
+}
+
+// unlinkMID removes entry idx from its per-mid rtr chain.
+func (s *System) unlinkMID(idx int32) {
+	mid := s.entries[idx].f.mid
+	head, ok := s.byMID[mid]
+	if !ok {
+		return
+	}
+	if head == idx {
+		if next := s.entries[idx].nextMID; next >= 0 {
+			s.byMID[mid] = next
+		} else {
+			delete(s.byMID, mid)
+		}
+		s.entries[idx].nextMID = -1
+		return
+	}
+	for i := head; ; {
+		next := s.entries[i].nextMID
+		if next < 0 {
+			return
+		}
+		if next == idx {
+			s.entries[i].nextMID = s.entries[idx].nextMID
+			s.entries[idx].nextMID = -1
+			return
+		}
+		i = next
+	}
+}
+
+// unlinkKey removes entry idx from its (sender, mid) chain.
+func (s *System) unlinkKey(idx int32) {
+	k := pendKey{s.entries[idx].f.sender, s.entries[idx].f.mid}
+	head, ok := s.byKey[k]
+	if !ok {
+		return
+	}
+	if head == idx {
+		if next := s.entries[idx].nextKey; next >= 0 {
+			s.byKey[k] = next
+		} else {
+			delete(s.byKey, k)
+		}
+		s.entries[idx].nextKey = -1
+		return
+	}
+	for i := head; ; {
+		next := s.entries[i].nextKey
+		if next < 0 {
+			return
+		}
+		if next == idx {
+			s.entries[i].nextKey = s.entries[idx].nextKey
+			s.entries[idx].nextKey = -1
+			return
+		}
+		i = next
+	}
+}
+
+// kill marks entry idx dead and unlinks it from both chains.
+func (s *System) kill(idx int32) {
+	e := &s.entries[idx]
+	if e.dead {
+		return
+	}
+	s.unlinkKey(idx)
+	if e.f.rtr {
+		s.unlinkMID(idx)
+	}
+	e.dead = true
+	s.liveFrames--
+}
+
+// compact rewrites the arena without dead entries, preserving queue order,
+// and rebuilds both indexes. Called from enabled() so no action index can
+// dangle across the compaction.
+func (s *System) compact() {
+	live := s.entries[:0]
+	for i := range s.entries {
+		if !s.entries[i].dead {
+			live = append(live, s.entries[i])
+		}
+	}
+	s.entries = live
+	clear(s.byKey)
+	clear(s.byMID)
+	for i := range s.entries {
+		s.entries[i].nextKey = -1
+		s.entries[i].nextMID = -1
+	}
+	for i := range s.entries {
+		idx := int32(i)
+		e := &s.entries[i]
+		k := pendKey{e.f.sender, e.f.mid}
+		if head, ok := s.byKey[k]; ok {
+			j := head
+			for s.entries[j].nextKey >= 0 {
+				j = s.entries[j].nextKey
+			}
+			s.entries[j].nextKey = idx
+		} else {
+			s.byKey[k] = idx
+		}
+		if e.f.rtr {
+			if head, ok := s.byMID[e.f.mid]; ok {
+				j := head
+				for s.entries[j].nextMID >= 0 {
+					j = s.entries[j].nextMID
+				}
+				s.entries[j].nextMID = idx
+			} else {
+				s.byMID[e.f.mid] = idx
+			}
+		}
+	}
+}
+
+// horizon is the latest instant a timer may fire at: every pending frame
+// must have been delivered within Ttd of its transmit request.
+func (s *System) horizon() sim.Time {
+	h := never
+	for i := range s.entries {
+		if s.entries[i].dead {
+			continue
+		}
+		if d := s.entries[i].f.sentAt.Add(s.scen.Ttd); d < h {
+			h = d
+		}
+	}
+	return h
+}
+
+// enabled appends the schedulable actions to the system's reused action
+// buffer in deterministic order: pending frames (queue order), due timers
+// (deadline, then node, then timer id), the crash. The returned slice is
+// valid until the next enabled call.
+//
+// A timer is schedulable when its deadline respects the frame-delivery
+// bound (horizon) and lies within Skew of the earliest armed deadline:
+// timers on one virtual clock fire in deadline order, but near-simultaneous
+// deadlines (bootstrap-synchronized scans, the members' cycle timers) race
+// within clock jitter — exactly the races worth exploring. Without the
+// bound the search would "explore" unreal schedules that starve a node's
+// timers forever.
+func (s *System) enabled() []action {
+	if len(s.entries) > 64 && s.liveFrames*2 < len(s.entries) {
+		s.compact()
+	}
+	out := s.actions[:0]
+	for i := range s.entries {
+		if !s.entries[i].dead {
+			out = append(out, action{kind: actFrame, frame: int32(i)})
+		}
+	}
+	h := s.horizon()
+	minD := never
+	for n := range s.timers {
+		armed := s.armedTimers[n]
+		for id := proto.TimerID(0); id < proto.NumTimers; id++ {
+			if armed&(1<<id) != 0 && s.timers[n][id] < minD {
+				minD = s.timers[n][id]
+			}
+		}
+	}
+	due := s.due[:0]
+	for n := range s.timers {
+		armed := s.armedTimers[n]
+		for id := proto.TimerID(0); id < proto.NumTimers; id++ {
+			if armed&(1<<id) == 0 {
+				continue
+			}
+			if d := s.timers[n][id]; d <= h && d <= minD.Add(s.scen.Skew) {
+				due = append(due, action{kind: actTimer, node: can.NodeID(n), timer: id})
+			}
+		}
+	}
+	// Insertion sort by (deadline, node, id): due lists are tiny, and the
+	// comparator must match the original harness exactly so naive
+	// enumeration is schedule-for-schedule identical.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && s.timerLess(due[j], due[j-1]); j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	s.due = due
+	out = append(out, due...)
+	if s.scen.HasCrash && !s.crashed && s.now <= s.scen.CrashBy {
+		out = append(out, action{kind: actCrash})
+	}
+	s.actions = out
+	return out
+}
+
+func (s *System) timerLess(a, b action) bool {
+	da, db := s.timers[a.node][a.timer], s.timers[b.node][b.timer]
+	if da != db {
+		return da < db
+	}
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	return a.timer < b.timer
+}
+
+// id returns a frame action's schedule-independent identity; timer and
+// crash actions are identified by their fields directly and never enter a
+// sleep set.
+func (s *System) id(a action) actionID {
+	f := &s.entries[a.frame].f
+	id := actionID{sender: f.sender, mid: f.mid, rtr: f.rtr, payLen: f.dataLen}
+	for i := 0; i < int(f.dataLen); i++ {
+		id.pay |= uint64(f.data[i]) << (8 * i)
+	}
+	return id
+}
+
+// apply executes one schedulable action.
+func (s *System) apply(a action) {
+	switch a.kind {
+	case actCrash:
+		s.crashed = true
+		s.alive[s.scen.Crash] = false
+		for i := range s.entries {
+			if !s.entries[i].dead && s.entries[i].f.sender == s.scen.Crash {
+				s.kill(int32(i))
+			}
+		}
+		s.armedTimers[s.scen.Crash] = 0
+	case actTimer:
+		d := s.timers[a.node][a.timer]
+		s.armedTimers[a.node] &^= 1 << a.timer
+		if d > s.now {
+			s.now = d
+		}
+		s.step(a.node, proto.Event{
+			Kind: proto.EvTimerFired, Timer: a.timer, At: s.now, Node: a.node,
+		})
+	case actFrame:
+		f := s.entries[a.frame].f
+		// Identical remote frames merge into the one transmission the
+		// receivers observe (the clustering property the FDA relies on);
+		// identical data frames from one sender collapse the same way.
+		if f.rtr {
+			for i := s.byMID[f.mid]; i >= 0; {
+				next := s.entries[i].nextMID
+				s.kill(i)
+				i = next
+			}
+		} else {
+			for i := s.byKey[pendKey{f.sender, f.mid}]; i >= 0; {
+				next := s.entries[i].nextKey
+				s.kill(i)
+				i = next
+			}
+		}
+		for n := 0; n < s.scen.Nodes; n++ {
+			if !s.alive[n] {
+				continue
+			}
+			if s.scen.Drop && can.NodeID(n) == s.scen.DropNode && f.mid.Type == s.scen.DropType {
+				continue
+			}
+			if f.rtr {
+				s.step(can.NodeID(n), proto.Event{Kind: proto.EvRTRInd, MID: f.mid, At: s.now})
+			} else {
+				s.step(can.NodeID(n), proto.Event{Kind: proto.EvDataNty, MID: f.mid, At: s.now})
+				ev := proto.Event{Kind: proto.EvDataInd, MID: f.mid, At: s.now}
+				ev.Data = f.data
+				ev.DataLen = f.dataLen
+				s.step(can.NodeID(n), ev)
+			}
+		}
+	}
+}
+
+// Fingerprint writes the complete system state into h: virtual time, the
+// crash flag, liveness bits, every node's composite-core fingerprint, the
+// pending-frame queue and the armed timers. Pending frames are written in
+// queue order with a count prefix (queue order is itself part of the state:
+// it fixes the decision indexing of every future schedule); timer slots are
+// written only while armed. Two Systems reached by different schedules hash
+// equal exactly when no future action sequence can distinguish them.
+func (s *System) Fingerprint(h *maphash.Hash) {
+	proto.HashU64(h, uint64(s.now))
+	proto.HashBool(h, s.crashed)
+	var aliveBits uint64
+	for n, a := range s.alive {
+		if a {
+			aliveBits |= 1 << n
+		}
+	}
+	proto.HashU64(h, aliveBits)
+	for _, nd := range s.nodes {
+		nd.Fingerprint(h)
+	}
+	proto.HashU64(h, uint64(s.liveFrames))
+	for i := range s.entries {
+		if s.entries[i].dead {
+			continue
+		}
+		f := &s.entries[i].f
+		proto.HashU64(h, uint64(f.sender))
+		proto.HashU64(h, uint64(f.mid.Encode()))
+		proto.HashBool(h, f.rtr)
+		proto.HashU64(h, uint64(f.sentAt))
+		proto.HashU64(h, uint64(f.dataLen))
+		var pay uint64
+		for j := 0; j < int(f.dataLen); j++ {
+			pay |= uint64(f.data[j]) << (8 * j)
+		}
+		proto.HashU64(h, pay)
+	}
+	for n := range s.timers {
+		proto.HashU64(h, uint64(s.armedTimers[n]))
+		armed := s.armedTimers[n]
+		for id := proto.TimerID(0); id < proto.NumTimers; id++ {
+			if armed&(1<<id) != 0 {
+				proto.HashU64(h, uint64(s.timers[n][id]))
+			}
+		}
+	}
+}
+
+// checkSafety asserts the per-step invariant: a full member's view contains
+// itself.
+func (s *System) checkSafety() error {
+	for n := 0; n < s.scen.Nodes; n++ {
+		nd := s.nodes[n]
+		if s.alive[n] && nd.Msh.Member() && !nd.Msh.View().Contains(can.NodeID(n)) {
+			return fmt.Errorf("node %v is a member of a view %v omitting itself", can.NodeID(n), nd.Msh.View())
+		}
+	}
+	return nil
+}
+
+// checkTerminal asserts liveness + agreement at the end of a schedule:
+// every surviving node integrated and converged on exactly the alive set.
+func (s *System) checkTerminal() error {
+	want := s.scen.want(s.crashed)
+	for n := 0; n < s.scen.Nodes; n++ {
+		if !s.alive[n] {
+			continue
+		}
+		nd := s.nodes[n]
+		if !nd.Msh.Member() {
+			return fmt.Errorf("node %v never (re)integrated; view=%v", can.NodeID(n), nd.Msh.View())
+		}
+		if got := nd.Msh.View(); got != want {
+			return fmt.Errorf("node %v converged on %v, want %v", can.NodeID(n), got, want)
+		}
+	}
+	return nil
+}

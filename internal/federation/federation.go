@@ -34,6 +34,7 @@ package federation
 
 import (
 	"fmt"
+	"hash/maphash"
 	"time"
 
 	"canely/internal/can"
@@ -146,6 +147,42 @@ func (c *Core) StepInto(ev proto.Event, buf *proto.CommandBuf) {
 
 // SiteView returns the current cross-segment site view.
 func (c *Core) SiteView() can.NodeSet { return c.site }
+
+// Fingerprint writes the core's complete mutable state into h. Member
+// views and suppression windows are sparse per-segment arrays, folded
+// order-independently over their non-zero slots; a staleness deadline is
+// meaningful only while its armed bit is set, and scanAt only while the
+// scan timer is pending.
+func (c *Core) Fingerprint(h *maphash.Hash) {
+	proto.HashU64(h, uint64(c.cfg.Gateway))
+	proto.HashBool(h, c.booted)
+	proto.HashU64(h, uint64(c.site))
+	var acc uint64
+	for i, m := range c.members {
+		if m != can.EmptySet {
+			acc ^= proto.MixPair(uint64(i), uint64(m))
+		}
+	}
+	proto.HashU64(h, acc)
+	proto.HashU64(h, uint64(c.armed))
+	for s := c.armed; !s.Empty(); {
+		seg := s.Lowest()
+		s = s.Remove(seg)
+		proto.HashU64(h, uint64(c.deadlines[seg]))
+	}
+	proto.HashBool(h, c.scanPending)
+	if c.scanPending {
+		proto.HashU64(h, uint64(c.scanAt))
+	}
+	acc = 0
+	for i, until := range c.suppressUntil {
+		if until != 0 {
+			acc ^= proto.MixPair(uint64(i), uint64(until))
+		}
+	}
+	proto.HashU64(h, acc)
+	proto.HashU64(h, uint64(c.announced))
+}
 
 // Members returns the last known membership view of a segment.
 func (c *Core) Members(seg can.NodeID) can.NodeSet {

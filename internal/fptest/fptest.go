@@ -1,0 +1,77 @@
+// Package fptest checks the Fingerprint contract every sans-I/O protocol
+// core honours: the fingerprint is a pure function of the core's observable
+// state (equal states hash equal — the exploration engine's state-hash
+// pruning is unsound otherwise) and covers all of it (every state-mutating
+// Step perturbs the hash — a silently un-fingerprinted field would let the
+// engine prune two genuinely different states against each other and skip
+// the schedules separating them).
+package fptest
+
+import (
+	"hash/maphash"
+	"testing"
+
+	"canely/internal/core/proto"
+)
+
+// Core is the slice of a protocol core the fingerprint properties need:
+// every core under test exposes the sans-I/O StepInto plus Fingerprint.
+type Core interface {
+	StepInto(proto.Event, *proto.CommandBuf)
+	Fingerprint(*maphash.Hash)
+}
+
+// Step is one scripted event together with the expected effect on the
+// fingerprint: Mutates marks steps that change observable state and must
+// perturb the hash; unmarked steps must leave it untouched (absorbed
+// events, idempotent re-deliveries).
+type Step struct {
+	Name    string
+	Ev      proto.Event
+	Mutates bool
+}
+
+// Check drives a fresh core through the script asserting the perturbation
+// property at every step, then replays the identical script on a second
+// fresh core and asserts fingerprint equality at every prefix — two cores
+// that processed the same events are in equal states and must hash equal.
+func Check(t *testing.T, fresh func() Core, script []Step) {
+	t.Helper()
+	seed := maphash.MakeSeed()
+	sum := func(c Core) uint64 {
+		var h maphash.Hash
+		h.SetSeed(seed)
+		c.Fingerprint(&h)
+		return h.Sum64()
+	}
+
+	a := fresh()
+	fps := []uint64{sum(a)}
+	var buf proto.CommandBuf
+	for i, st := range script {
+		buf.Reset()
+		a.StepInto(st.Ev, &buf)
+		fp := sum(a)
+		prev := fps[len(fps)-1]
+		if st.Mutates && fp == prev {
+			t.Errorf("step %d (%s): state-mutating step left the fingerprint unchanged", i, st.Name)
+		}
+		if !st.Mutates && fp != prev {
+			t.Errorf("step %d (%s): step marked non-mutating perturbed the fingerprint", i, st.Name)
+		}
+		fps = append(fps, fp)
+	}
+
+	b := fresh()
+	if got := sum(b); got != fps[0] {
+		t.Errorf("fresh cores disagree: %#x vs %#x", got, fps[0])
+	}
+	for i, st := range script {
+		buf.Reset()
+		b.StepInto(st.Ev, &buf)
+		if got := sum(b); got != fps[i+1] {
+			t.Errorf("step %d (%s): replay reached fingerprint %#x, original run had %#x",
+				i, st.Name, got, fps[i+1])
+		}
+	}
+}
