@@ -3,6 +3,8 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -43,6 +45,42 @@ func TestRunExhausts(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "frontier exhausted") {
 		t.Fatalf("output lacks exhaustion notice:\n%s", out.String())
+	}
+}
+
+// TestRunSnapshotModesAgree exhausts the same bounded tree with checkpoint
+// resumption on and off (-no-snapshot) and pins the whole stats line
+// except the checkpoint fields: schedule, crash, prune, sleep, distinct,
+// frontier and depth counts must be byte-identical — resumption changes
+// the work per run, never the exploration.
+func TestRunSnapshotModesAgree(t *testing.T) {
+	counts := regexp.MustCompile(`(schedules|crash|pruned|slept|distinct|frontier|depth)=\d+`)
+	stats := func(noSnapshot bool) (fields []string, resumed string) {
+		t.Helper()
+		var out, errOut strings.Builder
+		code := run(&out, &errOut, options{
+			workers:    2,
+			depth:      9,
+			noSnapshot: noSnapshot,
+			out:        filepath.Join(t.TempDir(), "cx.json"),
+		})
+		if code != 0 {
+			t.Fatalf("no-snapshot=%v: exit code %d, want 0\nstdout:\n%s", noSnapshot, code, out.String())
+		}
+		line, _, _ := strings.Cut(out.String(), "\n")
+		m := regexp.MustCompile(`resumed=\d+`).FindString(line)
+		return counts.FindAllString(line, -1), m
+	}
+	snap, snapResumed := stats(false)
+	plain, plainResumed := stats(true)
+	if !slices.Equal(snap, plain) {
+		t.Errorf("exploration counts differ between modes:\n  snapshot:    %v\n  no-snapshot: %v", snap, plain)
+	}
+	if snapResumed == "resumed=0" {
+		t.Error("snapshot mode resumed no runs from checkpoints")
+	}
+	if plainResumed != "resumed=0" {
+		t.Errorf("-no-snapshot mode reported %s, want resumed=0", plainResumed)
 	}
 }
 

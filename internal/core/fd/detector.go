@@ -91,6 +91,18 @@ func NewDetector(local can.NodeID, cfg Config) (*Detector, error) {
 	return &Detector{cfg: cfg, local: local}, nil
 }
 
+// Clone returns an independent deep copy of the core.
+func (d *Detector) Clone() *Detector {
+	c := *d
+	return &c
+}
+
+// Quiet reports that no failure-sign report of this detector awaits
+// agreement: the only detector activity reachable from a quiet state whose
+// surveillance deadlines keep being met is life-sign traffic and alarm
+// restarts. The exploration engine's settle shortcut keys on it.
+func (d *Detector) Quiet() bool { return d.fdaInFlight.Empty() }
+
 // Step consumes one event and returns a fresh command slice (nil when the
 // event produced no action). Compatibility wrapper over StepInto.
 func (d *Detector) Step(ev proto.Event) []proto.Command {

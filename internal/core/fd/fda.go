@@ -39,6 +39,12 @@ type FDA struct {
 // NewFDA creates the protocol core.
 func NewFDA() *FDA { return &FDA{} }
 
+// Clone returns an independent deep copy of the core.
+func (f *FDA) Clone() *FDA {
+	c := *f
+	return &c
+}
+
 // Step consumes one event and returns a fresh command slice (nil when the
 // event produced no action). Compatibility wrapper over StepInto.
 func (f *FDA) Step(ev proto.Event) []proto.Command {

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"hash/maphash"
 	"testing"
 	"time"
 
@@ -43,3 +44,82 @@ func TestNodeFingerprint(t *testing.T) {
 		{Name: "membership cycle", Ev: proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerMshCycle, At: fpAt(50), Node: 0}, Mutates: true},
 	})
 }
+
+// TestNodeClone checks the composite core's Clone contract: every sub-core
+// deep-copied, the RHA environment re-bound to the cloned membership
+// protocol — stepping a clone through inter-core routing chains must track
+// the reference run without perturbing its original.
+func TestNodeClone(t *testing.T) {
+	cfg := core.Config{
+		FD: fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond},
+		Membership: membership.Config{
+			Tm:        50 * time.Millisecond,
+			TjoinWait: 120 * time.Millisecond,
+			RHA:       membership.RHAConfig{Trha: 5 * time.Millisecond, J: 2},
+		},
+	}
+	fresh := func() fptest.Core {
+		n, err := core.New(0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	fptest.CheckClone(t, fresh,
+		func(c fptest.Core) fptest.Core { return c.(*core.Node).Clone() },
+		[]fptest.Step{
+			{Name: "bootstrap", Ev: proto.Event{Kind: proto.EvBootstrap, View: can.MakeSet(0, 1), At: fpAt(0)}, Mutates: true},
+			{Name: "join sign reaches membership", Ev: proto.Event{Kind: proto.EvRTRInd, MID: can.JoinSign(2), At: fpAt(1)}, Mutates: true},
+			{Name: "life-sign restarts surveillance", Ev: proto.Event{Kind: proto.EvRTRInd, MID: can.ELSSign(1), At: fpAt(5)}, Mutates: true},
+			{Name: "membership cycle starts agreement", Ev: proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerMshCycle, At: fpAt(50), Node: 0}, Mutates: true},
+			{Name: "agreement terminates", Ev: proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerRHATerm, At: fpAt(55), Node: 0}, Mutates: true},
+		})
+}
+
+// TestNodeRestore checks the allocation-free restore path the exploration
+// engine's snapshot pool resumes through: restoring an advanced node onto a
+// diverged one must make it hash identical to the source, with no aliasing
+// between the two afterwards.
+func TestNodeRestore(t *testing.T) {
+	cfg := core.Config{
+		FD: fd.Config{Tb: 10 * time.Millisecond, Ttd: 2 * time.Millisecond},
+		Membership: membership.Config{
+			Tm:        50 * time.Millisecond,
+			TjoinWait: 120 * time.Millisecond,
+			RHA:       membership.RHAConfig{Trha: 5 * time.Millisecond, J: 2},
+		},
+	}
+	sum := func(n *core.Node) uint64 {
+		var h maphash.Hash
+		h.SetSeed(fpSeed)
+		n.Fingerprint(&h)
+		return h.Sum64()
+	}
+	src, err := core.New(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Step(proto.Event{Kind: proto.EvBootstrap, View: can.MakeSet(0, 1), At: fpAt(0)})
+	src.Step(proto.Event{Kind: proto.EvRTRInd, MID: can.JoinSign(2), At: fpAt(1)})
+	src.Step(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerMshCycle, At: fpAt(50), Node: 0})
+
+	dst, err := core.New(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Step(proto.Event{Kind: proto.EvBootstrap, View: can.MakeSet(0, 2), At: fpAt(0)})
+	dst.Restore(src)
+	if sum(dst) != sum(src) {
+		t.Fatal("restored node does not hash like its source")
+	}
+	before := sum(src)
+	dst.Step(proto.Event{Kind: proto.EvTimerFired, Timer: proto.TimerRHATerm, At: fpAt(55), Node: 0})
+	if sum(src) != before {
+		t.Fatal("stepping the restored node mutated the source: aliased state")
+	}
+	if sum(dst) == before {
+		t.Fatal("restored node did not evolve")
+	}
+}
+
+var fpSeed = maphash.MakeSeed()

@@ -76,3 +76,40 @@ func TestServiceFingerprint(t *testing.T) {
 		}
 	}
 }
+
+// TestServiceClone checks the group layer's Clone contract: the clone
+// hashes identically at the split, and original and clone evolve
+// independently afterwards (the registration map must not be aliased).
+func TestServiceClone(t *testing.T) {
+	seed := maphash.MakeSeed()
+	sum := func(s *Service) uint64 {
+		var h maphash.Hash
+		h.SetSeed(seed)
+		s.Fingerprint(&h)
+		return h.Sum64()
+	}
+	site := &fpSite{view: can.MakeSet(0, 1, 2)}
+	s := &Service{local: 0, site: site, registered: map[GroupID]can.NodeSet{}}
+	s.onAnnouncement(2, 0, []byte{actJoin, 1, 2})
+	s.onAnnouncement(0, 0, []byte{actJoin, 7, 0})
+
+	c := s.Clone(nil, site)
+	if sum(c) != sum(s) {
+		t.Fatalf("clone hashes %#x, original hashes %#x", sum(c), sum(s))
+	}
+
+	split := sum(s)
+	c.onAnnouncement(0, 0, []byte{actJoin, 1, 0})
+	if sum(s) != split {
+		t.Fatal("mutating the clone changed the original: aliased registration map")
+	}
+	if sum(c) == split {
+		t.Fatal("clone did not evolve")
+	}
+
+	cNow := sum(c)
+	s.onAnnouncement(2, 0, []byte{actLeave, 1, 2})
+	if sum(c) != cNow {
+		t.Fatal("mutating the original changed the clone: aliased registration map")
+	}
+}

@@ -19,6 +19,7 @@ package groups
 import (
 	"fmt"
 	"hash/maphash"
+	"maps"
 
 	"canely/internal/can"
 	"canely/internal/core/membership"
@@ -74,6 +75,28 @@ func New(rel *edcan.RELCAN, site SiteView, local can.NodeID) *Service {
 	rel.Deliver(s.onAnnouncement)
 	site.OnChange(func(membership.Change) { s.reconcile() })
 	return s
+}
+
+// Clone returns a deep copy of the service bound to a fresh environment.
+// The RELCAN broadcaster and the site view are identity, not state: the
+// clone registers its own delivery and site-change callbacks on the given
+// instances, mirroring New; a nil instance yields a detached clone (state
+// snapshot only, no live feeds). Change consumers are environment too — the
+// clone starts with none.
+func (s *Service) Clone(rel *edcan.RELCAN, site SiteView) *Service {
+	c := &Service{
+		local:      s.local,
+		rel:        rel,
+		site:       site,
+		registered: maps.Clone(s.registered),
+	}
+	if rel != nil {
+		rel.Deliver(c.onAnnouncement)
+	}
+	if site != nil {
+		site.OnChange(func(membership.Change) { c.reconcile() })
+	}
+	return c
 }
 
 // OnChange registers a group view change consumer.

@@ -98,6 +98,21 @@ func New(local can.NodeID, cfg Config) (*Protocol, error) {
 	return &Protocol{cfg: cfg, local: local}, nil
 }
 
+// Clone returns an independent deep copy of the core.
+func (p *Protocol) Clone() *Protocol {
+	c := *p
+	return &c
+}
+
+// Quiescent reports that no membership work is pending: no join, leave or
+// failure residue awaits the next cycle, and no stale join request is
+// carried over. From a quiescent state an idle cycle re-arms the timer and
+// bumps the diagnostic counter without touching the view. The exploration
+// engine's settle shortcut keys on it.
+func (p *Protocol) Quiescent() bool {
+	return p.rj.Empty() && p.rjPrev.Empty() && p.rl.Empty() && p.fset.Empty()
+}
+
 // SharedSets: the sets of Figure 7 line i04 the RHA core reads live.
 func (p *Protocol) FullMembers() can.NodeSet { return p.rf }
 

@@ -12,6 +12,7 @@ package membership
 import (
 	"fmt"
 	"hash/maphash"
+	"maps"
 	"time"
 
 	"canely/internal/can"
@@ -81,6 +82,32 @@ func NewRHA(local can.NodeID, cfg RHAConfig, env SharedSets) (*RHA, error) {
 		return nil, fmt.Errorf("membership: invalid local node id %d", local)
 	}
 	return &RHA{cfg: cfg, env: env, local: local, ndup: make(map[can.NodeSet]int)}, nil
+}
+
+// Clone returns an independent deep copy of the core bound to env. The
+// environment is identity, not state: a cloned node hands the clone of its
+// own membership protocol, so the copy keeps reading its sets live without
+// aliasing the original's.
+func (r *RHA) Clone(env SharedSets) *RHA {
+	c := *r
+	c.env = env
+	c.ndup = maps.Clone(r.ndup)
+	return &c
+}
+
+// CopyFrom replaces r's state with a deep copy of src's, rebinding the
+// shared-set environment and reusing r's duplicate-counter map storage —
+// the allocation-free restore path of the exploration engine's snapshot
+// pool.
+func (r *RHA) CopyFrom(src *RHA, env SharedSets) {
+	m := r.ndup
+	*r = *src
+	r.env = env
+	clear(m)
+	for k, v := range src.ndup {
+		m[k] = v
+	}
+	r.ndup = m
 }
 
 // Running reports whether an execution is in progress.

@@ -75,6 +75,32 @@ func New(id can.NodeID, cfg Config) (*Node, error) {
 	return &Node{ID: id, FDA: fd.NewFDA(), Det: det, Msh: msh, RHA: rha}, nil
 }
 
+// Clone returns an independent deep copy of the composite core: every
+// sub-core cloned, the RHA environment re-bound to the cloned membership
+// protocol, and a fresh routing scratch (the scratch is transient and
+// empty between steps).
+func (n *Node) Clone() *Node {
+	msh := n.Msh.Clone()
+	return &Node{
+		ID:  n.ID,
+		FDA: n.FDA.Clone(),
+		Det: n.Det.Clone(),
+		Msh: msh,
+		RHA: n.RHA.Clone(msh),
+	}
+}
+
+// Restore replaces n's state with a deep copy of src's, reusing n's
+// storage — the allocation-free path the exploration engine's snapshot
+// pool restores nodes through. The scratch buffer keeps n's own storage.
+func (n *Node) Restore(src *Node) {
+	n.ID = src.ID
+	*n.FDA = *src.FDA
+	*n.Det = *src.Det
+	*n.Msh = *src.Msh
+	n.RHA.CopyFrom(src.RHA, n.Msh)
+}
+
 // Fingerprint writes the composite core's complete mutable state into h:
 // the node identity followed by every sub-core's fingerprint in a fixed
 // order. The scratch routing buffer is transient (empty between steps) and

@@ -1,11 +1,26 @@
 // Package explore is the parallel state-space exploration engine over the
-// sans-I/O protocol cores: a stateless model checker (in the spirit of
-// CHESS/dPOR) for the join+crash scenario of the paper's Figures 8/9.
+// sans-I/O protocol cores: a model checker (in the spirit of CHESS/dPOR)
+// for the join+crash scenario of the paper's Figures 8/9.
 //
-// Each schedule is a decision vector replayed from the initial state; the
-// schedule tree is walked depth-first by a pool of workers over a
-// work-stealing frontier of unexplored branch prefixes. Two reductions cut
-// the tree (both optional, both off in the pinned compatibility mode):
+// Each schedule is identified by a decision vector. Historically every
+// schedule was replayed from the initial state — O(depth) work before the
+// first new decision. The engine now checkpoints: at each branch decision a
+// run captures a deep snapshot of the System (the pure cores clone in O(1)
+// relative to the schedule prefix), and the frontier items for the sibling
+// branches carry that snapshot, so branch expansion resumes from the parent
+// state instead of the root. Snapshots are reference-counted — the last
+// sibling takes ownership of the checkpoint and mutates it in place, every
+// other sibling clones — and are subject to a configurable memory budget;
+// over budget (or at a sparser SnapshotEvery cadence) children fall back to
+// replaying the prefix from the nearest earlier checkpoint, or from the
+// root. Decision vectors are still recorded for every run, so a violating
+// schedule is re-executed from the root with capture enabled and replays
+// byte-for-byte through `canelysim -replay` regardless of how the violating
+// run itself was resumed.
+//
+// The schedule tree is walked depth-first by a pool of workers over a
+// work-stealing frontier. Two reductions cut the tree (both optional, both
+// off in the pinned compatibility mode):
 //
 //   - state-hash pruning: at every decision point past the replayed prefix
 //     the full system fingerprint (xor the sleep-set fingerprint) is
@@ -49,6 +64,21 @@ type Config struct {
 	Prune bool
 	// POR enables the sleep-set partial-order reduction.
 	POR bool
+	// NoSnapshot disables checkpoint-and-branch resumption: every run
+	// replays its decision prefix from the root, as the engine always did
+	// before checkpointing. Exploration order, schedule counts and
+	// violations are identical either way (TestSnapshotSoundness pins
+	// this); only the work per run changes.
+	NoSnapshot bool
+	// SnapshotEvery captures a checkpoint at every k-th new branch
+	// decision of a run (<=1 means every one). Sparser cadences trade
+	// snapshot memory for partial prefix replay in the children.
+	SnapshotEvery int
+	// SnapBudget caps the live checkpoint memory in bytes; once the
+	// estimated footprint of outstanding snapshots exceeds it, runs stop
+	// capturing and children degrade to prefix replay until consumption
+	// frees room. 0 means unlimited.
+	SnapBudget int64
 }
 
 // Stats is a consistent-enough snapshot of the exploration counters (each
@@ -65,7 +95,10 @@ type Stats struct {
 	// explored one). Neither reaches the terminal check.
 	Pruned uint64
 	Slept  uint64
-	// Steps is the total number of actions applied across all runs.
+	// Steps is the total number of actions actually applied across all
+	// runs. Checkpoint resumption skips the replayed prefix, so with
+	// snapshots on this is lower than the same exploration replayed from
+	// the root — the saved work is counted in ReplaySaved instead.
 	Steps uint64
 	// Distinct is the visited-set population: distinct (state, sleep set)
 	// fingerprints seen at decision points.
@@ -74,6 +107,16 @@ type Stats struct {
 	Frontier int64
 	// PeakDepth is the deepest decision vector observed.
 	PeakDepth int64
+	// Resumed counts runs that started from a parent checkpoint instead
+	// of the root; ReplaySaved is the total prefix steps those
+	// resumptions avoided re-applying.
+	Resumed     uint64
+	ReplaySaved uint64
+	// Snapshots counts checkpoints captured; SnapBytes is the estimated
+	// footprint of the checkpoints currently alive (captured, not yet
+	// consumed by their last sibling).
+	Snapshots uint64
+	SnapBytes int64
 }
 
 // Runs returns the total schedule runs started.
@@ -111,6 +154,10 @@ type Engine struct {
 	cfg  Config
 	seed maphash.Seed
 
+	// initial is the scenario's initial state, built once; every root run
+	// restores a pooled System from it instead of rebuilding the cores.
+	initial *System
+
 	schedules      atomic.Uint64
 	crashSchedules atomic.Uint64
 	pruned         atomic.Uint64
@@ -119,6 +166,19 @@ type Engine struct {
 	attempts       atomic.Uint64
 	outstanding    atomic.Int64
 	peakDepth      atomic.Int64
+	resumed        atomic.Uint64
+	replaySaved    atomic.Uint64
+	snapshots      atomic.Uint64
+	snapBytes      atomic.Int64
+
+	// noQuiesce disables the settle-phase quiescence shortcut; test-only,
+	// used to pin the shortcut's soundness against the full settle.
+	noQuiesce bool
+
+	// syspool recycles System storage between runs, checkpoint captures
+	// and checkpoint clones: in steady state no run allocates its state,
+	// it restores recycled storage in place.
+	syspool sync.Pool
 
 	visited   visitedSet
 	deques    []deque
@@ -134,7 +194,15 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 1
+	}
 	e := &Engine{cfg: cfg, seed: maphash.MakeSeed()}
+	initial, err := NewSystem(&e.cfg.Scenario, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.initial = initial
 	e.visited.init()
 	e.deques = make([]deque, cfg.Workers)
 	return e, nil
@@ -151,6 +219,10 @@ func (e *Engine) Stats() Stats {
 		Distinct:       e.visited.size.Load(),
 		Frontier:       e.outstanding.Load(),
 		PeakDepth:      e.peakDepth.Load(),
+		Resumed:        e.resumed.Load(),
+		ReplaySaved:    e.replaySaved.Load(),
+		Snapshots:      e.snapshots.Load(),
+		SnapBytes:      e.snapBytes.Load(),
 	}
 }
 
@@ -158,7 +230,7 @@ func (e *Engine) Stats() Stats {
 // violation is found, or ctx expires — whichever comes first.
 func (e *Engine) Run(ctx context.Context) (Result, error) {
 	e.outstanding.Store(1)
-	e.deques[0].push(nil) // the root: the empty prefix
+	e.deques[0].push(item{}) // the root: the empty prefix
 
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
@@ -178,6 +250,75 @@ func (e *Engine) Run(ctx context.Context) (Result, error) {
 	return res, ctx.Err()
 }
 
+// item is one frontier entry: an unexplored branch prefix, optionally with
+// the checkpoint it can resume from.
+type item struct {
+	// vec is the decision vector selecting the branch.
+	vec []int
+	// snap, when non-nil, is a checkpoint of the parent run at decision
+	// snap.depth <= len(vec); the run restores it and replays only
+	// decisions snap.depth..len(vec)-1 instead of the whole prefix. nil
+	// means replay from the root.
+	snap *snapshot
+	// counts carries the parent's branch factors for decisions
+	// 0..snap.depth-1, seeding the resumed run's count record so children
+	// index identically to a root replay. Shared read-only across
+	// siblings.
+	counts []int
+}
+
+// snapshot is a ref-counted checkpoint of a System at one branch decision.
+// refs is the number of frontier items still due to consume it: the last
+// consumer takes ownership of sys and mutates it in place, every earlier
+// consumer deep-clones. Cloning strictly precedes the clone's decrement, so
+// ownership (only taken at refs==1) can never race a clone in progress.
+type snapshot struct {
+	sys *System
+	// sleep is the run's sleep set at the decision point (read-only).
+	sleep []actionID
+	// depth and steps are the decision index and applied-step count at
+	// capture time.
+	depth int
+	steps int
+	bytes int64
+	refs  atomic.Int32
+}
+
+// getSystem returns recycled System storage (state unspecified — the
+// caller restores over it), falling back to a fresh deep copy of the
+// initial state when the pool is dry.
+func (e *Engine) getSystem() *System {
+	if v := e.syspool.Get(); v != nil {
+		return v.(*System)
+	}
+	return e.initial.Snapshot()
+}
+
+// consume returns a System holding the checkpointed state, transferring or
+// copying per the ref-count protocol, and releases the checkpoint's memory
+// accounting when the last reference goes. Copies restore into recycled
+// storage; only the last sibling may mutate sn.sys in place, and only it
+// can observe refs==1, so a copy in progress (which decrements strictly
+// after it completes) never races the handoff.
+func (e *Engine) consume(sn *snapshot) *System {
+	if sn.refs.CompareAndSwap(1, 0) {
+		sys := sn.sys
+		sn.sys = nil
+		e.snapBytes.Add(-sn.bytes)
+		return sys
+	}
+	sys := e.getSystem()
+	sys.Restore(sn.sys)
+	if sn.refs.Add(-1) == 0 {
+		// Everyone copied (an ownership handoff raced and lost): recycle
+		// the original.
+		e.syspool.Put(sn.sys)
+		sn.sys = nil
+		e.snapBytes.Add(-sn.bytes)
+	}
+	return sys
+}
+
 // worker is one member of the pool: pop own work LIFO (depth-first), steal
 // from a round-robin victim when dry, stop on exhaustion, target, violation
 // or ctx expiry.
@@ -186,9 +327,9 @@ func (e *Engine) worker(ctx context.Context, self int) {
 		if ctx.Err() != nil || e.violation.Load() != nil {
 			return
 		}
-		vec, ok := e.deques[self].pop()
+		it, ok := e.deques[self].pop()
 		if !ok {
-			vec, ok = e.steal(self)
+			it, ok = e.steal(self)
 		}
 		if !ok {
 			if e.outstanding.Load() == 0 {
@@ -200,10 +341,10 @@ func (e *Engine) worker(ctx context.Context, self int) {
 		if e.cfg.Target > 0 && !e.claim() {
 			// Target reached: put the item back for accounting symmetry
 			// (outstanding stays consistent) and stop this worker.
-			e.deques[self].push(vec)
+			e.deques[self].push(it)
 			return
 		}
-		e.explore(self, vec)
+		e.explore(self, it)
 	}
 }
 
@@ -223,7 +364,7 @@ func (e *Engine) claim() bool {
 // steal takes work from other workers' deques, round-robin from an atomic
 // victim cursor (the same chunked-claim idiom internal/campaign uses for
 // its run cursor).
-func (e *Engine) steal(self int) ([]int, bool) {
+func (e *Engine) steal(self int) (item, bool) {
 	n := len(e.deques)
 	start := int(e.victim.Add(1))
 	for i := 0; i < n; i++ {
@@ -233,23 +374,23 @@ func (e *Engine) steal(self int) ([]int, bool) {
 		}
 		if batch, ok := e.deques[v].stealHalf(); ok {
 			// Keep one, queue the rest locally.
-			for _, item := range batch[1:] {
-				e.deques[self].push(item)
+			for _, it := range batch[1:] {
+				e.deques[self].push(it)
 			}
 			return batch[0], true
 		}
 	}
-	return nil, false
+	return item{}, false
 }
 
-// explore runs the schedule selected by vec and pushes the sibling branches
-// it discovers. outstanding accounting: +children, then -1 for this item.
-func (e *Engine) explore(self int, vec []int) {
-	r := e.run(vec, nil, e.cfg.Prune)
+// explore runs the schedule selected by it and pushes the sibling branches
+// it discovers, handing each the checkpoint nearest its branch point.
+func (e *Engine) explore(self int, it item) {
+	r := e.run(it, nil, e.cfg.Prune)
 
 	switch {
 	case r.err != nil:
-		v := e.capture(vec, r)
+		v := e.capture(it.vec, r)
 		e.violation.CompareAndSwap(nil, v)
 		e.outstanding.Add(-1)
 		return
@@ -263,8 +404,13 @@ func (e *Engine) explore(self int, vec []int) {
 			e.crashSchedules.Add(1)
 		}
 	}
-	if d := int64(len(r.counts)); d > e.peakDepth.Load() {
-		e.peakDepth.Store(d)
+	// CAS-max: a plain load/store pair lets a smaller concurrent maximum
+	// overwrite a larger one.
+	for d := int64(len(r.counts)); ; {
+		cur := e.peakDepth.Load()
+		if d <= cur || e.peakDepth.CompareAndSwap(cur, d) {
+			break
+		}
 	}
 
 	// Branch on every decision point past the explored prefix: choice 0 is
@@ -272,51 +418,124 @@ func (e *Engine) explore(self int, vec []int) {
 	// still branches on the decisions before the prune point — those
 	// states were first visits, inserted by this very run.
 	pushed := int64(0)
-	for i := len(vec); i < len(r.counts); i++ {
+	for i := len(it.vec); i < len(r.counts); i++ {
 		pushed += int64(r.counts[i] - 1)
 	}
-	e.outstanding.Add(pushed)
-	for i := len(vec); i < len(r.counts); i++ {
-		for c := r.counts[i] - 1; c >= 1; c-- {
-			child := make([]int, i+1)
-			copy(child, vec)
-			child[i] = c
-			e.deques[self].push(child)
+	// Publish every checkpoint's reference count before any child that
+	// carries it becomes stealable.
+	for i := len(it.vec); i < len(r.counts); i++ {
+		if sn := r.snaps[i-len(it.vec)]; sn != nil {
+			sn.refs.Add(int32(r.counts[i] - 1))
 		}
 	}
-	e.outstanding.Add(-1)
+	// One transition on the frontier gauge: this item becomes its children.
+	// Split Add(pushed)/Add(-1) pairs let a concurrent Stats read observe
+	// a torn intermediate value.
+	e.outstanding.Add(pushed - 1)
+	for i := len(it.vec); i < len(r.counts); i++ {
+		sn := r.snaps[i-len(it.vec)]
+		var cts []int
+		if sn != nil {
+			cts = r.counts[:sn.depth]
+		}
+		for c := r.counts[i] - 1; c >= 1; c-- {
+			child := make([]int, i+1)
+			copy(child, it.vec)
+			child[i] = c
+			e.deques[self].push(item{vec: child, snap: sn, counts: cts})
+		}
+	}
 }
 
 // runResult is the outcome of a single schedule execution.
 type runResult struct {
 	counts  []int // branching factor at each decision point (awake actions)
 	fullVec []int // the choices actually taken, decision by decision
+	// snaps[j] is the checkpoint children branching at decision
+	// len(it.vec)+j resume from (nil: root replay); parallel to the new
+	// suffix of counts.
+	snaps   []*snapshot
 	crashed bool
 	pruned  bool
 	slept   bool
 	err     error
 }
 
-// run executes one schedule described by the decision vector vec (choice 0
-// assumed past its end). rec, when non-nil, captures every core step;
-// prune gates the visited-set check (the counterexample re-run disables it:
-// the set is already populated and would cut the replay short — pruning
-// never alters choices, so the replayed path is identical either way).
-func (e *Engine) run(vec []int, rec *replay.Log, prune bool) runResult {
+// run executes one schedule described by it (choice 0 assumed past the end
+// of it.vec), resuming from it.snap when present. rec, when non-nil,
+// captures every core step; recording runs always start from the root so
+// the log covers the complete schedule. prune gates the visited-set check
+// (the counterexample re-run disables it: the set is already populated and
+// would cut the replay short — pruning never alters choices, so the
+// replayed path is identical either way). The run's System storage comes
+// from and returns to the engine's recycling pool.
+func (e *Engine) run(it item, rec *replay.Log, prune bool) runResult {
 	sc := &e.cfg.Scenario
-	s, err := NewSystem(sc, rec)
-	if err != nil {
-		return runResult{err: err}
-	}
 	var res runResult
 	var sleep []actionID
-	var h maphash.Hash
-	h.SetSeed(e.seed)
+	var s *System
 	decision := 0
 	steps := 0
-	defer func() { e.steps.Add(uint64(steps)) }()
+	base := 0
+	switch {
+	case rec != nil:
+		sys, err := NewSystem(sc, rec)
+		if err != nil {
+			return runResult{err: err}
+		}
+		s = sys
+	case it.snap != nil:
+		sn := it.snap
+		s = e.consume(sn)
+		s.rec = nil
+		decision = sn.depth
+		steps = sn.steps
+		base = sn.steps
+		res.counts = append(res.counts, it.counts...)
+		res.fullVec = append(res.fullVec, it.vec[:sn.depth]...)
+		if len(sn.sleep) > 0 {
+			sleep = append(sleep, sn.sleep...)
+		}
+		e.resumed.Add(1)
+		e.replaySaved.Add(uint64(sn.steps))
+	default:
+		s = e.getSystem()
+		s.Restore(e.initial)
+		s.rec = nil
+	}
+	if rec == nil {
+		defer func() { e.syspool.Put(s) }()
+	}
+	capture := rec == nil && !e.cfg.NoSnapshot
+	var curSnap *snapshot
+	newBranches := 0
+	var h maphash.Hash
+	h.SetSeed(e.seed)
+	defer func() { e.steps.Add(uint64(steps - base)) }()
 
-	for ; steps < sc.MaxSteps && s.now < sc.End; steps++ {
+	for steps < sc.MaxSteps && s.now < sc.End {
+		if decision >= sc.MaxDepth && len(sleep) == 0 {
+			// Deterministic tail: the decision budget is spent and the
+			// sleep set is empty (with choice forever 0 it can only
+			// shrink), so every remaining choice is action 0 — no counts,
+			// no prune inserts, no sleep bookkeeping. stepFirst applies
+			// enabled()[0] without materializing the action list, and a
+			// quiescent system short-circuits straight to the terminal
+			// check (see System.quiescent for the argument).
+			if !e.noQuiesce && s.quiescent() {
+				break
+			}
+			if !s.stepFirst() {
+				break
+			}
+			steps++
+			if err := s.checkSafety(); err != nil {
+				res.crashed = s.crashed
+				res.err = err
+				return res
+			}
+			continue
+		}
 		en := s.enabled()
 		if len(en) == 0 {
 			break
@@ -342,28 +561,51 @@ func (e *Engine) run(vec []int, rec *replay.Log, prune bool) runResult {
 
 		choice := 0
 		if len(awake) > 1 && decision < sc.MaxDepth {
-			if decision >= len(vec) && prune {
-				h.Reset()
-				s.Fingerprint(&h)
-				// The key is (state, sleep set, decision index). The sleep
-				// set masks part of the subtree, so states reached with
-				// different sleep sets must not merge; the decision index
-				// bounds how deep the subtree may still branch (MaxDepth
-				// counts decisions, not steps), so a state first reached
-				// near the cap must not hide a shallower re-entry that
-				// deserves deeper exploration.
-				key := h.Sum64() ^ sleepHash(e.seed, sleep) ^ proto.Mix64(uint64(decision))
-				if !e.visited.insert(key) {
-					// An equivalent exploration already branched here;
-					// its children cover this subtree.
-					res.pruned = true
-					res.crashed = s.crashed
-					return res
+			if decision >= len(it.vec) {
+				if prune {
+					h.Reset()
+					s.Fingerprint(&h)
+					// The key is (state, sleep set, decision index). The
+					// sleep set masks part of the subtree, so states
+					// reached with different sleep sets must not merge;
+					// the decision index bounds how deep the subtree may
+					// still branch (MaxDepth counts decisions, not steps),
+					// so a state first reached near the cap must not hide
+					// a shallower re-entry that deserves deeper
+					// exploration.
+					key := h.Sum64() ^ sleepHash(e.seed, sleep) ^ proto.Mix64(uint64(decision))
+					if !e.visited.insert(key) {
+						// An equivalent exploration already branched here;
+						// its children cover this subtree.
+						res.pruned = true
+						res.crashed = s.crashed
+						return res
+					}
 				}
+				// Checkpoint this branch point for the sibling children,
+				// at the configured cadence and within the memory budget.
+				// Skipped captures degrade the children to replaying from
+				// curSnap (or the root) — never to wrong answers.
+				if capture && newBranches%e.cfg.SnapshotEvery == 0 &&
+					(e.cfg.SnapBudget == 0 || e.snapBytes.Load() < e.cfg.SnapBudget) {
+					snapSys := e.getSystem()
+					snapSys.Restore(s)
+					snapSys.rec = nil
+					sn := &snapshot{sys: snapSys, depth: decision, steps: steps}
+					if len(sleep) > 0 {
+						sn.sleep = append([]actionID(nil), sleep...)
+					}
+					sn.bytes = int64(sn.sys.sizeBytes())
+					e.snapBytes.Add(sn.bytes)
+					e.snapshots.Add(1)
+					curSnap = sn
+				}
+				newBranches++
+				res.snaps = append(res.snaps, curSnap)
 			}
 			res.counts = append(res.counts, len(awake))
-			if decision < len(vec) {
-				choice = vec[decision]
+			if decision < len(it.vec) {
+				choice = it.vec[decision]
 			}
 			decision++
 			if choice >= len(awake) {
@@ -400,6 +642,7 @@ func (e *Engine) run(vec []int, rec *replay.Log, prune bool) runResult {
 		}
 
 		s.apply(chosen)
+		steps++
 
 		if err := s.checkSafety(); err != nil {
 			res.crashed = s.crashed
@@ -417,14 +660,18 @@ func (e *Engine) run(vec []int, rec *replay.Log, prune bool) runResult {
 	// genuinely stuck divergence survives any settle window and is still
 	// reported. Frames-before-timers makes the suffix race-free: a pending
 	// life sign always lands before the surveillance timer that would
-	// falsely expire on it.
+	// falsely expire on it. A quiescent system skips the rest of the
+	// settle: from the converged steady state the remaining steps are pure
+	// life-sign cycling and cannot change the terminal verdict.
 	settleEnd := sc.End.Add(sc.Settle)
-	for ; steps < sc.MaxSteps && s.now < settleEnd; steps++ {
-		en := s.enabled()
-		if len(en) == 0 {
+	for steps < sc.MaxSteps && s.now < settleEnd {
+		if !e.noQuiesce && s.quiescent() {
 			break
 		}
-		s.apply(en[0])
+		if !s.stepFirst() {
+			break
+		}
+		steps++
 		if err := s.checkSafety(); err != nil {
 			res.crashed = s.crashed
 			res.err = err
@@ -436,13 +683,15 @@ func (e *Engine) run(vec []int, rec *replay.Log, prune bool) runResult {
 	return res
 }
 
-// capture re-runs a violating schedule with recording enabled and wraps it
-// as a Violation. The re-run follows the exact same path: pruning is off
-// (it never alters choices, only cuts runs short) and the sleep-set
-// evolution is a pure function of the prefix.
+// capture re-runs a violating schedule from the root with recording enabled
+// and wraps it as a Violation. The re-run follows the exact same path even
+// when the violating run was checkpoint-resumed: resumption reproduces the
+// root-replay state by construction, pruning is off (it never alters
+// choices, only cuts runs short) and the sleep-set evolution is a pure
+// function of the prefix.
 func (e *Engine) capture(vec []int, r runResult) *Violation {
 	rec := &replay.Log{}
-	rr := e.run(vec, rec, false)
+	rr := e.run(item{vec: vec}, rec, false)
 	v := &Violation{Vec: rr.fullVec, Crashed: rr.crashed, Log: rec}
 	if rr.err != nil {
 		v.Msg = rr.err.Error()
@@ -508,30 +757,30 @@ func sleepHash(seed maphash.Seed, sleep []actionID) uint64 {
 // largest — subtrees sit.
 type deque struct {
 	mu    sync.Mutex
-	items [][]int
+	items []item
 }
 
-func (d *deque) push(vec []int) {
+func (d *deque) push(it item) {
 	d.mu.Lock()
-	d.items = append(d.items, vec)
+	d.items = append(d.items, it)
 	d.mu.Unlock()
 }
 
-func (d *deque) pop() ([]int, bool) {
+func (d *deque) pop() (item, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(d.items)
 	if n == 0 {
-		return nil, false
+		return item{}, false
 	}
-	vec := d.items[n-1]
-	d.items[n-1] = nil
+	it := d.items[n-1]
+	d.items[n-1] = item{}
 	d.items = d.items[:n-1]
-	return vec, true
+	return it, true
 }
 
 // stealHalf removes the older half of the stack (at least one item).
-func (d *deque) stealHalf() ([][]int, bool) {
+func (d *deque) stealHalf() ([]item, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(d.items)
@@ -539,11 +788,11 @@ func (d *deque) stealHalf() ([][]int, bool) {
 		return nil, false
 	}
 	take := (n + 1) / 2
-	batch := make([][]int, take)
+	batch := make([]item, take)
 	copy(batch, d.items[:take])
 	kept := copy(d.items, d.items[take:])
 	for i := kept; i < n; i++ {
-		d.items[i] = nil // drop stale references
+		d.items[i] = item{} // drop stale references
 	}
 	d.items = d.items[:kept]
 	return batch, true

@@ -197,12 +197,12 @@ func TestDeterministicReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	vec := []int{1, 0, 2, 0, 1}
-	first := e.run(vec, nil, false)
+	first := e.run(item{vec: vec}, nil, false)
 	if first.err != nil {
 		t.Fatalf("vector %v unexpectedly violates: %v", vec, first.err)
 	}
 	for i := 0; i < 3; i++ {
-		again := e.run(vec, nil, false)
+		again := e.run(item{vec: vec}, nil, false)
 		if len(again.counts) != len(first.counts) || len(again.fullVec) != len(first.fullVec) {
 			t.Fatalf("replay %d diverged: counts %v vs %v", i, again.counts, first.counts)
 		}
@@ -243,6 +243,230 @@ func TestScenarioValidate(t *testing.T) {
 	}
 	if _, err := New(Config{Scenario: Scenario{}}); err == nil {
 		t.Fatal("zero scenario accepted")
+	}
+}
+
+// TestSnapshotSoundness is the checkpoint-and-branch A/B: the identical
+// exploration run with snapshots on and off must walk the identical tree —
+// same schedule, crash, prune, sleep and distinct-state counts — and reach
+// the same verdict. Checkpoint resumption only changes how a run reaches
+// its first new decision, never what it decides there.
+func TestSnapshotSoundness(t *testing.T) {
+	sc := DefaultScenario()
+	sc.MaxDepth = 12
+	for _, mode := range []struct {
+		name  string
+		prune bool
+		por   bool
+	}{{"naive", false, false}, {"reduced", true, true}} {
+		snap, err := New(Config{Scenario: sc, Workers: 1, Prune: mode.prune, POR: mode.por})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := snap.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := New(Config{Scenario: sc, Workers: 1, Prune: mode.prune, POR: mode.por, NoSnapshot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := plain.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Violation != nil || rp.Violation != nil {
+			t.Fatalf("%s: unexpected violation (snap=%v plain=%v)", mode.name, rs.Violation, rp.Violation)
+		}
+		if !rs.Exhausted || !rp.Exhausted {
+			t.Fatalf("%s: exhausted snap=%v plain=%v", mode.name, rs.Exhausted, rp.Exhausted)
+		}
+		if rs.Schedules != rp.Schedules || rs.CrashSchedules != rp.CrashSchedules ||
+			rs.Pruned != rp.Pruned || rs.Slept != rp.Slept || rs.Distinct != rp.Distinct {
+			t.Fatalf("%s: snapshot mode diverged: %d/%d/%d/%d/%d vs %d/%d/%d/%d/%d "+
+				"(schedules/crash/pruned/slept/distinct)", mode.name,
+				rs.Schedules, rs.CrashSchedules, rs.Pruned, rs.Slept, rs.Distinct,
+				rp.Schedules, rp.CrashSchedules, rp.Pruned, rp.Slept, rp.Distinct)
+		}
+		if rs.Resumed == 0 || rs.ReplaySaved == 0 {
+			t.Fatalf("%s: snapshot arm never resumed a checkpoint (resumed=%d saved=%d)",
+				mode.name, rs.Resumed, rs.ReplaySaved)
+		}
+		if rp.Resumed != 0 || rp.Snapshots != 0 {
+			t.Fatalf("%s: -no-snapshot arm used checkpoints (resumed=%d captured=%d)",
+				mode.name, rp.Resumed, rp.Snapshots)
+		}
+		if rs.SnapBytes != 0 {
+			t.Fatalf("%s: exhausted run leaks %d checkpoint bytes", mode.name, rs.SnapBytes)
+		}
+		t.Logf("%s: %d schedules, %d resumed, %d replay steps saved, %d snapshots",
+			mode.name, rs.Schedules, rs.Resumed, rs.ReplaySaved, rs.Snapshots)
+	}
+}
+
+// TestSnapshotDegraded pins that a sparse checkpoint cadence and a tiny
+// memory budget only degrade performance, never coverage: the tree counts
+// still match the unconstrained run.
+func TestSnapshotDegraded(t *testing.T) {
+	sc := DefaultScenario()
+	sc.MaxDepth = 10
+	ref, err := New(Config{Scenario: sc, Workers: 1, Prune: true, POR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ref.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Scenario: sc, Workers: 1, Prune: true, POR: true, SnapshotEvery: 3},
+		{Scenario: sc, Workers: 1, Prune: true, POR: true, SnapBudget: 16 << 10},
+	} {
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil || !res.Exhausted {
+			t.Fatalf("every=%d budget=%d: violation=%v exhausted=%v",
+				cfg.SnapshotEvery, cfg.SnapBudget, res.Violation, res.Exhausted)
+		}
+		if res.Schedules != rr.Schedules || res.Pruned != rr.Pruned ||
+			res.Slept != rr.Slept || res.Distinct != rr.Distinct {
+			t.Fatalf("every=%d budget=%d diverged: %d/%d/%d/%d vs %d/%d/%d/%d",
+				cfg.SnapshotEvery, cfg.SnapBudget,
+				res.Schedules, res.Pruned, res.Slept, res.Distinct,
+				rr.Schedules, rr.Pruned, rr.Slept, rr.Distinct)
+		}
+	}
+}
+
+// TestSettleShortcutSound pins the quiescence shortcut against the full
+// settle phase: identical tree counts and identical verdicts with the
+// shortcut on and off, in the healthy scenario and under the injected drop
+// fault (where a violation must be found either way).
+func TestSettleShortcutSound(t *testing.T) {
+	sc := DefaultScenario()
+	sc.MaxDepth = 8
+	run := func(scen Scenario, disable bool) Result {
+		t.Helper()
+		e, err := New(Config{Scenario: scen, Workers: 1, Prune: true, POR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.noQuiesce = disable
+		res, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	fast, full := run(sc, false), run(sc, true)
+	if fast.Violation != nil || full.Violation != nil {
+		t.Fatalf("healthy scenario violated: fast=%v full=%v", fast.Violation, full.Violation)
+	}
+	if fast.Schedules != full.Schedules || fast.CrashSchedules != full.CrashSchedules ||
+		fast.Pruned != full.Pruned || fast.Slept != full.Slept || fast.Distinct != full.Distinct {
+		t.Fatalf("shortcut diverged: %d/%d/%d/%d/%d vs %d/%d/%d/%d/%d",
+			fast.Schedules, fast.CrashSchedules, fast.Pruned, fast.Slept, fast.Distinct,
+			full.Schedules, full.CrashSchedules, full.Pruned, full.Slept, full.Distinct)
+	}
+	if fast.Steps >= full.Steps {
+		t.Fatalf("shortcut saved nothing: %d steps vs %d", fast.Steps, full.Steps)
+	}
+
+	bad := sc
+	bad.Drop = true
+	bad.DropNode = 0
+	bad.DropType = can.TypeFDA
+	fastV, fullV := run(bad, false), run(bad, true)
+	if fastV.Violation == nil || fullV.Violation == nil {
+		t.Fatalf("drop fault missed: fast=%v full=%v", fastV.Violation, fullV.Violation)
+	}
+	if fastV.Violation.Msg != fullV.Violation.Msg {
+		t.Fatalf("shortcut changed the counterexample: %q vs %q",
+			fastV.Violation.Msg, fullV.Violation.Msg)
+	}
+}
+
+// BenchmarkExploreSnapshot exhausts the depth-12 reduced tree per
+// iteration, with checkpoint-and-branch on and off — the issue's headline
+// comparison (O(1) state cloning vs O(depth) root replay, plus the
+// deterministic-tail and quiescence fast paths shared by both arms).
+func BenchmarkExploreSnapshot(b *testing.B) {
+	sc := DefaultScenario()
+	sc.MaxDepth = 12
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{{"checkpoint", false}, {"root-replay", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sched, steps, saved uint64
+			for i := 0; i < b.N; i++ {
+				e, err := New(Config{Scenario: sc, Workers: 1, Prune: true, POR: true, NoSnapshot: mode.off})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := e.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Violation != nil || !res.Exhausted {
+					b.Fatalf("violation=%v exhausted=%v", res.Violation, res.Exhausted)
+				}
+				sched, steps, saved = res.Schedules, res.Steps, res.ReplaySaved
+			}
+			b.ReportMetric(float64(sched)*float64(b.N)/b.Elapsed().Seconds(), "sched/s")
+			b.ReportMetric(float64(steps), "steps/exhaust")
+			b.ReportMetric(float64(saved), "saved-steps")
+		})
+	}
+}
+
+// BenchmarkSystemSnapshot measures one checkpoint capture: a deep copy of
+// the whole system (every node's cores, the pending-frame arena, the timer
+// wheel) — the constant that replaces O(depth) replay per branch.
+func BenchmarkSystemSnapshot(b *testing.B) {
+	sc := DefaultScenario()
+	s, err := NewSystem(&sc, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if !s.stepFirst() {
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Snapshot()
+	}
+}
+
+// BenchmarkSystemRestore measures the allocation-free resume: restoring a
+// checkpoint into recycled System storage.
+func BenchmarkSystemRestore(b *testing.B) {
+	sc := DefaultScenario()
+	s, err := NewSystem(&sc, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if !s.stepFirst() {
+			break
+		}
+	}
+	dst := s.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Restore(s)
 	}
 }
 

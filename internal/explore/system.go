@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/maphash"
 	"time"
+	"unsafe"
 
 	"canely/internal/can"
 	"canely/internal/core"
@@ -137,23 +138,18 @@ type frame struct {
 	sentAt  sim.Time
 }
 
-// pendKey indexes the pending queue by (sender, mid). A mid's type
-// determines its frame kind, so a chain under one key is homogeneous in
-// rtr/data.
-type pendKey struct {
-	sender can.NodeID
-	mid    can.MID
-}
-
-// entry is one slot of the pending-frame arena. Slots are append-only
-// between compactions; removal marks dead and unlinks from the two index
-// chains, so aborts and lookups are O(chain) instead of the old harness's
-// O(queue) scan (which made deep schedules quadratic).
+// entry is one slot of the pending-frame arena. Live entries form a
+// doubly-linked queue in transmit-request order (head oldest); dead slots
+// chain through next on the free list and are reused by the next push. The
+// arena therefore never grows past the live high-water mark, every queue
+// operation — push, first-match abort, clustering kill, the fused
+// enabled/horizon walk — is O(live frames), and a snapshot of the queue is
+// a plain slice copy: no index maps to maintain, rebuild or clone.
 type entry struct {
-	f       frame
-	dead    bool
-	nextKey int32 // next live entry with the same (sender, mid), -1 ends
-	nextMID int32 // next live rtr entry with the same mid, -1 ends
+	f    frame
+	prev int32 // previous live entry, -1 at the head
+	next int32 // next live entry, -1 at the tail; free-list chain when dead
+	live bool
 }
 
 // actionKind discriminates action.
@@ -201,11 +197,13 @@ type System struct {
 	alive   []bool
 	crashed bool
 
-	// Pending-frame queue: arena + (sender,mid) chains + per-mid rtr
-	// chains. liveFrames counts non-dead entries.
+	// Pending-frame queue: slot arena threaded by a doubly-linked live
+	// list in queue order (head..tail) plus a free-slot chain. liveFrames
+	// counts live entries.
 	entries    []entry
-	byKey      map[pendKey]int32
-	byMID      map[can.MID]int32
+	head       int32
+	tail       int32
+	free       int32
 	liveFrames int
 
 	// timers[n][id] is node n's armed deadline for logical timer id;
@@ -227,9 +225,7 @@ type System struct {
 // installed, joiners requesting integration. The scenario must outlive the
 // system. rec, when non-nil, records every core step (replay capture).
 func NewSystem(scen *Scenario, rec *replay.Log) (*System, error) {
-	s := &System{scen: scen, rec: rec}
-	s.byKey = make(map[pendKey]int32, 16)
-	s.byMID = make(map[can.MID]int32, 16)
+	s := &System{scen: scen, rec: rec, head: -1, tail: -1, free: -1}
 	s.timers = make([][proto.NumTimers]sim.Time, scen.Nodes)
 	s.armedTimers = make([]uint8, scen.Nodes)
 	for i := 0; i < scen.Nodes; i++ {
@@ -289,196 +285,70 @@ func (s *System) step(n can.NodeID, ev proto.Event) {
 	}
 }
 
-// push appends a frame to the pending queue and links it into both index
-// chains (tail insertion keeps chains in queue order).
+// push appends a frame at the tail of the pending queue, reusing a free
+// slot when one exists.
 func (s *System) push(f frame) {
-	idx := int32(len(s.entries))
-	s.entries = append(s.entries, entry{f: f, nextKey: -1, nextMID: -1})
-	s.liveFrames++
-	k := pendKey{f.sender, f.mid}
-	if head, ok := s.byKey[k]; ok {
-		i := head
-		for s.entries[i].nextKey >= 0 {
-			i = s.entries[i].nextKey
-		}
-		s.entries[i].nextKey = idx
+	idx := s.free
+	if idx >= 0 {
+		s.free = s.entries[idx].next
 	} else {
-		s.byKey[k] = idx
+		idx = int32(len(s.entries))
+		s.entries = append(s.entries, entry{})
 	}
-	if f.rtr {
-		if head, ok := s.byMID[f.mid]; ok {
-			i := head
-			for s.entries[i].nextMID >= 0 {
-				i = s.entries[i].nextMID
-			}
-			s.entries[i].nextMID = idx
-		} else {
-			s.byMID[f.mid] = idx
-		}
+	s.entries[idx] = entry{f: f, prev: s.tail, next: -1, live: true}
+	if s.tail >= 0 {
+		s.entries[s.tail].next = idx
+	} else {
+		s.head = idx
 	}
+	s.tail = idx
+	s.liveFrames++
 }
 
-// pendingRTR reports whether any remote frame with the mid is queued: an
-// O(1) head lookup replacing the old harness's queue scan.
+// pendingRTR reports whether any remote frame with the mid is queued. The
+// live list rarely exceeds a handful of frames, so the scan beats the
+// hash-map lookup it replaced.
 func (s *System) pendingRTR(mid can.MID) bool {
-	_, ok := s.byMID[mid]
-	return ok
+	for i := s.head; i >= 0; i = s.entries[i].next {
+		if s.entries[i].f.rtr && s.entries[i].f.mid == mid {
+			return true
+		}
+	}
+	return false
 }
 
 // abort removes the oldest pending frame of (sender, mid), mirroring the
-// old harness's first-match removal — an O(chain) operation on the
-// (sender, mid) index instead of an O(queue) scan.
+// layered implementation's first-match removal.
 func (s *System) abort(sender can.NodeID, mid can.MID) {
-	k := pendKey{sender, mid}
-	head, ok := s.byKey[k]
-	if !ok {
-		return
-	}
-	e := &s.entries[head]
-	if e.nextKey >= 0 {
-		s.byKey[k] = e.nextKey
-	} else {
-		delete(s.byKey, k)
-	}
-	e.nextKey = -1
-	if e.f.rtr {
-		s.unlinkMID(head)
-	}
-	e.dead = true
-	s.liveFrames--
-}
-
-// unlinkMID removes entry idx from its per-mid rtr chain.
-func (s *System) unlinkMID(idx int32) {
-	mid := s.entries[idx].f.mid
-	head, ok := s.byMID[mid]
-	if !ok {
-		return
-	}
-	if head == idx {
-		if next := s.entries[idx].nextMID; next >= 0 {
-			s.byMID[mid] = next
-		} else {
-			delete(s.byMID, mid)
-		}
-		s.entries[idx].nextMID = -1
-		return
-	}
-	for i := head; ; {
-		next := s.entries[i].nextMID
-		if next < 0 {
+	for i := s.head; i >= 0; i = s.entries[i].next {
+		if f := &s.entries[i].f; f.sender == sender && f.mid == mid {
+			s.kill(i)
 			return
 		}
-		if next == idx {
-			s.entries[i].nextMID = s.entries[idx].nextMID
-			s.entries[idx].nextMID = -1
-			return
-		}
-		i = next
 	}
 }
 
-// unlinkKey removes entry idx from its (sender, mid) chain.
-func (s *System) unlinkKey(idx int32) {
-	k := pendKey{s.entries[idx].f.sender, s.entries[idx].f.mid}
-	head, ok := s.byKey[k]
-	if !ok {
-		return
-	}
-	if head == idx {
-		if next := s.entries[idx].nextKey; next >= 0 {
-			s.byKey[k] = next
-		} else {
-			delete(s.byKey, k)
-		}
-		s.entries[idx].nextKey = -1
-		return
-	}
-	for i := head; ; {
-		next := s.entries[i].nextKey
-		if next < 0 {
-			return
-		}
-		if next == idx {
-			s.entries[i].nextKey = s.entries[idx].nextKey
-			s.entries[idx].nextKey = -1
-			return
-		}
-		i = next
-	}
-}
-
-// kill marks entry idx dead and unlinks it from both chains.
+// kill unlinks entry idx from the live queue and pushes the slot onto the
+// free chain.
 func (s *System) kill(idx int32) {
 	e := &s.entries[idx]
-	if e.dead {
+	if !e.live {
 		return
 	}
-	s.unlinkKey(idx)
-	if e.f.rtr {
-		s.unlinkMID(idx)
+	if e.prev >= 0 {
+		s.entries[e.prev].next = e.next
+	} else {
+		s.head = e.next
 	}
-	e.dead = true
+	if e.next >= 0 {
+		s.entries[e.next].prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.live = false
+	e.next = s.free
+	s.free = idx
 	s.liveFrames--
-}
-
-// compact rewrites the arena without dead entries, preserving queue order,
-// and rebuilds both indexes. Called from enabled() so no action index can
-// dangle across the compaction.
-func (s *System) compact() {
-	live := s.entries[:0]
-	for i := range s.entries {
-		if !s.entries[i].dead {
-			live = append(live, s.entries[i])
-		}
-	}
-	s.entries = live
-	clear(s.byKey)
-	clear(s.byMID)
-	for i := range s.entries {
-		s.entries[i].nextKey = -1
-		s.entries[i].nextMID = -1
-	}
-	for i := range s.entries {
-		idx := int32(i)
-		e := &s.entries[i]
-		k := pendKey{e.f.sender, e.f.mid}
-		if head, ok := s.byKey[k]; ok {
-			j := head
-			for s.entries[j].nextKey >= 0 {
-				j = s.entries[j].nextKey
-			}
-			s.entries[j].nextKey = idx
-		} else {
-			s.byKey[k] = idx
-		}
-		if e.f.rtr {
-			if head, ok := s.byMID[e.f.mid]; ok {
-				j := head
-				for s.entries[j].nextMID >= 0 {
-					j = s.entries[j].nextMID
-				}
-				s.entries[j].nextMID = idx
-			} else {
-				s.byMID[e.f.mid] = idx
-			}
-		}
-	}
-}
-
-// horizon is the latest instant a timer may fire at: every pending frame
-// must have been delivered within Ttd of its transmit request.
-func (s *System) horizon() sim.Time {
-	h := never
-	for i := range s.entries {
-		if s.entries[i].dead {
-			continue
-		}
-		if d := s.entries[i].f.sentAt.Add(s.scen.Ttd); d < h {
-			h = d
-		}
-	}
-	return h
 }
 
 // enabled appends the schedulable actions to the system's reused action
@@ -494,16 +364,17 @@ func (s *System) horizon() sim.Time {
 // bound the search would "explore" unreal schedules that starve a node's
 // timers forever.
 func (s *System) enabled() []action {
-	if len(s.entries) > 64 && s.liveFrames*2 < len(s.entries) {
-		s.compact()
-	}
 	out := s.actions[:0]
-	for i := range s.entries {
-		if !s.entries[i].dead {
-			out = append(out, action{kind: actFrame, frame: int32(i)})
+	// One pass over the live queue yields both the frame actions (queue
+	// order) and the horizon — the latest instant a timer may fire at, since
+	// every pending frame must be delivered within Ttd of its request.
+	h := never
+	for i := s.head; i >= 0; i = s.entries[i].next {
+		out = append(out, action{kind: actFrame, frame: i})
+		if d := s.entries[i].f.sentAt.Add(s.scen.Ttd); d < h {
+			h = d
 		}
 	}
-	h := s.horizon()
 	minD := never
 	for n := range s.timers {
 		armed := s.armedTimers[n]
@@ -571,10 +442,12 @@ func (s *System) apply(a action) {
 	case actCrash:
 		s.crashed = true
 		s.alive[s.scen.Crash] = false
-		for i := range s.entries {
-			if !s.entries[i].dead && s.entries[i].f.sender == s.scen.Crash {
-				s.kill(int32(i))
+		for i := s.head; i >= 0; {
+			next := s.entries[i].next
+			if s.entries[i].f.sender == s.scen.Crash {
+				s.kill(i)
 			}
+			i = next
 		}
 		s.armedTimers[s.scen.Crash] = 0
 	case actTimer:
@@ -592,15 +465,19 @@ func (s *System) apply(a action) {
 		// receivers observe (the clustering property the FDA relies on);
 		// identical data frames from one sender collapse the same way.
 		if f.rtr {
-			for i := s.byMID[f.mid]; i >= 0; {
-				next := s.entries[i].nextMID
-				s.kill(i)
+			for i := s.head; i >= 0; {
+				next := s.entries[i].next
+				if s.entries[i].f.rtr && s.entries[i].f.mid == f.mid {
+					s.kill(i)
+				}
 				i = next
 			}
 		} else {
-			for i := s.byKey[pendKey{f.sender, f.mid}]; i >= 0; {
-				next := s.entries[i].nextKey
-				s.kill(i)
+			for i := s.head; i >= 0; {
+				next := s.entries[i].next
+				if e := &s.entries[i].f; e.sender == f.sender && e.mid == f.mid {
+					s.kill(i)
+				}
 				i = next
 			}
 		}
@@ -645,10 +522,7 @@ func (s *System) Fingerprint(h *maphash.Hash) {
 		nd.Fingerprint(h)
 	}
 	proto.HashU64(h, uint64(s.liveFrames))
-	for i := range s.entries {
-		if s.entries[i].dead {
-			continue
-		}
+	for i := s.head; i >= 0; i = s.entries[i].next {
 		f := &s.entries[i].f
 		proto.HashU64(h, uint64(f.sender))
 		proto.HashU64(h, uint64(f.mid.Encode()))
@@ -670,6 +544,146 @@ func (s *System) Fingerprint(h *maphash.Hash) {
 			}
 		}
 	}
+}
+
+// stepFirst applies enabled()[0] without materializing the action list —
+// the fast path for the deterministic tail of a run, where the decision
+// budget is exhausted and choice 0 is always taken. Frames precede timers
+// in enabled(), so any queued frame means action 0 is the queue head. With
+// no frames pending the horizon is never, so the earliest armed deadline is
+// always due and within any skew of itself; ties break by (node, id), which
+// the ascending scan already yields. With no timers either, the crash is
+// action 0 when schedulable. Returns false when nothing is enabled.
+func (s *System) stepFirst() bool {
+	if s.head >= 0 {
+		s.apply(action{kind: actFrame, frame: s.head})
+		return true
+	}
+	best := action{kind: actTimer}
+	bestD := never
+	found := false
+	for n := range s.timers {
+		armed := s.armedTimers[n]
+		for id := proto.TimerID(0); id < proto.NumTimers; id++ {
+			if armed&(1<<id) != 0 && s.timers[n][id] < bestD {
+				bestD = s.timers[n][id]
+				best.node = can.NodeID(n)
+				best.timer = id
+				found = true
+			}
+		}
+	}
+	if found {
+		s.apply(best)
+		return true
+	}
+	if s.scen.HasCrash && !s.crashed && s.now <= s.scen.CrashBy {
+		s.apply(action{kind: actCrash})
+		return true
+	}
+	return false
+}
+
+// quiescent reports whether the run has converged into the protocol's
+// steady state, from which the settle phase provably cannot change the
+// terminal verdict: every surviving node is an integrated member of exactly
+// the expected view, no membership cycle carries pending work (Rj, Rl and
+// the failed set all empty), no RHA execution is running, no FDA agreement
+// is in flight, every pending frame is an explicit life-sign, and the crash
+// branch is no longer schedulable.
+//
+// In that state the only future actions are ELS deliveries, FD scan firings
+// that re-arm themselves, and membership cycles over empty sets — none of
+// which touches a view. A node's life-sign is always delivered before the
+// remote surveillance timer that would expire on it fires (frames precede
+// timers in deterministic order, and the Ttd horizon holds every timer back
+// until the queue drains), so no false suspicion can arise either. The
+// terminal liveness check is therefore already decided, and the engine may
+// skip the settle phase entirely. TestSettleShortcutSound pins this
+// argument against the full settle run.
+func (s *System) quiescent() bool {
+	if s.scen.HasCrash && !s.crashed && s.now <= s.scen.CrashBy {
+		return false
+	}
+	want := s.scen.want(s.crashed)
+	for n := 0; n < s.scen.Nodes; n++ {
+		if !s.alive[n] {
+			continue
+		}
+		nd := s.nodes[n]
+		if !nd.Msh.Member() || nd.Msh.View() != want || !nd.Msh.Quiescent() ||
+			nd.RHA.Running() || !nd.Det.Quiet() {
+			return false
+		}
+	}
+	for i := s.head; i >= 0; i = s.entries[i].next {
+		if s.entries[i].f.mid.Type != can.TypeELS {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns an independent deep copy of the system: a checkpoint a
+// branch can later resume from in O(1) instead of replaying the whole
+// decision prefix from the root. The replay recorder is deliberately not
+// carried over — counterexample capture always re-executes from the root so
+// the log covers the complete run.
+func (s *System) Snapshot() *System {
+	c := &System{
+		scen:        s.scen,
+		now:         s.now,
+		crashed:     s.crashed,
+		head:        s.head,
+		tail:        s.tail,
+		free:        s.free,
+		liveFrames:  s.liveFrames,
+		nodes:       make([]*core.Node, len(s.nodes)),
+		alive:       append([]bool(nil), s.alive...),
+		entries:     append([]entry(nil), s.entries...),
+		timers:      append([][proto.NumTimers]sim.Time(nil), s.timers...),
+		armedTimers: append([]uint8(nil), s.armedTimers...),
+	}
+	for i, n := range s.nodes {
+		c.nodes[i] = n.Clone()
+	}
+	return c
+}
+
+// Restore replaces s's state with a deep copy of src's, reusing s's
+// storage throughout — the allocation-free path pooled systems resume
+// through. Both systems must have been built for the same scenario. The
+// replay recorder and scratch buffers keep s's own values.
+func (s *System) Restore(src *System) {
+	s.now = src.now
+	s.crashed = src.crashed
+	s.head, s.tail, s.free = src.head, src.tail, src.free
+	s.liveFrames = src.liveFrames
+	for i := range src.nodes {
+		s.nodes[i].Restore(src.nodes[i])
+	}
+	copy(s.alive, src.alive)
+	s.entries = append(s.entries[:0], src.entries...)
+	copy(s.timers, src.timers)
+	copy(s.armedTimers, src.armedTimers)
+}
+
+// coreBytes is the flat footprint of one node's protocol cores, used by
+// sizeBytes to estimate checkpoint memory against the snapshot budget.
+const coreBytes = int(unsafe.Sizeof(core.Node{}) + unsafe.Sizeof(fd.FDA{}) +
+	unsafe.Sizeof(fd.Detector{}) + unsafe.Sizeof(membership.Protocol{}) +
+	unsafe.Sizeof(membership.RHA{}))
+
+// sizeBytes estimates the heap footprint of one Snapshot of this system.
+// Flat struct sizes plus the backing arrays; the RHA duplicate-counter maps
+// are typically empty at checkpoint time and are ignored.
+func (s *System) sizeBytes() int {
+	return int(unsafe.Sizeof(*s)) +
+		len(s.nodes)*coreBytes +
+		len(s.alive) +
+		len(s.entries)*int(unsafe.Sizeof(entry{})) +
+		len(s.timers)*int(unsafe.Sizeof([proto.NumTimers]sim.Time{})) +
+		len(s.armedTimers)
 }
 
 // checkSafety asserts the per-step invariant: a full member's view contains

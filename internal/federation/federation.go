@@ -116,6 +116,12 @@ func New(cfg Config) (*Core, error) {
 	return &Core{cfg: cfg}, nil
 }
 
+// Clone returns an independent deep copy of the core.
+func (c *Core) Clone() *Core {
+	d := *c
+	return &d
+}
+
 // Step consumes one event and returns a fresh command slice (nil when the
 // event produced no action). Compatibility wrapper over StepInto.
 func (c *Core) Step(ev proto.Event) []proto.Command {

@@ -31,6 +31,63 @@ type Step struct {
 	Mutates bool
 }
 
+// CheckClone checks the Clone contract the exploration engine's
+// checkpoint-and-branch machinery rests on, at every split point of the
+// script: a clone taken after k steps must hash identically to its
+// original (Clone ⇒ equal observable state — fingerprint equality is the
+// proof obligation that makes checkpoint resumption sound), stepping the
+// clone through the script's remainder must track the reference
+// trajectory step for step (the clone is a full peer, not a shallow
+// view), and must leave the original's fingerprint untouched (no aliased
+// mutable state).
+func CheckClone(t *testing.T, fresh func() Core, clone func(Core) Core, script []Step) {
+	t.Helper()
+	seed := maphash.MakeSeed()
+	sum := func(c Core) uint64 {
+		var h maphash.Hash
+		h.SetSeed(seed)
+		c.Fingerprint(&h)
+		return h.Sum64()
+	}
+
+	// Reference trajectory: the uncloned run's fingerprint at every prefix.
+	ref := fresh()
+	fps := []uint64{sum(ref)}
+	var buf proto.CommandBuf
+	for _, st := range script {
+		buf.Reset()
+		ref.StepInto(st.Ev, &buf)
+		fps = append(fps, sum(ref))
+	}
+
+	for k := 0; k <= len(script); k++ {
+		a := fresh()
+		for _, st := range script[:k] {
+			buf.Reset()
+			a.StepInto(st.Ev, &buf)
+		}
+		c := clone(a)
+		if got := sum(c); got != fps[k] {
+			t.Errorf("clone at step %d hashes %#x, the original state hashes %#x", k, got, fps[k])
+			continue
+		}
+		for i, st := range script[k:] {
+			buf.Reset()
+			c.StepInto(st.Ev, &buf)
+			if got := sum(c); got != fps[k+i+1] {
+				t.Errorf("clone taken at step %d diverged from the reference after step %d (%s): %#x vs %#x",
+					k, k+i, st.Name, got, fps[k+i+1])
+				break
+			}
+			if got := sum(a); got != fps[k] {
+				t.Errorf("stepping a clone taken at step %d mutated the original at step %d (%s): aliased state",
+					k, k+i, st.Name)
+				break
+			}
+		}
+	}
+}
+
 // Check drives a fresh core through the script asserting the perturbation
 // property at every step, then replays the identical script on a second
 // fresh core and asserts fingerprint equality at every prefix — two cores
