@@ -124,6 +124,60 @@ type benchReport struct {
 	FastW1SpeedupVsPrePR  float64           `json:"fast_w1_speedup_vs_pre_pr"`
 	SteadyState           *steadyStateStats `json:"steady_state"`
 	Federation            *federationStats  `json:"federation"`
+	GossipComparison      *gossipStats      `json:"gossip_comparison"`
+}
+
+// gossipStats is the CANELy-vs-SWIM scaling section of the bench
+// artifact: detection latency, false-suspicion rate and per-node
+// bandwidth at cluster sizes far beyond the 64-identity simulation cap,
+// from the seeded model campaign (internal/experiments gossip
+// comparison).
+type gossipStats struct {
+	Seeds  int           `json:"seeds"`
+	Points []gossipPoint `json:"points"`
+}
+
+type gossipPoint struct {
+	Nodes int `json:"nodes"`
+
+	CANELyDetectMs     float64 `json:"canely_detect_ms"`
+	CANELyDetectCI95Ms float64 `json:"canely_detect_ci95_ms"`
+	CANELyFPNodeHour   float64 `json:"canely_fp_per_node_hour"`
+	CANELyFPCI95       float64 `json:"canely_fp_ci95"`
+	CANELyBWBps        float64 `json:"canely_bw_bps"`
+	CANELyBWCI95Bps    float64 `json:"canely_bw_ci95_bps"`
+
+	GossipDetectMs     float64 `json:"gossip_detect_ms"`
+	GossipDetectCI95Ms float64 `json:"gossip_detect_ci95_ms"`
+	GossipFPNodeHour   float64 `json:"gossip_fp_per_node_hour"`
+	GossipFPCI95       float64 `json:"gossip_fp_ci95"`
+	GossipBWBps        float64 `json:"gossip_bw_bps"`
+	GossipBWCI95Bps    float64 `json:"gossip_bw_ci95_bps"`
+}
+
+// measureGossip runs the comparison sweep for the bench artifact.
+func measureGossip() *gossipStats {
+	const seeds = 50
+	points := experiments.MeasureGossipComparison([]int{10, 100, 1000, 10000}, seeds, 1)
+	gs := &gossipStats{Seeds: seeds}
+	for _, p := range points {
+		gs.Points = append(gs.Points, gossipPoint{
+			Nodes:              p.Nodes,
+			CANELyDetectMs:     p.CANELyDetectMs,
+			CANELyDetectCI95Ms: p.CANELyDetectCI95Ms,
+			CANELyFPNodeHour:   p.CANELyFPPerNodeHour,
+			CANELyFPCI95:       p.CANELyFPCI95,
+			CANELyBWBps:        p.CANELyBWBitsPerSec,
+			CANELyBWCI95Bps:    p.CANELyBWCI95,
+			GossipDetectMs:     p.GossipDetectMs,
+			GossipDetectCI95Ms: p.GossipDetectCI95Ms,
+			GossipFPNodeHour:   p.GossipFPPerNodeHour,
+			GossipFPCI95:       p.GossipFPCI95,
+			GossipBWBps:        p.GossipBWBitsPerSec,
+			GossipBWCI95Bps:    p.GossipBWCI95,
+		})
+	}
+	return gs
 }
 
 // federationStats is the multi-segment scaling section of the bench
@@ -321,6 +375,7 @@ func measureThroughput(grid string, nodes, seeds int) benchReport {
 	}
 	rep.SteadyState = measureSteadyState()
 	rep.Federation = measureFederation()
+	rep.GossipComparison = measureGossip()
 	if len(rep.Substrates) == 2 &&
 		len(rep.Substrates[0].Workers) > 0 && len(rep.Substrates[1].Workers) > 0 {
 		bit := rep.Substrates[0].Workers[0].RunsPerSec
@@ -471,6 +526,12 @@ func main() {
 		for _, p := range br.Federation.Points {
 			fmt.Printf("  federation segments=%-3d converge %6.2fms ±%.3f  detect %6.2fms ±%.3f\n",
 				p.Segments, p.ConvergeMs, p.ConvergeCI95Ms, p.DetectMs, p.DetectCI95Ms)
+		}
+		for _, p := range br.GossipComparison.Points {
+			fmt.Printf("  gossip-cmp nodes=%-6d canely %8.1fms ±%5.1f fp=%.2f/h bw=%5.0fkbps | gossip %6.1fms ±%5.1f fp=%.2f/h bw=%5.0fkbps\n",
+				p.Nodes,
+				p.CANELyDetectMs, p.CANELyDetectCI95Ms, p.CANELyFPNodeHour, p.CANELyBWBps/1000,
+				p.GossipDetectMs, p.GossipDetectCI95Ms, p.GossipFPNodeHour, p.GossipBWBps/1000)
 		}
 		fmt.Printf("bench JSON written to %s\n", *bench)
 	}

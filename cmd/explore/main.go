@@ -33,6 +33,7 @@ import (
 )
 
 type options struct {
+	scenario   string
 	workers    int
 	schedules  uint64
 	depth      int
@@ -50,17 +51,26 @@ type options struct {
 
 // dropTypes names the injectable reception-fault frame types.
 var dropTypes = map[string]can.MsgType{
-	"fda":   can.TypeFDA,
-	"rha":   can.TypeRHA,
-	"join":  can.TypeJoin,
-	"leave": can.TypeLeave,
-	"els":   can.TypeELS,
-	"data":  can.TypeData,
+	"fda":    can.TypeFDA,
+	"rha":    can.TypeRHA,
+	"join":   can.TypeJoin,
+	"leave":  can.TypeLeave,
+	"els":    can.TypeELS,
+	"data":   can.TypeData,
+	"gossip": can.TypeGossip,
 }
 
-// buildScenario applies the option overrides to the default scenario.
+// buildScenario applies the option overrides to the selected scenario.
 func buildScenario(o options) (explore.Scenario, error) {
-	sc := explore.DefaultScenario()
+	var sc explore.Scenario
+	switch o.scenario {
+	case "", "canely":
+		sc = explore.DefaultScenario()
+	case "gossip":
+		sc = explore.DefaultGossipScenario()
+	default:
+		return sc, fmt.Errorf("unknown -scenario %q (want \"canely\" or \"gossip\")", o.scenario)
+	}
 	if o.depth > 0 {
 		sc.MaxDepth = o.depth
 	}
@@ -75,7 +85,7 @@ func buildScenario(o options) (explore.Scenario, error) {
 		}
 		t, ok := dropTypes[strings.ToLower(typ)]
 		if !ok {
-			return sc, fmt.Errorf("unknown -drop frame type %q (known: fda, rha, join, leave, els, data)", typ)
+			return sc, fmt.Errorf("unknown -drop frame type %q (known: fda, rha, join, leave, els, data, gossip)", typ)
 		}
 		sc.Drop = true
 		sc.DropNode = can.NodeID(id)
@@ -164,9 +174,13 @@ func run(out, progress io.Writer, o options) int {
 
 // progressLine formats one stats snapshot.
 func progressLine(s explore.Stats, elapsed time.Duration) string {
-	sec := elapsed.Seconds()
-	if sec <= 0 {
-		sec = 1e-9
+	// A zero (or negative, under clock skew) elapsed must report rate 0,
+	// not divide toward +Inf or NaN: the first ticker firing can race the
+	// engine start, and a rate of "9223372036854775807/s" in the log is
+	// noise at best and breaks naive log parsers at worst.
+	rate := 0.0
+	if sec := elapsed.Seconds(); sec > 0 {
+		rate = float64(s.Schedules) / sec
 	}
 	pruneRate := 0.0
 	hitRate := 0.0
@@ -175,7 +189,7 @@ func progressLine(s explore.Stats, elapsed time.Duration) string {
 		hitRate = 100 * float64(s.Resumed) / float64(r)
 	}
 	return fmt.Sprintf("t=%-8s schedules=%d (%.0f/s) crash=%d pruned=%d slept=%d (%.1f%%) distinct=%d frontier=%d depth=%d resumed=%d (%.1f%% hit) saved=%d snap=%d/%dKiB",
-		elapsed.Truncate(100*time.Millisecond), s.Schedules, float64(s.Schedules)/sec,
+		elapsed.Truncate(100*time.Millisecond), s.Schedules, rate,
 		s.CrashSchedules, s.Pruned, s.Slept, pruneRate, s.Distinct, s.Frontier, s.PeakDepth,
 		s.Resumed, hitRate, s.ReplaySaved, s.Snapshots, s.SnapBytes>>10)
 }
@@ -195,6 +209,7 @@ func saveCounterexample(v *explore.Violation, path string) error {
 
 func main() {
 	var o options
+	flag.StringVar(&o.scenario, "scenario", "canely", "scenario to explore: canely (composite cores) or gossip (SWIM baseline)")
 	flag.IntVar(&o.workers, "workers", 1, "worker pool size")
 	flag.Uint64Var(&o.schedules, "schedules", 0, "stop after this many schedule runs (0 = exhaust the tree)")
 	flag.IntVar(&o.depth, "depth", 0, "override the decision-depth bound (0 = scenario default)")

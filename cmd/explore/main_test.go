@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"canely/internal/explore"
 	"canely/internal/replay"
 )
 
@@ -124,5 +125,57 @@ func TestRunBadOptions(t *testing.T) {
 		if code := run(&out, &errOut, options{drop: drop}); code != 2 {
 			t.Errorf("drop %q: exit code %d, want 2", drop, code)
 		}
+	}
+}
+
+// TestRunGossipScenario exhausts the SWIM baseline scenario through the
+// CLI seam: -scenario=gossip must terminate cleanly with zero violations,
+// exactly as the canely scenario does.
+func TestRunGossipScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(&out, &errOut, options{
+		scenario: "gossip",
+		workers:  2,
+		out:      filepath.Join(t.TempDir(), "cx.json"),
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"frontier exhausted", "no violation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunBadScenario: an unknown scenario name must exit 2 before any search.
+func TestRunBadScenario(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(&out, &errOut, options{scenario: "warp"}); code != 2 {
+		t.Errorf("exit code %d, want 2\nstderr:\n%s", code, errOut.String())
+	}
+}
+
+// TestProgressLineFinite pins the stats formatter against degenerate
+// inputs: at zero elapsed time and zero counters every printed figure must
+// be a plain finite number — no NaN, no Inf, and no astronomical rate from
+// dividing by a sub-nanosecond epsilon.
+func TestProgressLineFinite(t *testing.T) {
+	for _, elapsed := range []time.Duration{0, -time.Millisecond, time.Second} {
+		line := progressLine(explore.Stats{}, elapsed)
+		for _, bad := range []string{"NaN", "Inf", "e+", "e-"} {
+			if strings.Contains(line, bad) {
+				t.Errorf("elapsed=%v: stats line contains %q:\n%s", elapsed, bad, line)
+			}
+		}
+		if elapsed <= 0 && !strings.Contains(line, "(0/s)") {
+			t.Errorf("elapsed=%v: rate not pinned to 0:\n%s", elapsed, line)
+		}
+	}
+	// A populated Stats at zero elapsed must still print rate 0, not
+	// schedules/1e-9.
+	s := explore.Stats{Schedules: 1234, Pruned: 10}
+	if line := progressLine(s, 0); !strings.Contains(line, "(0/s)") {
+		t.Errorf("nonzero stats at zero elapsed: rate not 0:\n%s", line)
 	}
 }

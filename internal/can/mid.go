@@ -50,9 +50,15 @@ const (
 	// summarize state that is refreshed periodically, so they must never
 	// displace intra-segment protocol traffic.
 	TypeFed MsgType = 12
+	// TypeGossip is a unicast SWIM-style gossip message (ping, ping-req,
+	// ack, join — the baseline comparator over the lossy datagram medium):
+	// data frame, mid = {GOSSIP, dest, src, kind<<4|seq}. On the datagram
+	// substrate the Param component addresses the destination node; there
+	// is no arbitration, so the priority position is nominal.
+	TypeGossip MsgType = 13
 )
 
-const maxMsgType = TypeFed
+const maxMsgType = TypeGossip
 
 // RelConfirmFlag marks the confirmation variant of a RELCAN reference.
 const RelConfirmFlag = 0x80
@@ -84,6 +90,8 @@ func (t MsgType) String() string {
 		return "REL"
 	case TypeFed:
 		return "FED"
+	case TypeGossip:
+		return "GOSSIP"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -233,6 +241,16 @@ func RelConfirmSign(origin NodeID, ref uint8) MID {
 func FedDigestSign(seg NodeID, gw NodeID) MID {
 	return MID{Type: TypeFed, Param: uint8(seg), Src: gw}
 }
+
+// GossipSign builds a unicast SWIM gossip message mid addressed to dest.
+// Ref packs the message kind in its high nibble and a 4-bit sequence number
+// in its low nibble (internal/gossip owns the encoding).
+func GossipSign(dest, src NodeID, ref uint8) MID {
+	return MID{Type: TypeGossip, Param: uint8(dest), Src: src, Ref: ref}
+}
+
+// GossipDest recovers the destination node of a gossip mid.
+func GossipDest(m MID) NodeID { return NodeID(m.Param) }
 
 // SyncSign builds the tight clock-sync indication mid for a round.
 func SyncSign(round uint8, master NodeID) MID {

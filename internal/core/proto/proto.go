@@ -63,6 +63,15 @@ const (
 	// TimerFedScan is the federation core's segment-staleness surveillance
 	// alarm, chasing the earliest armed digest deadline like TimerFDScan.
 	TimerFedScan
+	// TimerGossipTick is the SWIM protocol-period alarm: every period the
+	// gossip core probes its next round-robin target (internal/gossip).
+	TimerGossipTick
+	// TimerGossipAck is the SWIM probe deadline: direct-ack wait, then the
+	// indirect (ping-req) wait of the probe in flight.
+	TimerGossipAck
+	// TimerGossipSuspect is the SWIM suspicion surveillance alarm, chasing
+	// the earliest suspicion expiry like TimerFDScan.
+	TimerGossipSuspect
 
 	// NumTimers is the number of logical timers per node.
 	NumTimers
@@ -81,6 +90,12 @@ func (t TimerID) String() string {
 		return "fed-announce"
 	case TimerFedScan:
 		return "fed-scan"
+	case TimerGossipTick:
+		return "gossip-tick"
+	case TimerGossipAck:
+		return "gossip-ack"
+	case TimerGossipSuspect:
+		return "gossip-suspect"
 	}
 	return fmt.Sprintf("timer(%d)", uint8(t))
 }

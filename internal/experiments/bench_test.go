@@ -1,0 +1,17 @@
+package experiments
+
+import "testing"
+
+// BenchmarkGossipComparison times one full CANELy-vs-SWIM comparison
+// campaign (4 cluster sizes × 50 seeds, the exact sweep `campaign -bench`
+// embeds in BENCH_campaign.json): the cost of regenerating the scaling
+// section of the bench artifact.
+func BenchmarkGossipComparison(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts := MeasureGossipComparison([]int{10, 100, 1000, 10000}, 50, 1)
+		if len(pts) != 4 {
+			b.Fatalf("got %d points", len(pts))
+		}
+	}
+}

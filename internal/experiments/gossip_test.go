@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"canely/internal/sim"
+)
+
+// TestGossipComparisonShape pins the comparison campaign's structure and
+// the qualitative claims the model exists to show: CANELy's detection
+// latency and per-node bandwidth grow with the cluster once the bus
+// budget forces Tb up, gossip's stay near-flat, CANELy makes zero false
+// suspicions and lossy gossip makes some.
+func TestGossipComparisonShape(t *testing.T) {
+	sizes := []int{10, 100, 1000, 10000}
+	pts := MeasureGossipComparison(sizes, 20, 1)
+	if len(pts) != len(sizes) {
+		t.Fatalf("got %d points, want %d", len(pts), len(sizes))
+	}
+	for i, p := range pts {
+		if p.Nodes != sizes[i] {
+			t.Fatalf("point %d is for %d nodes, want %d", i, p.Nodes, sizes[i])
+		}
+		for name, v := range map[string]float64{
+			"gossip detect":  p.GossipDetectMs,
+			"gossip bw":      p.GossipBWBitsPerSec,
+			"canely detect":  p.CANELyDetectMs,
+			"canely bw":      p.CANELyBWBitsPerSec,
+			"gossip detect±": p.GossipDetectCI95Ms,
+			"canely detect±": p.CANELyDetectCI95Ms,
+		} {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%d nodes: %s = %v, want positive finite", p.Nodes, name, v)
+			}
+		}
+		if p.CANELyFPPerNodeHour != 0 {
+			t.Errorf("%d nodes: CANELy false positives %v, want 0", p.Nodes, p.CANELyFPPerNodeHour)
+		}
+		if p.GossipFPPerNodeHour <= 0 {
+			t.Errorf("%d nodes: lossy gossip reports no false suspicions", p.Nodes)
+		}
+	}
+	small, large := pts[0], pts[len(pts)-1]
+	if large.CANELyDetectMs < 10*small.CANELyDetectMs {
+		t.Errorf("CANELy detection did not scale with N: %d nodes %.1fms, %d nodes %.1fms",
+			small.Nodes, small.CANELyDetectMs, large.Nodes, large.CANELyDetectMs)
+	}
+	if large.GossipDetectMs > 5*small.GossipDetectMs {
+		t.Errorf("gossip detection not near-flat: %d nodes %.1fms, %d nodes %.1fms",
+			small.Nodes, small.GossipDetectMs, large.Nodes, large.GossipDetectMs)
+	}
+	// CANELy per-node bandwidth grows with N until it saturates at the
+	// membership channel budget (half the 1 Mbit/s bus); gossip's stays put.
+	if large.CANELyBWBitsPerSec < 2*small.CANELyBWBitsPerSec {
+		t.Errorf("CANELy per-node bandwidth did not grow: %.0f vs %.0f bps",
+			small.CANELyBWBitsPerSec, large.CANELyBWBitsPerSec)
+	}
+	if large.CANELyBWBitsPerSec > 500_000+1 {
+		t.Errorf("CANELy per-node bandwidth %0.f bps exceeds the channel budget", large.CANELyBWBitsPerSec)
+	}
+	if large.GossipBWBitsPerSec > 2*small.GossipBWBitsPerSec {
+		t.Errorf("gossip per-node bandwidth not flat: %.0f vs %.0f bps",
+			small.GossipBWBitsPerSec, large.GossipBWBitsPerSec)
+	}
+
+	table := FormatGossipComparison(pts)
+	if len(table) == 0 {
+		t.Fatal("empty table")
+	}
+	t.Logf("\n%s", table)
+}
+
+// TestGossipComparisonDeterminism: the campaign contract — same sizes and
+// seeds, byte-identical aggregates regardless of scheduling.
+func TestGossipComparisonDeterminism(t *testing.T) {
+	a := MeasureGossipComparison([]int{10, 1000}, 10, 7)
+	b := MeasureGossipComparison([]int{10, 1000}, 10, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs across identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPoissonMoments sanity-checks the sampler both sides of the
+// normal-approximation switch: the empirical mean must sit within a few
+// standard errors of lambda.
+func TestPoissonMoments(t *testing.T) {
+	r := sim.NewRNG(3).Split("poisson")
+	for _, lambda := range []float64{0.5, 8, 200} {
+		const n = 4000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(r, lambda))
+		}
+		mean := sum / n
+		if se := 4 * math.Sqrt(lambda/n); math.Abs(mean-lambda) > se {
+			t.Errorf("lambda %v: mean %v off by more than %v", lambda, mean, se)
+		}
+	}
+	if poisson(r, 0) != 0 || poisson(r, -1) != 0 {
+		t.Error("nonpositive lambda must draw 0")
+	}
+}

@@ -704,10 +704,12 @@ func (e *Engine) capture(vec []int, r runResult) *Violation {
 
 // passive reports whether delivering a frame of the type emits no
 // queue-mutating command: every type except the failure-sign (the FDA
-// answers a first copy with an eager re-diffusion request) and the RHA
-// vector (whose reception can abort and resend the local proposal).
+// answers a first copy with an eager re-diffusion request), the RHA
+// vector (whose reception can abort and resend the local proposal) and
+// gossip datagrams (pings and ping-reqs are answered with acks or
+// forwarded probes).
 func passive(t can.MsgType) bool {
-	return t != can.TypeFDA && t != can.TypeRHA
+	return t != can.TypeFDA && t != can.TypeRHA && t != can.TypeGossip
 }
 
 // commutes reports whether delivering the two pending frames in either

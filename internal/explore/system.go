@@ -11,6 +11,7 @@ import (
 	"canely/internal/core/fd"
 	"canely/internal/core/membership"
 	"canely/internal/core/proto"
+	"canely/internal/gossip"
 	"canely/internal/replay"
 	"canely/internal/sim"
 )
@@ -27,6 +28,12 @@ type Scenario struct {
 	Nodes int
 	// Config parameterizes every node's protocol cores.
 	Config core.Config
+	// Gossip switches the system to the SWIM baseline: every node runs a
+	// gossip core instead of the CANELy composite, frames of
+	// can.TypeGossip are delivered unicast to their destination (the
+	// datagram substrate's routing), and the safety/terminal checks
+	// assert the gossip lattice invariants. nil selects CANELy mode.
+	Gossip *gossip.Config
 	// Bootstrap is the pre-agreed initial view; its members come up
 	// integrated. Joiners request integration at t=0.
 	Bootstrap can.NodeSet
@@ -96,6 +103,36 @@ func DefaultScenario() Scenario {
 	}
 }
 
+// DefaultGossipScenario returns the SWIM analogue of the default
+// join+crash scenario: nodes 0,1 bootstrap, node 2 joins through them,
+// node 1 may crash up to 80ms in. The timing respects the soundness
+// argument of the bounded-delay model: Ttd < AckTimeout, so an in-flight
+// ack always lands before the probe timer that would falsely expire on it,
+// and the only suspicion the search can produce is the real crash.
+func DefaultGossipScenario() Scenario {
+	return Scenario{
+		Nodes: 3,
+		Gossip: &gossip.Config{
+			Period:         20 * time.Millisecond,
+			AckTimeout:     5 * time.Millisecond,
+			SuspectTimeout: 60 * time.Millisecond,
+			Fanout:         1,
+			Retransmit:     3,
+		},
+		Bootstrap: can.MakeSet(0, 1),
+		Joiners:   can.MakeSet(2),
+		Crash:     1,
+		HasCrash:  true,
+		CrashBy:   sim.Time(80 * time.Millisecond),
+		End:       sim.Time(200 * time.Millisecond),
+		Settle:    300 * time.Millisecond,
+		MaxSteps:  6000,
+		MaxDepth:  25,
+		Ttd:       2 * time.Millisecond,
+		Skew:      time.Millisecond,
+	}
+}
+
 // Validate rejects malformed scenarios.
 func (sc *Scenario) Validate() error {
 	if sc.Nodes < 2 || sc.Nodes > can.MaxNodes {
@@ -115,6 +152,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.HasCrash && !sc.Bootstrap.Union(sc.Joiners).Contains(sc.Crash) {
 		return fmt.Errorf("explore: crash node %v is not part of the population", sc.Crash)
+	}
+	if sc.Gossip != nil {
+		return sc.Gossip.Validate()
 	}
 	return sc.Config.FD.Validate()
 }
@@ -192,8 +232,11 @@ type actionID struct {
 type System struct {
 	scen *Scenario
 
-	now     sim.Time
+	now sim.Time
+	// Exactly one of nodes (CANELy composite cores) and gnodes (SWIM
+	// gossip cores) is populated, per Scenario.Gossip.
 	nodes   []*core.Node
+	gnodes  []*gossip.Core
 	alive   []bool
 	crashed bool
 
@@ -229,15 +272,26 @@ func NewSystem(scen *Scenario, rec *replay.Log) (*System, error) {
 	s.timers = make([][proto.NumTimers]sim.Time, scen.Nodes)
 	s.armedTimers = make([]uint8, scen.Nodes)
 	for i := 0; i < scen.Nodes; i++ {
-		n, err := core.New(can.NodeID(i), scen.Config)
-		if err != nil {
-			return nil, err
+		if scen.Gossip != nil {
+			g, err := gossip.New(can.NodeID(i), *scen.Gossip)
+			if err != nil {
+				return nil, err
+			}
+			s.gnodes = append(s.gnodes, g)
+			if rec != nil {
+				rec.RegisterGossip(can.NodeID(i), *scen.Gossip)
+			}
+		} else {
+			n, err := core.New(can.NodeID(i), scen.Config)
+			if err != nil {
+				return nil, err
+			}
+			s.nodes = append(s.nodes, n)
+			if rec != nil {
+				rec.Register(can.NodeID(i), scen.Config)
+			}
 		}
-		s.nodes = append(s.nodes, n)
 		s.alive = append(s.alive, true)
-		if rec != nil {
-			rec.Register(can.NodeID(i), scen.Config)
-		}
 	}
 	for v := scen.Bootstrap; !v.Empty(); {
 		r := v.Lowest()
@@ -247,7 +301,14 @@ func NewSystem(scen *Scenario, rec *replay.Log) (*System, error) {
 	for v := scen.Joiners; !v.Empty(); {
 		r := v.Lowest()
 		v = v.Remove(r)
-		s.step(r, proto.Event{Kind: proto.EvJoin})
+		// A gossip joiner is seeded with the bootstrap members as its
+		// introduction contacts; the CANELy joiner broadcasts a join sign
+		// and carries no view (keeping its recorded event unchanged).
+		ev := proto.Event{Kind: proto.EvJoin}
+		if scen.Gossip != nil {
+			ev.View = scen.Bootstrap
+		}
+		s.step(r, ev)
 	}
 	return s, nil
 }
@@ -258,7 +319,11 @@ func NewSystem(scen *Scenario, rec *replay.Log) (*System, error) {
 // no-ops here.
 func (s *System) step(n can.NodeID, ev proto.Event) {
 	s.buf.Reset()
-	s.nodes[n].StepInto(ev, &s.buf)
+	if s.scen.Gossip != nil {
+		s.gnodes[n].StepInto(ev, &s.buf)
+	} else {
+		s.nodes[n].StepInto(ev, &s.buf)
+	}
 	if s.rec != nil {
 		s.rec.Append(n, ev, s.buf.Commands())
 	}
@@ -481,6 +546,21 @@ func (s *System) apply(a action) {
 				i = next
 			}
 		}
+		// Gossip traffic is point-to-point: only the addressed node hears
+		// the frame (the datagram substrate's routing), and there is no
+		// observation notification — a datagram network has no shared wire
+		// to observe.
+		if f.mid.Type == can.TypeGossip {
+			dst := can.GossipDest(f.mid)
+			if int(dst) < s.scen.Nodes && s.alive[dst] &&
+				!(s.scen.Drop && dst == s.scen.DropNode && f.mid.Type == s.scen.DropType) {
+				ev := proto.Event{Kind: proto.EvDataInd, MID: f.mid, At: s.now}
+				ev.Data = f.data
+				ev.DataLen = f.dataLen
+				s.step(dst, ev)
+			}
+			return
+		}
 		for n := 0; n < s.scen.Nodes; n++ {
 			if !s.alive[n] {
 				continue
@@ -520,6 +600,9 @@ func (s *System) Fingerprint(h *maphash.Hash) {
 	proto.HashU64(h, aliveBits)
 	for _, nd := range s.nodes {
 		nd.Fingerprint(h)
+	}
+	for _, g := range s.gnodes {
+		g.Fingerprint(h)
 	}
 	proto.HashU64(h, uint64(s.liveFrames))
 	for i := s.head; i >= 0; i = s.entries[i].next {
@@ -605,6 +688,13 @@ func (s *System) quiescent() bool {
 	if s.scen.HasCrash && !s.crashed && s.now <= s.scen.CrashBy {
 		return false
 	}
+	// SWIM has no frame-free steady state — probe traffic never ceases,
+	// and any in-flight piggyback could still start a (refutable)
+	// suspicion. The settle phase therefore always runs to its horizon in
+	// gossip mode; the shortcut applies only to the CANELy cores.
+	if s.scen.Gossip != nil {
+		return false
+	}
 	want := s.scen.want(s.crashed)
 	for n := 0; n < s.scen.Nodes; n++ {
 		if !s.alive[n] {
@@ -639,6 +729,7 @@ func (s *System) Snapshot() *System {
 		free:        s.free,
 		liveFrames:  s.liveFrames,
 		nodes:       make([]*core.Node, len(s.nodes)),
+		gnodes:      make([]*gossip.Core, len(s.gnodes)),
 		alive:       append([]bool(nil), s.alive...),
 		entries:     append([]entry(nil), s.entries...),
 		timers:      append([][proto.NumTimers]sim.Time(nil), s.timers...),
@@ -646,6 +737,9 @@ func (s *System) Snapshot() *System {
 	}
 	for i, n := range s.nodes {
 		c.nodes[i] = n.Clone()
+	}
+	for i, g := range s.gnodes {
+		c.gnodes[i] = g.Clone()
 	}
 	return c
 }
@@ -661,6 +755,9 @@ func (s *System) Restore(src *System) {
 	s.liveFrames = src.liveFrames
 	for i := range src.nodes {
 		s.nodes[i].Restore(src.nodes[i])
+	}
+	for i := range src.gnodes {
+		s.gnodes[i].Restore(src.gnodes[i])
 	}
 	copy(s.alive, src.alive)
 	s.entries = append(s.entries[:0], src.entries...)
@@ -680,6 +777,7 @@ const coreBytes = int(unsafe.Sizeof(core.Node{}) + unsafe.Sizeof(fd.FDA{}) +
 func (s *System) sizeBytes() int {
 	return int(unsafe.Sizeof(*s)) +
 		len(s.nodes)*coreBytes +
+		len(s.gnodes)*int(unsafe.Sizeof(gossip.Core{})) +
 		len(s.alive) +
 		len(s.entries)*int(unsafe.Sizeof(entry{})) +
 		len(s.timers)*int(unsafe.Sizeof([proto.NumTimers]sim.Time{})) +
@@ -689,6 +787,24 @@ func (s *System) sizeBytes() int {
 // checkSafety asserts the per-step invariant: a full member's view contains
 // itself.
 func (s *System) checkSafety() error {
+	if s.scen.Gossip != nil {
+		for n := 0; n < s.scen.Nodes; n++ {
+			if !s.alive[n] {
+				continue
+			}
+			g := s.gnodes[n]
+			if !g.View().Contains(can.NodeID(n)) {
+				return fmt.Errorf("gossip node %v evicted itself from its view %v", can.NodeID(n), g.View())
+			}
+			if bad := g.Suspects() &^ g.View(); bad != 0 {
+				return fmt.Errorf("gossip node %v suspects non-members %v", can.NodeID(n), bad)
+			}
+			if bad := g.Dead() & g.View(); bad != 0 {
+				return fmt.Errorf("gossip node %v holds %v both dead and member", can.NodeID(n), bad)
+			}
+		}
+		return nil
+	}
 	for n := 0; n < s.scen.Nodes; n++ {
 		nd := s.nodes[n]
 		if s.alive[n] && nd.Msh.Member() && !nd.Msh.View().Contains(can.NodeID(n)) {
@@ -702,6 +818,21 @@ func (s *System) checkSafety() error {
 // every surviving node integrated and converged on exactly the alive set.
 func (s *System) checkTerminal() error {
 	want := s.scen.want(s.crashed)
+	if s.scen.Gossip != nil {
+		for n := 0; n < s.scen.Nodes; n++ {
+			if !s.alive[n] {
+				continue
+			}
+			g := s.gnodes[n]
+			if got := g.View(); got != want {
+				return fmt.Errorf("gossip node %v converged on %v, want %v", can.NodeID(n), got, want)
+			}
+			if !g.Suspects().Empty() {
+				return fmt.Errorf("gossip node %v still suspects %v at the horizon", can.NodeID(n), g.Suspects())
+			}
+		}
+		return nil
+	}
 	for n := 0; n < s.scen.Nodes; n++ {
 		if !s.alive[n] {
 			continue

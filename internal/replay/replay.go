@@ -25,15 +25,17 @@ import (
 	"canely/internal/core"
 	"canely/internal/core/proto"
 	"canely/internal/federation"
+	"canely/internal/gossip"
 )
 
 // NodeConfig is the recorded configuration of one node's core: a composite
-// protocol core (Core) or a gateway's federation core (Fed) — exactly one
-// is set.
+// protocol core (Core), a gateway's federation core (Fed) or a SWIM
+// gossip core (Gossip) — exactly one is set.
 type NodeConfig struct {
-	ID   can.NodeID         `json:"id"`
-	Core *core.Config       `json:"core,omitempty"`
-	Fed  *federation.Config `json:"fed,omitempty"`
+	ID     can.NodeID         `json:"id"`
+	Core   *core.Config       `json:"core,omitempty"`
+	Fed    *federation.Config `json:"fed,omitempty"`
+	Gossip *gossip.Config     `json:"gossip,omitempty"`
 }
 
 // Record is one Step of one node: the event consumed and the fully-routed
@@ -66,6 +68,12 @@ func (l *Log) Register(id can.NodeID, cfg core.Config) {
 // they collide.
 func (l *Log) RegisterFed(id can.NodeID, cfg federation.Config) {
 	l.Nodes = append(l.Nodes, NodeConfig{ID: id, Fed: &cfg})
+}
+
+// RegisterGossip adds a node's gossip-core configuration. Must be called
+// before any of the node's records are appended.
+func (l *Log) RegisterGossip(id can.NodeID, cfg gossip.Config) {
+	l.Nodes = append(l.Nodes, NodeConfig{ID: id, Gossip: &cfg})
 }
 
 // Append records one Step. The command slice is copied: callers (the stack
@@ -117,6 +125,12 @@ func (l *Log) Verify() error {
 			n, err := core.New(nc.ID, *nc.Core)
 			if err != nil {
 				return fmt.Errorf("replay: rebuilding core %v: %w", nc.ID, err)
+			}
+			nodes[nc.ID] = n
+		case nc.Gossip != nil:
+			n, err := gossip.New(nc.ID, *nc.Gossip)
+			if err != nil {
+				return fmt.Errorf("replay: rebuilding gossip core %v: %w", nc.ID, err)
 			}
 			nodes[nc.ID] = n
 		default:

@@ -1,0 +1,67 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"canely/internal/can"
+)
+
+// TestBackoffSchedule pins the reconnect backoff shared by the DialMedium
+// initial loop and the manage redial loop: the base doubles from
+// BackoffMin up to BackoffMax, every delay carries at most 50% jitter
+// above its base, and the sequence is a pure function of (seed, node) —
+// equal pairs replay byte-identical schedules while distinct nodes
+// de-synchronize even under a shared seed.
+func TestBackoffSchedule(t *testing.T) {
+	cfg := DialConfig{}
+	cfg.fillDefaults()
+
+	draw := func(seed int64, id can.NodeID, n int) []time.Duration {
+		c := cfg
+		c.BackoffSeed = seed
+		bo := newBackoff(&c, id)
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = bo.next()
+		}
+		return out
+	}
+
+	a := draw(7, 0, 12)
+	base := cfg.BackoffMin
+	for i, d := range a {
+		if d < base || d > base+base/2 {
+			t.Errorf("delay %d = %v outside [%v, %v]", i, d, base, base+base/2)
+		}
+		if base *= 2; base > cfg.BackoffMax {
+			base = cfg.BackoffMax
+		}
+	}
+
+	// Determinism: the same (seed, node) pair replays the exact sequence.
+	b := draw(7, 0, 12)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic: delay %d = %v then %v", i, a[i], b[i])
+		}
+	}
+
+	// De-synchronization: a different node under the same seed, and the
+	// same node under a different seed, must both diverge somewhere.
+	for name, other := range map[string][]time.Duration{
+		"node": draw(7, 1, 12),
+		"seed": draw(8, 0, 12),
+	} {
+		same := true
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("distinct %s produced an identical schedule: lockstep redials", name)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"canely/internal/bus"
 	"canely/internal/can"
+	"canely/internal/sim"
 	"canely/internal/stack"
 	"canely/internal/wire"
 )
@@ -23,9 +24,14 @@ type DialConfig struct {
 	// retries). Defaults to 10 s.
 	DialTimeout time.Duration
 	// BackoffMin/BackoffMax bound the exponential reconnect backoff after
-	// a broker disconnect: the delay starts at BackoffMin and doubles up
-	// to BackoffMax. Defaults 25 ms and 1 s.
+	// a broker disconnect: the base delay starts at BackoffMin and doubles
+	// up to BackoffMax, and each sleep adds up to 50% randomized jitter on
+	// top of the base. Defaults 25 ms and 1 s.
 	BackoffMin, BackoffMax time.Duration
+	// BackoffSeed seeds the jitter. The node identity is folded in, so a
+	// fleet sharing one seed (or the zero default) still spreads its
+	// redials; equal (seed, id) pairs reproduce the exact sleep sequence.
+	BackoffSeed int64
 	// WriteTimeout bounds one message write to the broker. Defaults 2 s.
 	WriteTimeout time.Duration
 	// Role classifies the client at the broker (Hello): the zero value is
@@ -79,6 +85,37 @@ type Medium struct {
 	wg        sync.WaitGroup
 }
 
+// backoff produces the reconnect delays: bounded exponential doubling
+// with seeded randomized jitter. Without jitter every client of a
+// restarted broker sleeps the identical schedule and the whole fleet
+// redials in lockstep — a thundering herd aimed at the broker that just
+// died under load. Each call returns base + U[0, base/2] and then
+// doubles the base (capped at max), so delays stay within
+// [BackoffMin, 1.5*BackoffMax] and distinct (seed, id) pairs
+// de-synchronize while equal pairs replay byte-identical sequences.
+type backoff struct {
+	base, max time.Duration
+	rng       *sim.RNG
+}
+
+func newBackoff(cfg *DialConfig, id can.NodeID) *backoff {
+	return &backoff{
+		base: cfg.BackoffMin,
+		max:  cfg.BackoffMax,
+		rng:  sim.NewRNG(cfg.BackoffSeed).Split(fmt.Sprintf("rt/backoff/n%02d", id)),
+	}
+}
+
+// next returns the delay to sleep before the upcoming dial attempt and
+// advances the schedule.
+func (b *backoff) next() time.Duration {
+	d := b.base + b.rng.Duration(b.base/2+1)
+	if b.base *= 2; b.base > b.max {
+		b.base = b.max
+	}
+	return d
+}
+
 // DialMedium connects node id to a broker and returns the medium for
 // stack.New. The initial dial is synchronous (bounded by DialTimeout) so
 // that configuration errors fail fast; reconnects afterwards are
@@ -92,7 +129,7 @@ func DialMedium(loop *Loop, id can.NodeID, cfg DialConfig) (*Medium, error) {
 	m.port = &Port{m: m, id: id, alive: true}
 
 	deadline := time.Now().Add(cfg.DialTimeout)
-	backoff := cfg.BackoffMin
+	bo := newBackoff(&cfg, id)
 	var conn net.Conn
 	var rate can.BitRate
 	for {
@@ -101,13 +138,11 @@ func DialMedium(loop *Loop, id can.NodeID, cfg DialConfig) (*Medium, error) {
 		if err == nil {
 			break
 		}
-		if time.Now().Add(backoff).After(deadline) {
+		delay := bo.next()
+		if time.Now().Add(delay).After(deadline) {
 			return nil, fmt.Errorf("rt: dialing broker %s: %w", cfg.Addr, err)
 		}
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > cfg.BackoffMax {
-			backoff = cfg.BackoffMax
-		}
+		time.Sleep(delay)
 	}
 	m.rate = rate
 
@@ -163,9 +198,10 @@ func (m *Medium) manage(conn net.Conn) {
 			return
 		default:
 		}
-		// Redial with bounded exponential backoff, forever (a broker
-		// restart may take arbitrarily long; the port queues meanwhile).
-		backoff := m.cfg.BackoffMin
+		// Redial with jittered bounded exponential backoff, forever (a
+		// broker restart may take arbitrarily long; the port queues
+		// meanwhile). Each outage restarts the schedule at BackoffMin.
+		bo := newBackoff(&m.cfg, m.id)
 		for {
 			var err error
 			conn, _, err = m.dialOnce(time.Now().Add(m.cfg.BackoffMax + time.Second))
@@ -176,10 +212,7 @@ func (m *Medium) manage(conn net.Conn) {
 			select {
 			case <-m.closed:
 				return
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > m.cfg.BackoffMax {
-				backoff = m.cfg.BackoffMax
+			case <-time.After(bo.next()):
 			}
 		}
 	}
